@@ -1,0 +1,109 @@
+// Ablation: raw accumulator micro-operations — insert/accumulate/reset
+// throughput of the four map-like accumulators outside any kernel, over
+// key streams with controlled duplication.  Isolates the data-structure
+// cost the end-to-end kernels integrate.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "accumulator/hash_table.hpp"
+#include "accumulator/hash_vec.hpp"
+#include "accumulator/spa.hpp"
+#include "accumulator/two_level_hash.hpp"
+#include "common/random.hpp"
+
+namespace {
+
+using I = std::int32_t;
+
+/// Key stream: `rows` rows of `per_row` keys drawn from [0, universe) —
+/// small universe = many duplicates (accumulation-heavy), large universe =
+/// mostly fresh inserts.
+std::vector<I> key_stream(std::size_t rows, std::size_t per_row,
+                          I universe) {
+  spgemm::SplitMix64 rng(99);
+  std::vector<I> keys(rows * per_row);
+  for (auto& k : keys) {
+    k = static_cast<I>(rng.next_below(static_cast<std::uint64_t>(universe)));
+  }
+  return keys;
+}
+
+template <typename Acc>
+void prepare(Acc& acc, std::size_t per_row, I universe);
+
+template <>
+void prepare(spgemm::HashAccumulator<I, double>& acc, std::size_t per_row,
+             I universe) {
+  acc.prepare(spgemm::hash_table_size_for(
+      static_cast<spgemm::Offset>(per_row),
+      static_cast<std::size_t>(universe)));
+}
+template <>
+void prepare(spgemm::HashVecAccumulator<I, double>& acc, std::size_t per_row,
+             I universe) {
+  acc.prepare(spgemm::hash_table_size_for(
+      static_cast<spgemm::Offset>(per_row),
+      static_cast<std::size_t>(universe)));
+}
+template <>
+void prepare(spgemm::SpaAccumulator<I, double>& acc, std::size_t /*per_row*/,
+             I universe) {
+  acc.prepare(static_cast<std::size_t>(universe));
+}
+template <>
+void prepare(spgemm::TwoLevelHashAccumulator<I, double>& acc,
+             std::size_t per_row, I /*universe*/) {
+  acc.prepare(per_row + 1);
+}
+
+template <typename Acc>
+void run_accumulator(benchmark::State& state) {
+  const auto universe = static_cast<I>(state.range(0));
+  constexpr std::size_t kRows = 512;
+  constexpr std::size_t kPerRow = 256;
+  const std::vector<I> keys = key_stream(kRows, kPerRow, universe);
+
+  Acc acc;
+  std::vector<I> out_cols(kPerRow);
+  std::vector<double> out_vals(kPerRow);
+  for (auto _ : state) {
+    prepare(acc, kPerRow, universe);
+    std::size_t cursor = 0;
+    for (std::size_t row = 0; row < kRows; ++row) {
+      for (std::size_t i = 0; i < kPerRow; ++i) {
+        acc.accumulate(keys[cursor++], 1.0);
+      }
+      acc.extract_unsorted(out_cols.data(), out_vals.data());
+      benchmark::DoNotOptimize(out_vals.data());
+      acc.reset();
+    }
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(kRows * kPerRow) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Acc_Hash(benchmark::State& s) {
+  run_accumulator<spgemm::HashAccumulator<I, double>>(s);
+}
+void BM_Acc_HashVec(benchmark::State& s) {
+  run_accumulator<spgemm::HashVecAccumulator<I, double>>(s);
+}
+void BM_Acc_Spa(benchmark::State& s) {
+  run_accumulator<spgemm::SpaAccumulator<I, double>>(s);
+}
+void BM_Acc_TwoLevel(benchmark::State& s) {
+  run_accumulator<spgemm::TwoLevelHashAccumulator<I, double>>(s);
+}
+
+// Arg = key universe: 128 (duplicate-heavy) and 1M (insert-heavy, SPA pays
+// its O(ncols) footprint).
+BENCHMARK(BM_Acc_Hash)->Arg(128)->Arg(1 << 20);
+BENCHMARK(BM_Acc_HashVec)->Arg(128)->Arg(1 << 20);
+BENCHMARK(BM_Acc_Spa)->Arg(128)->Arg(1 << 20);
+BENCHMARK(BM_Acc_TwoLevel)->Arg(128)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Ablation: allocator choice for kernel temporaries (paper §3.2 / Fig. 9).
+//
+// The one-phase Heap kernel stages flop-bound temporaries.  Its
+// kBalanced policy allocates one big staging buffer with ::operator new
+// (the "single" scheme); kBalancedParallel allocates per-thread slices
+// inside each owning thread through the scalable pool (the "parallel"
+// scheme).  This bench sweeps problem scale to expose where the big
+// single allocation/deallocation starts to cost — the cliff that motivated
+// the paper's memory-management design.
+#include <benchmark/benchmark.h>
+
+#include "core/multiply.hpp"
+#include "matrix/rmat.hpp"
+
+namespace {
+
+using spgemm::Algorithm;
+using spgemm::RmatParams;
+using spgemm::parallel::SchedulePolicy;
+
+void run_alloc(benchmark::State& state, SchedulePolicy policy) {
+  const auto scale = static_cast<int>(state.range(0));
+  const auto a = spgemm::rmat_matrix<std::int32_t, double>(
+      RmatParams::g500(scale, 16, 7));
+  spgemm::SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHeap;
+  opts.schedule = policy;
+  spgemm::SpGemmStats stats;
+  for (auto _ : state) {
+    auto c = spgemm::multiply(a, a, opts, &stats);
+    benchmark::DoNotOptimize(c.vals.data());
+  }
+  state.counters["staging_MB"] =
+      static_cast<double>(stats.flop) * 12.0 / 1e6;
+  state.counters["MFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(stats.flop) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Heap_SingleStaging(benchmark::State& s) {
+  run_alloc(s, SchedulePolicy::kBalanced);
+}
+void BM_Heap_ParallelPoolStaging(benchmark::State& s) {
+  run_alloc(s, SchedulePolicy::kBalancedParallel);
+}
+
+BENCHMARK(BM_Heap_SingleStaging)
+    ->Arg(9)
+    ->Arg(11)
+    ->Arg(13)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Heap_ParallelPoolStaging)
+    ->Arg(9)
+    ->Arg(11)
+    ->Arg(13)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Ablation: all SpGEMM kernels on one G500 input under google-benchmark,
+// with flop-rate counters.  Complements the figure benches with
+// statistically managed timing for apples-to-apples kernel comparison.
+#include <benchmark/benchmark.h>
+
+#include "core/multiply.hpp"
+#include "matrix/rmat.hpp"
+#include "matrix/stats.hpp"
+
+namespace {
+
+using spgemm::Algorithm;
+using spgemm::CsrMatrix;
+using spgemm::RmatParams;
+using spgemm::SortOutput;
+
+const CsrMatrix<std::int32_t, double>& shared_input() {
+  static const auto a = spgemm::rmat_matrix<std::int32_t, double>(
+      RmatParams::g500(11, 16, 42));
+  return a;
+}
+
+void run_kernel(benchmark::State& state, Algorithm algo, SortOutput sort) {
+  const auto& a = shared_input();
+  spgemm::SpGemmOptions opts;
+  opts.algorithm = algo;
+  opts.sort_output = sort;
+  spgemm::SpGemmStats stats;
+  for (auto _ : state) {
+    auto c = spgemm::multiply(a, a, opts, &stats);
+    benchmark::DoNotOptimize(c.vals.data());
+  }
+  state.counters["flop"] = static_cast<double>(stats.flop);
+  state.counters["nnz_out"] = static_cast<double>(stats.nnz_out);
+  state.counters["MFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(stats.flop) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Heap(benchmark::State& s) {
+  run_kernel(s, Algorithm::kHeap, SortOutput::kYes);
+}
+void BM_Hash_Sorted(benchmark::State& s) {
+  run_kernel(s, Algorithm::kHash, SortOutput::kYes);
+}
+void BM_Hash_Unsorted(benchmark::State& s) {
+  run_kernel(s, Algorithm::kHash, SortOutput::kNo);
+}
+void BM_HashVec_Sorted(benchmark::State& s) {
+  run_kernel(s, Algorithm::kHashVector, SortOutput::kYes);
+}
+void BM_HashVec_Unsorted(benchmark::State& s) {
+  run_kernel(s, Algorithm::kHashVector, SortOutput::kNo);
+}
+void BM_Spa_Sorted(benchmark::State& s) {
+  run_kernel(s, Algorithm::kSpa, SortOutput::kYes);
+}
+void BM_Spa1p_Unsorted(benchmark::State& s) {
+  run_kernel(s, Algorithm::kSpa1p, SortOutput::kNo);
+}
+void BM_KkHash_Unsorted(benchmark::State& s) {
+  run_kernel(s, Algorithm::kKkHash, SortOutput::kNo);
+}
+void BM_Merge(benchmark::State& s) {
+  run_kernel(s, Algorithm::kMerge, SortOutput::kYes);
+}
+void BM_Adaptive_Sorted(benchmark::State& s) {
+  run_kernel(s, Algorithm::kAdaptive, SortOutput::kYes);
+}
+void BM_Adaptive_Unsorted(benchmark::State& s) {
+  run_kernel(s, Algorithm::kAdaptive, SortOutput::kNo);
+}
+
+BENCHMARK(BM_Heap)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hash_Sorted)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hash_Unsorted)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HashVec_Sorted)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HashVec_Unsorted)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Spa_Sorted)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Spa1p_Unsorted)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KkHash_Unsorted)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Merge)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Adaptive_Sorted)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Adaptive_Unsorted)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

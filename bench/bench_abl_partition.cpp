@@ -1,0 +1,53 @@
+// Ablation: flop-balanced RowsToThreads partitioning (paper Fig. 6) vs the
+// naive equal-rows split, for the Hash kernel on skewed (G500) and uniform
+// (ER) inputs under several thread counts.  The paper's claim: balanced
+// partitioning is what makes static scheduling viable on skewed data.
+#include <benchmark/benchmark.h>
+
+#include "core/multiply.hpp"
+#include "matrix/rmat.hpp"
+
+namespace {
+
+using spgemm::Algorithm;
+using spgemm::RmatParams;
+using spgemm::parallel::SchedulePolicy;
+
+const spgemm::CsrMatrix<std::int32_t, double>& input(bool skewed) {
+  static const auto g500 = spgemm::rmat_matrix<std::int32_t, double>(
+      RmatParams::g500(11, 16, 13));
+  static const auto er = spgemm::rmat_matrix<std::int32_t, double>(
+      RmatParams::er(11, 16, 13));
+  return skewed ? g500 : er;
+}
+
+void run_partition(benchmark::State& state, bool skewed, bool balanced) {
+  const auto& a = input(skewed);
+  spgemm::SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  opts.schedule = balanced ? SchedulePolicy::kBalancedParallel
+                           : SchedulePolicy::kStatic;
+  opts.threads = static_cast<int>(state.range(0));
+  spgemm::SpGemmStats stats;
+  for (auto _ : state) {
+    auto c = spgemm::multiply(a, a, opts, &stats);
+    benchmark::DoNotOptimize(c.vals.data());
+  }
+  state.counters["MFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(stats.flop) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_G500_Balanced(benchmark::State& s) { run_partition(s, true, true); }
+void BM_G500_EqualRows(benchmark::State& s) { run_partition(s, true, false); }
+void BM_ER_Balanced(benchmark::State& s) { run_partition(s, false, true); }
+void BM_ER_EqualRows(benchmark::State& s) { run_partition(s, false, false); }
+
+BENCHMARK(BM_G500_Balanced)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_G500_EqualRows)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ER_Balanced)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ER_EqualRows)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

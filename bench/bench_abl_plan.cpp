@@ -1,0 +1,54 @@
+// Ablation (extension): inspector-executor amortization.
+//
+// When the same structure is multiplied repeatedly with changing values
+// (AMG time stepping, MCL iterations), SpGemmPlan pays the symbolic phase
+// and partition once.  This bench compares one full two-phase multiply per
+// iteration against plan.execute() per iteration — the speedup is the
+// symbolic share of the total, which the paper's Table 1 phase taxonomy
+// (1-phase vs 2-phase codes) revolves around.
+#include <benchmark/benchmark.h>
+
+#include "core/multiply.hpp"
+#include "core/spgemm_plan.hpp"
+#include "matrix/rmat.hpp"
+
+namespace {
+
+using I = std::int32_t;
+using spgemm::Algorithm;
+using spgemm::RmatParams;
+
+const spgemm::CsrMatrix<I, double>& shared_input() {
+  static const auto a = spgemm::rmat_matrix<I, double>(
+      RmatParams::g500(11, 16, 55));
+  return a;
+}
+
+void BM_FullMultiplyEachIteration(benchmark::State& state) {
+  const auto& a = shared_input();
+  spgemm::SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  opts.sort_output = spgemm::SortOutput::kNo;
+  for (auto _ : state) {
+    auto c = spgemm::multiply(a, a, opts);
+    benchmark::DoNotOptimize(c.vals.data());
+  }
+}
+
+void BM_PlanThenExecuteEachIteration(benchmark::State& state) {
+  const auto& a = shared_input();
+  spgemm::SpGemmOptions opts;
+  opts.sort_output = spgemm::SortOutput::kNo;
+  const spgemm::SpGemmPlan<I, double> plan(a, a, opts);
+  for (auto _ : state) {
+    auto c = plan.execute(a, a);
+    benchmark::DoNotOptimize(c.vals.data());
+  }
+}
+
+BENCHMARK(BM_FullMultiplyEachIteration)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlanThenExecuteEachIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

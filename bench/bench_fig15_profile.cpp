@@ -1,0 +1,65 @@
+// Figure 15 reproduction: Dolan-Moré performance profiles over the 26
+// Table 2 proxies — for each algorithm, the fraction of problems on which
+// it is within a factor x of the best algorithm, x on the horizontal axis.
+// The paper's observation to confirm: sorted panel is dominated by Hash
+// (best on ~70% of problems, never worse than ~1.6x); unsorted panel is
+// split between Hash, HashVector and MKL-inspector*.
+#include <cstdio>
+#include <vector>
+
+#include "bench_suitesparse_common.hpp"
+
+namespace {
+
+void print_profile(const std::vector<spgemm::bench::KernelSpec>& legend,
+                   const std::vector<spgemm::bench::ProxyMeasurement>& rows) {
+  const std::vector<double> ratios = {1.0, 1.25, 1.5, 2.0, 2.5,
+                                      3.0, 4.0,  5.0};
+  std::printf("%-22s", "within x of best:");
+  for (const double r : ratios) std::printf("%8.2f", r);
+  std::printf("\n");
+
+  for (std::size_t k = 0; k < legend.size(); ++k) {
+    std::printf("%-22s", legend[k].label.c_str());
+    for (const double r : ratios) {
+      int within = 0;
+      int total = 0;
+      for (const auto& row : rows) {
+        double best = 0.0;
+        for (const double v : row.mflops) best = std::max(best, v);
+        if (best <= 0.0) continue;
+        ++total;
+        // Relative score = best_time / my_time = my_mflops? careful:
+        // score(paper) = my_time / best_time = best_mflops-relative:
+        if (row.mflops[k] > 0.0 && best / row.mflops[k] <= r) ++within;
+      }
+      std::printf("%8.2f",
+                  total > 0 ? static_cast<double>(within) / total : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace spgemm;
+  using namespace spgemm::bench;
+
+  print_banner("Figure 15",
+               "performance profiles over the SuiteSparse proxies");
+
+  std::printf("\n-- sorted panel --\n");
+  print_profile(sorted_legend(),
+                measure_proxies(sorted_legend(), ProxyOp::kSquare));
+
+  std::printf("\n-- unsorted panel --\n");
+  print_profile(unsorted_legend(),
+                measure_proxies(unsorted_legend(), ProxyOp::kSquare));
+
+  std::printf(
+      "\nexpected shape (paper): sorted — Hash's curve starts ~0.7 at x=1\n"
+      "and reaches 1.0 by x~1.6; unsorted — Hash/HashVec/MKL-insp.* each\n"
+      "start ~0.4 and dominate Kokkos*.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Shared measurement core for the real-matrix experiments (Figures 14, 15
+// and 17): run a kernel legend over the 26 Table 2 proxies and collect
+// MFLOPS + compression ratio per (matrix, kernel) cell.
+//
+// Default sizing: proxies are dimension-capped at 2^14 and cells are timed
+// once after a warm-up (the paper's 10-run averages on 68 cores are not
+// affordable on a 1-core CI box); SPGEMM_BENCH_FULL=1 restores paper-sized
+// proxies, SPGEMM_BENCH_TRIALS=N adds repetitions.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "matrix/suitesparse_proxy.hpp"
+#include "matrix/triangular.hpp"
+
+namespace spgemm::bench {
+
+inline std::int64_t proxy_dimension_cap() {
+  return env::get_int("SPGEMM_BENCH_DIM_CAP",
+                      full_scale() ? (std::int64_t{1} << 62) : (1 << 14));
+}
+
+/// Table 2 entries with the bench dimension cap applied.
+inline std::vector<proxy::ProxyEntry> bench_proxies() {
+  std::vector<proxy::ProxyEntry> out = proxy::table2();
+  const std::int64_t cap = proxy_dimension_cap();
+  for (auto& e : out) e.n = std::min(e.n, cap);
+  return out;
+}
+
+/// One measured cell of a Fig. 14/15/17-style experiment.
+struct ProxyMeasurement {
+  std::string matrix;
+  double compression_ratio = 0.0;
+  /// MFLOPS per kernel, in legend order.
+  std::vector<double> mflops;
+};
+
+/// What to multiply for each proxy.
+enum class ProxyOp {
+  kSquare,      // A^2 (Figs. 14/15)
+  kTriangular,  // L*U after degree reorder (Fig. 17)
+};
+
+/// Run `legend` over every proxy; one row per matrix.
+inline std::vector<ProxyMeasurement> measure_proxies(
+    const std::vector<KernelSpec>& legend, ProxyOp op) {
+  std::vector<ProxyMeasurement> rows;
+  const int reps = std::max(1, static_cast<int>(
+                                   env::get_int("SPGEMM_BENCH_TRIALS", 1)));
+  for (const auto& entry : bench_proxies()) {
+    const auto a = proxy::generate(entry, full_scale(), /*seed=*/42);
+    CsrMatrix<std::int32_t, double> left = a;
+    CsrMatrix<std::int32_t, double> right = a;
+    if (op == ProxyOp::kTriangular) {
+      auto split = prepare_triangle_split(a);
+      left = std::move(split.lower);
+      right = std::move(split.upper);
+    }
+
+    ProxyMeasurement row;
+    row.matrix = entry.name;
+    for (const KernelSpec& spec : legend) {
+      SpGemmOptions opts;
+      opts.algorithm = spec.algorithm;
+      opts.sort_output = spec.sort;
+      opts.threads = bench_threads();
+      multiply(left, right, opts);  // warm-up
+      std::vector<double> times;
+      SpGemmStats stats;
+      for (int r = 0; r < reps; ++r) {
+        Timer timer;
+        multiply(left, right, opts, &stats);
+        times.push_back(timer.millis());
+      }
+      std::sort(times.begin(), times.end());
+      const double ms = times[times.size() / 2];
+      row.mflops.push_back(2.0 * static_cast<double>(stats.flop) /
+                           (ms * 1e3));
+      if (row.compression_ratio == 0.0 && stats.nnz_out > 0) {
+        row.compression_ratio = static_cast<double>(stats.flop) /
+                                static_cast<double>(stats.nnz_out);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  // Present in ascending compression ratio like the paper's x-axis.
+  std::sort(rows.begin(), rows.end(),
+            [](const ProxyMeasurement& x, const ProxyMeasurement& y) {
+              return x.compression_ratio < y.compression_ratio;
+            });
+  return rows;
+}
+
+inline void print_proxy_table(const std::vector<KernelSpec>& legend,
+                              const std::vector<ProxyMeasurement>& rows) {
+  std::printf("%-18s%8s", "matrix", "CR");
+  for (const auto& spec : legend) {
+    std::printf("%22s", spec.label.c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("%-18s%8.2f", row.matrix.c_str(), row.compression_ratio);
+    for (const double v : row.mflops) std::printf("%22.1f", v);
+    std::printf("\n");
+  }
+}
+
+}  // namespace spgemm::bench

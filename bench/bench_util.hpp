@@ -1,0 +1,130 @@
+// Shared benchmark-harness utilities: kernel timing with warm-up and
+// median-of-N repetition, MFLOPS accounting matching the paper's convention,
+// tabular output, and environment sizing knobs.
+//
+// Every bench binary runs with no arguments at CI-friendly defaults; set
+//   SPGEMM_BENCH_FULL=1     paper-scale problem sizes (hours on a laptop)
+//   SPGEMM_BENCH_TRIALS=N   timing repetitions per cell (default 3)
+//   SPGEMM_BENCH_THREADS=N  OpenMP threads (default: OpenMP's choice)
+// to change the envelope.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/timer.hpp"
+#include "core/multiply.hpp"
+#include "matrix/csr.hpp"
+
+namespace spgemm::bench {
+
+inline bool full_scale() {
+  return env::get_bool("SPGEMM_BENCH_FULL", false);
+}
+
+inline int trials() {
+  return static_cast<int>(env::get_int("SPGEMM_BENCH_TRIALS", 3));
+}
+
+inline int bench_threads() {
+  return static_cast<int>(env::get_int("SPGEMM_BENCH_THREADS", 0));
+}
+
+/// One timed kernel configuration in a figure's legend.
+struct KernelSpec {
+  std::string label;       ///< as shown in the paper's legend
+  Algorithm algorithm;
+  SortOutput sort;
+};
+
+/// The paper's sorted-panel legend (Table 1 top, §5 "sorted" runs), with
+/// MKL played by the SPA stand-in.
+inline std::vector<KernelSpec> sorted_legend() {
+  return {
+      {"MKL*", Algorithm::kSpa, SortOutput::kYes},
+      {"Heap", Algorithm::kHeap, SortOutput::kYes},
+      {"Hash", Algorithm::kHash, SortOutput::kYes},
+      {"HashVec", Algorithm::kHashVector, SortOutput::kYes},
+  };
+}
+
+/// The unsorted-panel legend (MKL/MKL-inspector/Kokkos stand-ins + hash
+/// family with sorting skipped).
+inline std::vector<KernelSpec> unsorted_legend() {
+  return {
+      {"MKL* (unsorted)", Algorithm::kSpa, SortOutput::kNo},
+      {"MKL-insp.* (unsorted)", Algorithm::kSpa1p, SortOutput::kNo},
+      {"Kokkos* (unsorted)", Algorithm::kKkHash, SortOutput::kNo},
+      {"Hash (unsorted)", Algorithm::kHash, SortOutput::kNo},
+      {"HashVec (unsorted)", Algorithm::kHashVector, SortOutput::kNo},
+  };
+}
+
+inline std::vector<KernelSpec> both_legends() {
+  std::vector<KernelSpec> all = sorted_legend();
+  const std::vector<KernelSpec> uns = unsorted_legend();
+  all.insert(all.end(), uns.begin(), uns.end());
+  return all;
+}
+
+/// Median-of-`trials` wall time of one multiply; returns the paper-style
+/// MFLOPS (2*flop / time) and fills `stats_out` from the median run.
+template <IndexType IT, ValueType VT>
+double time_multiply_mflops(const CsrMatrix<IT, VT>& a,
+                            const CsrMatrix<IT, VT>& b,
+                            const KernelSpec& spec,
+                            SpGemmStats* stats_out = nullptr) {
+  SpGemmOptions opts;
+  opts.algorithm = spec.algorithm;
+  opts.sort_output = spec.sort;
+  opts.threads = bench_threads();
+
+  // One warm-up run primes thread pools and the allocator arena.
+  SpGemmStats warm;
+  multiply(a, b, opts, &warm);
+
+  std::vector<double> times;
+  SpGemmStats stats;
+  for (int t = 0; t < std::max(1, trials()); ++t) {
+    Timer timer;
+    multiply(a, b, opts, &stats);
+    times.push_back(timer.millis());
+  }
+  std::sort(times.begin(), times.end());
+  const double median_ms = times[times.size() / 2];
+  if (stats_out != nullptr) *stats_out = stats;
+  return median_ms > 0.0
+             ? 2.0 * static_cast<double>(stats.flop) / (median_ms * 1e3)
+             : 0.0;
+}
+
+/// Print a header naming the experiment and its paper anchor.
+inline void print_banner(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("mode: %s   trials: %d\n",
+              full_scale() ? "FULL (paper scale)" : "scaled (CI default)",
+              trials());
+  std::printf("* = stand-in implementation (see DESIGN.md substitutions)\n");
+  std::printf("==============================================================\n");
+}
+
+/// Print one row of right-aligned numeric cells after a left label.
+inline void print_row(const std::string& label,
+                      const std::vector<double>& cells, const char* fmt) {
+  std::printf("%-22s", label.c_str());
+  for (const double v : cells) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+inline void print_header(const std::string& label,
+                         const std::vector<std::string>& cols, int width) {
+  std::printf("%-22s", label.c_str());
+  for (const auto& c : cols) std::printf("%*s", width, c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace spgemm::bench

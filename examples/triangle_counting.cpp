@@ -1,0 +1,43 @@
+// Triangle counting on a synthetic social-network-like graph (paper §5.6):
+// degree reordering, L+U split, the L*U SpGEMM, and the masked reduction —
+// comparing the Heap and Hash kernels on the same pipeline.
+//
+//   ./triangle_counting [scale] [edge_factor]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/triangle_count.hpp"
+#include "spgemm/spgemm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spgemm;
+
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int edge_factor = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  // Undirected power-law graph (mirrored G500).
+  RmatParams params = RmatParams::g500(scale, edge_factor, 7);
+  params.symmetric = true;
+  const auto graph = rmat_matrix<std::int32_t, double>(params);
+  std::printf("graph: %d vertices, %lld (directed) edges\n", graph.nrows,
+              static_cast<long long>(graph.nnz()));
+
+  for (const Algorithm algo : {Algorithm::kHeap, Algorithm::kHash,
+                               Algorithm::kHashVector}) {
+    SpGemmOptions opts;
+    opts.algorithm = algo;
+    const auto result = apps::count_triangles(graph, opts);
+    std::printf(
+        "%-12s %lld triangles  (L*U: flop %lld, nnz %lld, %.2f ms, %.0f "
+        "MFLOPS)\n",
+        algorithm_name(algo), static_cast<long long>(result.triangles),
+        static_cast<long long>(result.spgemm_stats.flop),
+        static_cast<long long>(result.spgemm_stats.nnz_out),
+        result.spgemm_stats.total_ms(), result.spgemm_stats.mflops());
+  }
+
+  std::printf(
+      "\nthe counts must agree across kernels; the timing differences\n"
+      "illustrate the Fig. 17 trade-off (Heap favoured at low CR).\n");
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Linear-probing hash accumulator (paper §4.2.1, Fig. 8a).
+//
+// Key = column index (never negative), empty slot = -1, multiply-shift hash,
+// table size a power of two strictly greater than the row's flop upper bound
+// (capped by the column count) so the load factor stays below ~0.5 and the
+// table can never fill up mid-row.  One table per thread, reinitialized per
+// row by undoing only the touched slots.
+//
+// The accumulator exposes the exact operations the two-phase kernels need:
+//   symbolic:  insert(key)            -> was it new?
+//   numeric:   accumulate(key, v)     -> upsert
+//   per-row:   count(), extract_*(), reset()
+// plus a probe counter feeding the collision-factor c of the cost model
+// (§4.2.4, Eq. 2).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/workspace.hpp"
+
+namespace spgemm {
+
+/// Table size policy (paper Fig. 7 lines 9-12): the smallest power of two
+/// strictly greater than min(upper_bound, ncols).
+inline std::size_t hash_table_size_for(Offset row_flop_upper_bound,
+                                       std::size_t ncols) {
+  const auto capped = static_cast<std::size_t>(
+      std::min<Offset>(row_flop_upper_bound, static_cast<Offset>(ncols)));
+  return std::bit_ceil(capped + 1);
+}
+
+template <IndexType IT, ValueType VT>
+class HashAccumulator {
+ public:
+  static constexpr IT kEmpty = static_cast<IT>(-1);
+
+  /// Prepare a table of at least `size` slots (power of two enforced) and
+  /// mark every slot empty.  Grow-only across calls so a thread reuses one
+  /// allocation for its whole row block.
+  void prepare(std::size_t size) {
+    size = std::bit_ceil(std::max<std::size_t>(size, 16));
+    keys_ = keys_scratch_.ensure(size);
+    vals_ = vals_scratch_.ensure(size);
+    touched_ = touched_scratch_.ensure(size);
+    if (size > initialized_) {
+      // First use at this size: clear the whole table once; afterwards
+      // reset() only undoes touched slots.
+      std::fill(keys_, keys_ + size, kEmpty);
+      initialized_ = size;
+    } else if (count_ > 0) {
+      reset();
+    }
+    mask_ = size - 1;
+    count_ = 0;
+  }
+
+  /// Symbolic-phase insert; returns true when `key` was not yet present.
+  bool insert(IT key) {
+    std::size_t pos = slot_of(key);
+    while (true) {
+      ++probes_;
+      if (keys_[pos] == key) return false;
+      if (keys_[pos] == kEmpty) {
+        keys_[pos] = key;
+        touched_[count_++] = static_cast<IT>(pos);
+        return true;
+      }
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+  /// Numeric-phase upsert with a custom fold: fold(acc, value) combines a
+  /// new contribution into an existing entry (semiring "add"); the first
+  /// contribution for a key is stored directly.
+  template <typename Fold>
+  void accumulate(IT key, VT value, Fold fold) {
+    std::size_t pos = slot_of(key);
+    while (true) {
+      ++probes_;
+      if (keys_[pos] == key) {
+        fold(vals_[pos], value);
+        return;
+      }
+      if (keys_[pos] == kEmpty) {
+        keys_[pos] = key;
+        vals_[pos] = value;
+        touched_[count_++] = static_cast<IT>(pos);
+        return;
+      }
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+  /// Numeric-phase upsert: C(i, key) += value.
+  void accumulate(IT key, VT value) {
+    accumulate(key, value, [](VT& acc, VT v) { acc += v; });
+  }
+
+  /// Distinct keys inserted since prepare()/reset().
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// Emit (cols, vals) in insertion order — the unsorted fast path.
+  void extract_unsorted(IT* out_cols, VT* out_vals) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      const auto pos = static_cast<std::size_t>(touched_[i]);
+      out_cols[i] = keys_[pos];
+      out_vals[i] = vals_[pos];
+    }
+  }
+
+  /// Emit keys only, insertion order (symbolic phase never needs values).
+  void extract_keys(IT* out_cols) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      out_cols[i] = keys_[static_cast<std::size_t>(touched_[i])];
+    }
+  }
+
+  /// Emit (cols, vals) ascending by column.
+  void extract_sorted(IT* out_cols, VT* out_vals) {
+    extract_unsorted(out_cols, out_vals);
+    sort_pairs(out_cols, out_vals, count_);
+  }
+
+  /// Undo every touched slot; O(row nnz), not O(table size).
+  void reset() {
+    for (std::size_t i = 0; i < count_; ++i) {
+      keys_[static_cast<std::size_t>(touched_[i])] = kEmpty;
+    }
+    count_ = 0;
+  }
+
+  /// Total probes since construction (collision factor = probes / inserts).
+  [[nodiscard]] std::uint64_t probes() const { return probes_; }
+
+  /// Insertion-sort/std::sort hybrid on parallel key/value arrays.
+  static void sort_pairs(IT* cols, VT* vals, std::size_t n) {
+    if (n < 2) return;
+    if (n <= 32) {
+      for (std::size_t i = 1; i < n; ++i) {
+        const IT ck = cols[i];
+        const VT cv = vals[i];
+        std::size_t j = i;
+        while (j > 0 && cols[j - 1] > ck) {
+          cols[j] = cols[j - 1];
+          vals[j] = vals[j - 1];
+          --j;
+        }
+        cols[j] = ck;
+        vals[j] = cv;
+      }
+      return;
+    }
+    // Indirect sort for larger rows.
+    thread_local std::vector<std::pair<IT, VT>> buffer;
+    buffer.resize(n);
+    for (std::size_t i = 0; i < n; ++i) buffer[i] = {cols[i], vals[i]};
+    std::sort(buffer.begin(), buffer.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < n; ++i) {
+      cols[i] = buffer[i].first;
+      vals[i] = buffer[i].second;
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot_of(IT key) const {
+    // Knuth multiplicative hashing; the multiplier is 2^32 / phi.
+    return (static_cast<std::size_t>(static_cast<std::uint64_t>(key) *
+                                     2654435761ULL)) &
+           mask_;
+  }
+
+  mem::ThreadScratch<IT> keys_scratch_;
+  mem::ThreadScratch<VT> vals_scratch_;
+  mem::ThreadScratch<IT> touched_scratch_;
+  IT* keys_ = nullptr;
+  VT* vals_ = nullptr;
+  IT* touched_ = nullptr;
+  std::size_t mask_ = 0;
+  std::size_t count_ = 0;
+  std::size_t initialized_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace spgemm

@@ -1,0 +1,250 @@
+// Chunked, SIMD-probed hash accumulator — the HashVector algorithm
+// (paper §4.2.2, Fig. 8b; probing scheme after Ross [28]).
+//
+// The table is an array of 64-byte chunks of int32 keys (16 on AVX-512,
+// 8 on AVX2, and an 8-wide scalar emulation otherwise).  The hash selects a
+// chunk; one vector compare tests every key in it, a second compare against
+// the empty marker (-1) finds free slots.  Entries fill each chunk from the
+// front, so a chunk with free space that does not contain the key proves the
+// key absent — probing can stop.  Collisions spill to the next chunk
+// (linear probing over chunks).
+//
+// Only int32 keys are SIMD-accelerated; other index types use the scalar
+// chunk walk (same layout, same semantics), keeping the kernel generic.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "accumulator/hash_table.hpp"
+#include "common/types.hpp"
+#include "mem/workspace.hpp"
+
+#if defined(__AVX512F__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace spgemm {
+
+/// Which probe implementation HashVecAccumulator uses; runtime-forcible to
+/// let tests prove scalar/AVX2/AVX512 agree bit-for-bit.
+enum class ProbeKind {
+  kAuto,
+  kScalar,
+  kAvx2,
+  kAvx512,
+};
+
+template <IndexType IT, ValueType VT>
+class HashVecAccumulator {
+ public:
+  static constexpr IT kEmpty = static_cast<IT>(-1);
+  /// Keys per chunk: one 64-byte cache line of int32 keys.
+  static constexpr std::size_t kChunk = 64 / sizeof(std::int32_t);
+
+  explicit HashVecAccumulator(ProbeKind probe = ProbeKind::kAuto)
+      : probe_(probe) {}
+
+  void set_probe_kind(ProbeKind probe) { probe_ = probe; }
+
+  /// Prepare at least `size` key slots (rounded to whole chunks, power-of-
+  /// two chunk count).  Same grow-only contract as HashAccumulator.
+  void prepare(std::size_t size) {
+    std::size_t chunks = std::bit_ceil(
+        std::max<std::size_t>((size + kChunk - 1) / kChunk, 2));
+    const std::size_t slots = chunks * kChunk;
+    keys_ = keys_scratch_.ensure(slots);
+    vals_ = vals_scratch_.ensure(slots);
+    touched_ = touched_scratch_.ensure(slots);
+    if (slots > initialized_) {
+      std::fill(keys_, keys_ + slots, kEmpty);
+      initialized_ = slots;
+    } else if (count_ > 0) {
+      reset();
+    }
+    chunk_mask_ = chunks - 1;
+    count_ = 0;
+  }
+
+  bool insert(IT key) {
+    std::int64_t slot = find_or_claim(key);
+    if (slot < 0) return false;  // already present
+    touched_[count_++] = static_cast<IT>(slot);
+    return true;
+  }
+
+  template <typename Fold>
+  void accumulate(IT key, VT value, Fold fold) {
+    std::int64_t slot = find_or_claim(key);
+    if (slot < 0) {
+      fold(vals_[static_cast<std::size_t>(-slot - 1)], value);
+    } else {
+      vals_[static_cast<std::size_t>(slot)] = value;
+      touched_[count_++] = static_cast<IT>(slot);
+    }
+  }
+
+  void accumulate(IT key, VT value) {
+    accumulate(key, value, [](VT& acc, VT v) { acc += v; });
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  void extract_unsorted(IT* out_cols, VT* out_vals) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      const auto pos = static_cast<std::size_t>(touched_[i]);
+      out_cols[i] = keys_[pos];
+      out_vals[i] = vals_[pos];
+    }
+  }
+
+  void extract_keys(IT* out_cols) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      out_cols[i] = keys_[static_cast<std::size_t>(touched_[i])];
+    }
+  }
+
+  void extract_sorted(IT* out_cols, VT* out_vals) {
+    extract_unsorted(out_cols, out_vals);
+    HashAccumulator<IT, VT>::sort_pairs(out_cols, out_vals, count_);
+  }
+
+  void reset() {
+    for (std::size_t i = 0; i < count_; ++i) {
+      keys_[static_cast<std::size_t>(touched_[i])] = kEmpty;
+    }
+    count_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t probes() const { return probes_; }
+
+ private:
+  /// Core probe: returns the claimed slot index (>= 0) when the key was
+  /// inserted, or -(slot+1) when the key already lives at `slot`.
+  std::int64_t find_or_claim(IT key) {
+    std::size_t chunk = chunk_of(key);
+    while (true) {
+      ++probes_;
+      const std::size_t base = chunk * kChunk;
+      int found = -1;
+      int first_empty = -1;
+      if constexpr (std::is_same_v<IT, std::int32_t>) {
+        probe_chunk_simd(base, key, found, first_empty);
+      } else {
+        probe_chunk_scalar(base, key, found, first_empty);
+      }
+      if (found >= 0) {
+        return -static_cast<std::int64_t>(base + static_cast<std::size_t>(
+                                                     found)) -
+               1;
+      }
+      if (first_empty >= 0) {
+        const std::size_t slot =
+            base + static_cast<std::size_t>(first_empty);
+        keys_[slot] = key;
+        return static_cast<std::int64_t>(slot);
+      }
+      chunk = (chunk + 1) & chunk_mask_;
+    }
+  }
+
+  void probe_chunk_scalar(std::size_t base, IT key, int& found,
+                          int& first_empty) const {
+    for (std::size_t i = 0; i < kChunk; ++i) {
+      const IT k = keys_[base + i];
+      if (k == key) {
+        found = static_cast<int>(i);
+        return;
+      }
+      if (k == kEmpty) {
+        // Chunks fill from the front: the first empty slot ends the row.
+        first_empty = static_cast<int>(i);
+        return;
+      }
+    }
+  }
+
+  void probe_chunk_simd(std::size_t base, std::int32_t key, int& found,
+                        int& first_empty) const {
+    switch (resolved_probe()) {
+#if defined(__AVX512F__)
+      case ProbeKind::kAvx512: {
+        const __m512i keys = _mm512_loadu_si512(
+            reinterpret_cast<const void*>(keys_ + base));
+        const __mmask16 hit =
+            _mm512_cmpeq_epi32_mask(keys, _mm512_set1_epi32(key));
+        if (hit != 0) {
+          found = std::countr_zero(static_cast<unsigned>(hit));
+          return;
+        }
+        const __mmask16 empty =
+            _mm512_cmpeq_epi32_mask(keys, _mm512_set1_epi32(-1));
+        if (empty != 0) {
+          first_empty = std::countr_zero(static_cast<unsigned>(empty));
+        }
+        return;
+      }
+#endif
+#if defined(__AVX2__)
+      case ProbeKind::kAvx2: {
+        // Two 8-lane probes cover the 16-key chunk.
+        for (int half = 0; half < 2; ++half) {
+          const __m256i keys = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(keys_ + base) + half);
+          const unsigned hit = static_cast<unsigned>(_mm256_movemask_ps(
+              _mm256_castsi256_ps(
+                  _mm256_cmpeq_epi32(keys, _mm256_set1_epi32(key)))));
+          if (hit != 0) {
+            found = half * 8 + std::countr_zero(hit);
+            return;
+          }
+          const unsigned empty = static_cast<unsigned>(_mm256_movemask_ps(
+              _mm256_castsi256_ps(
+                  _mm256_cmpeq_epi32(keys, _mm256_set1_epi32(-1)))));
+          if (empty != 0) {
+            first_empty = half * 8 + std::countr_zero(empty);
+            return;
+          }
+        }
+        return;
+      }
+#endif
+      default:
+        probe_chunk_scalar(base, key, found, first_empty);
+        return;
+    }
+  }
+
+  [[nodiscard]] ProbeKind resolved_probe() const {
+    if (probe_ != ProbeKind::kAuto) return probe_;
+#if defined(__AVX512F__)
+    return ProbeKind::kAvx512;
+#elif defined(__AVX2__)
+    return ProbeKind::kAvx2;
+#else
+    return ProbeKind::kScalar;
+#endif
+  }
+
+  [[nodiscard]] std::size_t chunk_of(IT key) const {
+    return (static_cast<std::size_t>(static_cast<std::uint64_t>(key) *
+                                     2654435761ULL)) &
+           chunk_mask_;
+  }
+
+  mem::ThreadScratch<IT> keys_scratch_;
+  mem::ThreadScratch<VT> vals_scratch_;
+  mem::ThreadScratch<IT> touched_scratch_;
+  IT* keys_ = nullptr;
+  VT* vals_ = nullptr;
+  IT* touched_ = nullptr;
+  std::size_t chunk_mask_ = 0;
+  std::size_t count_ = 0;
+  std::size_t initialized_ = 0;
+  std::uint64_t probes_ = 0;
+  ProbeKind probe_ = ProbeKind::kAuto;
+};
+
+}  // namespace spgemm

@@ -1,0 +1,88 @@
+// Column-indexed binary min-heap for the Heap SpGEMM kernel (paper §4.2.3,
+// after Azad et al. [3]).
+//
+// One heap entry per nonzero of the active row of A; each entry is a cursor
+// into the corresponding row of B.  Popping the minimum column and advancing
+// that cursor performs an nnz(a_i*)-way merge of rows of B, producing the
+// output row already sorted — Heap SpGEMM never needs a separate sort and
+// uses only O(nnz(a_i*)) accumulator space.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "mem/workspace.hpp"
+
+namespace spgemm {
+
+/// Merge cursor: the head of one scaled row-of-B stream.
+template <IndexType IT, ValueType VT>
+struct HeapStream {
+  IT col;        ///< current column index (heap key)
+  VT scale;      ///< a_ik multiplier for this stream
+  Offset pos;    ///< current position in B's cols/vals
+  Offset end;    ///< one past the stream's last position
+};
+
+/// Fixed-capacity binary min-heap over HeapStream, keyed by `col`.
+/// Storage is pool-backed thread scratch, reused across rows.
+template <IndexType IT, ValueType VT>
+class StreamHeap {
+ public:
+  using Stream = HeapStream<IT, VT>;
+
+  /// Ensure capacity for `capacity` streams and empty the heap.
+  void prepare(std::size_t capacity) {
+    data_ = scratch_.ensure(capacity);
+    size_ = 0;
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// The minimum-column stream; heap must be non-empty.
+  [[nodiscard]] const Stream& top() const { return data_[0]; }
+
+  void push(const Stream& s) {
+    std::size_t i = size_++;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (data_[parent].col <= s.col) break;
+      data_[i] = data_[parent];
+      i = parent;
+    }
+    data_[i] = s;
+  }
+
+  /// Replace the top with `s` and restore the heap property: the hot-path
+  /// operation when a stream advances (avoids a pop+push pair).
+  void replace_top(const Stream& s) {
+    std::size_t i = 0;
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      if (left >= size_) break;
+      std::size_t child = left;
+      const std::size_t right = left + 1;
+      if (right < size_ && data_[right].col < data_[left].col) child = right;
+      if (data_[child].col >= s.col) break;
+      data_[i] = data_[child];
+      i = child;
+    }
+    data_[i] = s;
+  }
+
+  void pop() {
+    --size_;
+    if (size_ > 0) {
+      const Stream last = data_[size_];
+      replace_top(last);
+    }
+  }
+
+ private:
+  mem::ThreadScratch<Stream> scratch_;
+  Stream* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace spgemm

@@ -1,0 +1,90 @@
+// Algebraic-multigrid Galerkin triple product — the paper's §1 numerical
+// motivation (Ballard, Siefert & Hu [6]): the coarse-grid operator is
+// A_c = R * A * P with R = P^T, computed as two SpGEMMs.
+//
+// Includes a small model-problem factory (1D/2D Poisson) and a piecewise-
+// constant aggregation prolongator so examples and tests can build a full
+// two-level hierarchy from scratch.
+#pragma once
+
+#include <stdexcept>
+
+#include "core/multiply.hpp"
+#include "matrix/ops.hpp"
+
+namespace spgemm::apps {
+
+/// 1D Poisson (tridiagonal [-1, 2, -1]) on `n` points.
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> poisson_1d(IT n) {
+  CooMatrix<IT, VT> coo;
+  coo.nrows = n;
+  coo.ncols = n;
+  for (IT i = 0; i < n; ++i) {
+    coo.push_back(i, i, VT{2});
+    if (i > 0) coo.push_back(i, i - 1, VT{-1});
+    if (i + 1 < n) coo.push_back(i, i + 1, VT{-1});
+  }
+  return csr_from_coo(std::move(coo));
+}
+
+/// 2D Poisson 5-point stencil on an nx-by-ny grid.
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> poisson_2d(IT nx, IT ny) {
+  const IT n = nx * ny;
+  CooMatrix<IT, VT> coo;
+  coo.nrows = n;
+  coo.ncols = n;
+  for (IT y = 0; y < ny; ++y) {
+    for (IT x = 0; x < nx; ++x) {
+      const IT i = y * nx + x;
+      coo.push_back(i, i, VT{4});
+      if (x > 0) coo.push_back(i, i - 1, VT{-1});
+      if (x + 1 < nx) coo.push_back(i, i + 1, VT{-1});
+      if (y > 0) coo.push_back(i, i - nx, VT{-1});
+      if (y + 1 < ny) coo.push_back(i, i + nx, VT{-1});
+    }
+  }
+  return csr_from_coo(std::move(coo));
+}
+
+/// Piecewise-constant aggregation prolongator: fine point i belongs to
+/// aggregate i / agg_size; P is n x ceil(n/agg_size) with a single 1 per
+/// row.
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> aggregation_prolongator(IT n_fine, IT agg_size) {
+  if (agg_size <= 0) {
+    throw std::invalid_argument("aggregation_prolongator: agg_size <= 0");
+  }
+  const IT n_coarse = (n_fine + agg_size - 1) / agg_size;
+  CsrMatrix<IT, VT> p(n_fine, n_coarse);
+  p.cols.resize(static_cast<std::size_t>(n_fine));
+  p.vals.assign(static_cast<std::size_t>(n_fine), VT{1});
+  for (IT i = 0; i < n_fine; ++i) {
+    p.rpts[static_cast<std::size_t>(i) + 1] = i + 1;
+    p.cols[static_cast<std::size_t>(i)] = i / agg_size;
+  }
+  return p;
+}
+
+template <IndexType IT, ValueType VT>
+struct GalerkinResult {
+  CsrMatrix<IT, VT> coarse;   ///< A_c = P^T A P
+  SpGemmStats ap_stats;       ///< stats of the A*P multiply
+  SpGemmStats rap_stats;      ///< stats of the P^T*(AP) multiply
+};
+
+/// Compute the Galerkin coarse operator with the chosen SpGEMM kernel.
+template <IndexType IT, ValueType VT>
+GalerkinResult<IT, VT> galerkin_product(const CsrMatrix<IT, VT>& a,
+                                        const CsrMatrix<IT, VT>& p,
+                                        SpGemmOptions opts = {}) {
+  if (opts.algorithm == Algorithm::kAuto) opts.algorithm = Algorithm::kHash;
+  GalerkinResult<IT, VT> out;
+  const CsrMatrix<IT, VT> r = transpose(p);
+  const CsrMatrix<IT, VT> ap = multiply(a, p, opts, &out.ap_stats);
+  out.coarse = multiply(r, ap, opts, &out.rap_stats);
+  return out;
+}
+
+}  // namespace spgemm::apps

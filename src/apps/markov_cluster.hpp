@@ -1,0 +1,182 @@
+// Markov clustering (MCL) — the paper's §1/§5.4 motivating application
+// (HipMCL [5]): alternate expansion (M = M^2, the SpGEMM the paper
+// benchmarks as "squaring a matrix"), inflation (elementwise power and
+// column re-normalization) and pruning of small entries until the matrix
+// reaches a fixed point; clusters are read off the attractor structure.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/multiply.hpp"
+#include "matrix/ops.hpp"
+
+namespace spgemm::apps {
+
+struct MclParams {
+  double inflation = 2.0;    ///< elementwise exponent
+  double prune_below = 1e-4; ///< drop entries smaller than this
+  int max_iterations = 64;
+  double convergence_eps = 1e-8;  ///< max |M - M_prev| entry change
+};
+
+template <IndexType IT>
+struct MclResult {
+  std::vector<IT> cluster_of;  ///< cluster id per vertex (0..k-1, dense)
+  IT clusters = 0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+namespace detail {
+
+/// Normalize columns to sum 1 (a column-stochastic matrix).  Works on CSR
+/// by accumulating column sums first.
+template <IndexType IT, ValueType VT>
+void normalize_columns(CsrMatrix<IT, VT>& m) {
+  std::vector<double> colsum(static_cast<std::size_t>(m.ncols), 0.0);
+  for (std::size_t j = 0; j < m.cols.size(); ++j) {
+    colsum[static_cast<std::size_t>(m.cols[j])] +=
+        static_cast<double>(m.vals[j]);
+  }
+  for (std::size_t j = 0; j < m.cols.size(); ++j) {
+    const double s = colsum[static_cast<std::size_t>(m.cols[j])];
+    if (s > 0.0) {
+      m.vals[j] = static_cast<VT>(static_cast<double>(m.vals[j]) / s);
+    }
+  }
+}
+
+/// Elementwise power then drop entries below the prune threshold.
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> inflate_and_prune(const CsrMatrix<IT, VT>& m,
+                                    double inflation, double prune_below) {
+  CsrMatrix<IT, VT> out(m.nrows, m.ncols);
+  out.cols.reserve(m.cols.size());
+  out.vals.reserve(m.vals.size());
+  for (IT i = 0; i < m.nrows; ++i) {
+    Offset kept = 0;
+    for (Offset j = m.row_begin(i); j < m.row_end(i); ++j) {
+      const double inflated = std::pow(
+          static_cast<double>(m.vals[static_cast<std::size_t>(j)]),
+          inflation);
+      if (inflated >= prune_below) {
+        out.cols.push_back(m.cols[static_cast<std::size_t>(j)]);
+        out.vals.push_back(static_cast<VT>(inflated));
+        ++kept;
+      }
+    }
+    out.rpts[static_cast<std::size_t>(i) + 1] =
+        out.rpts[static_cast<std::size_t>(i)] + kept;
+  }
+  out.sortedness = m.sortedness;
+  return out;
+}
+
+/// Max absolute entrywise difference (rows compared as sorted lists).
+template <IndexType IT, ValueType VT>
+double max_entry_change(const CsrMatrix<IT, VT>& a,
+                        const CsrMatrix<IT, VT>& b) {
+  double worst = 0.0;
+  std::vector<double> dense(static_cast<std::size_t>(a.ncols), 0.0);
+  for (IT i = 0; i < a.nrows; ++i) {
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      dense[static_cast<std::size_t>(a.cols[static_cast<std::size_t>(j)])] =
+          static_cast<double>(a.vals[static_cast<std::size_t>(j)]);
+    }
+    for (Offset j = b.row_begin(i); j < b.row_end(i); ++j) {
+      const auto c = static_cast<std::size_t>(
+          b.cols[static_cast<std::size_t>(j)]);
+      worst = std::max(worst,
+                       std::abs(dense[c] -
+                                static_cast<double>(
+                                    b.vals[static_cast<std::size_t>(j)])));
+      dense[c] = 0.0;
+    }
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      const auto c = static_cast<std::size_t>(
+          a.cols[static_cast<std::size_t>(j)]);
+      worst = std::max(worst, std::abs(dense[c]));
+      dense[c] = 0.0;
+    }
+  }
+  return worst;
+}
+
+}  // namespace detail
+
+/// Run MCL on the (undirected) graph adjacency matrix.  Self-loops are
+/// added (standard MCL practice) before normalization.
+template <IndexType IT, ValueType VT>
+MclResult<IT> markov_cluster(const CsrMatrix<IT, VT>& graph,
+                             const MclParams& params = {},
+                             SpGemmOptions opts = {}) {
+  if (opts.algorithm == Algorithm::kAuto) opts.algorithm = Algorithm::kHash;
+
+  // M = normalize(A + I)
+  CooMatrix<IT, VT> assembly;
+  assembly.nrows = graph.nrows;
+  assembly.ncols = graph.ncols;
+  for (IT i = 0; i < graph.nrows; ++i) {
+    assembly.push_back(i, i, VT{1});
+    for (Offset j = graph.row_begin(i); j < graph.row_end(i); ++j) {
+      assembly.push_back(i, graph.cols[static_cast<std::size_t>(j)],
+                         VT{1});
+    }
+  }
+  CsrMatrix<IT, VT> m = csr_from_coo(std::move(assembly));
+  detail::normalize_columns(m);
+
+  MclResult<IT> out;
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    CsrMatrix<IT, VT> expanded = multiply(m, m, opts);  // expansion
+    CsrMatrix<IT, VT> next = detail::inflate_and_prune(
+        expanded, params.inflation, params.prune_below);
+    detail::normalize_columns(next);
+    ++out.iterations;
+    if (detail::max_entry_change(m, next) < params.convergence_eps) {
+      m = std::move(next);
+      out.converged = true;
+      break;
+    }
+    m = std::move(next);
+  }
+
+  // Interpret the limit matrix: attractors are vertices with weight on
+  // their own column; every vertex joins the cluster of the attractor(s)
+  // it flows to (largest entry in its column).
+  const auto n = static_cast<std::size_t>(m.nrows);
+  std::vector<IT> attractor_of(n, IT{-1});
+  std::vector<double> best(n, -1.0);
+  for (IT i = 0; i < m.nrows; ++i) {
+    for (Offset j = m.row_begin(i); j < m.row_end(i); ++j) {
+      const auto col = static_cast<std::size_t>(
+          m.cols[static_cast<std::size_t>(j)]);
+      const auto v = static_cast<double>(
+          m.vals[static_cast<std::size_t>(j)]);
+      if (v > best[col]) {
+        best[col] = v;
+        attractor_of[col] = i;  // column col flows to attractor row i
+      }
+    }
+  }
+  // Collapse attractor ids to dense cluster labels (attractors that share
+  // a row belong together).
+  out.cluster_of.assign(n, IT{-1});
+  std::vector<IT> label_of_attractor(n, IT{-1});
+  IT next_label = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    IT a = attractor_of[v];
+    if (a < 0) a = static_cast<IT>(v);  // isolated vertex: own cluster
+    if (label_of_attractor[static_cast<std::size_t>(a)] < 0) {
+      label_of_attractor[static_cast<std::size_t>(a)] = next_label++;
+    }
+    out.cluster_of[v] = label_of_attractor[static_cast<std::size_t>(a)];
+  }
+  out.clusters = next_label;
+  return out;
+}
+
+}  // namespace spgemm::apps

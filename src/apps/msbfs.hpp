@@ -1,0 +1,123 @@
+// Multi-source breadth-first search as repeated square x tall-skinny
+// SpGEMM (paper §5.5; Gilbert, Reinhardt & Shah [17]).
+//
+// The frontier stack is an n x k sparse matrix F with one column per
+// source.  One step is F' = A^T * F over the Boolean semiring, emulated
+// here by a numeric SpGEMM followed by clamping values to 1 and masking
+// out already-visited vertices.  Levels are recorded per (vertex, source).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/multiply.hpp"
+#include "matrix/ops.hpp"
+
+namespace spgemm::apps {
+
+template <IndexType IT>
+struct MsBfsResult {
+  IT sources = 0;
+  /// levels[v * sources + s] = BFS level of vertex v from source s, or -1.
+  std::vector<IT> levels;
+  int iterations = 0;  ///< number of frontier expansions performed
+
+  [[nodiscard]] IT level(IT vertex, IT source) const {
+    return levels[static_cast<std::size_t>(vertex) *
+                      static_cast<std::size_t>(sources) +
+                  static_cast<std::size_t>(source)];
+  }
+};
+
+/// Run BFS from every vertex in `sources` simultaneously.  `a` is the
+/// (directed or undirected) adjacency matrix; edges point row -> column.
+template <IndexType IT, ValueType VT>
+MsBfsResult<IT> multi_source_bfs(const CsrMatrix<IT, VT>& a,
+                                 const std::vector<IT>& sources,
+                                 SpGemmOptions opts = {}) {
+  const auto n = static_cast<std::size_t>(a.nrows);
+  const auto k = static_cast<IT>(sources.size());
+  if (opts.algorithm == Algorithm::kAuto) opts.algorithm = Algorithm::kHash;
+
+  MsBfsResult<IT> out;
+  out.sources = k;
+  out.levels.assign(n * static_cast<std::size_t>(k), IT{-1});
+
+  // Traversal follows edges v -> w, i.e. frontier rows must reach their
+  // out-neighbours: next = A^T * frontier.
+  const CsrMatrix<IT, VT> at = transpose(a);
+
+  // Initial frontier: one column per source.
+  CooMatrix<IT, VT> f0;
+  f0.nrows = a.nrows;
+  f0.ncols = k;
+  for (IT s = 0; s < k; ++s) {
+    f0.push_back(sources[static_cast<std::size_t>(s)], s, VT{1});
+    out.levels[static_cast<std::size_t>(
+                   sources[static_cast<std::size_t>(s)]) *
+                   static_cast<std::size_t>(k) +
+               static_cast<std::size_t>(s)] = 0;
+  }
+  CsrMatrix<IT, VT> frontier = csr_from_coo(std::move(f0));
+
+  // Frontier expansion runs over the Boolean (OR, AND) semiring where the
+  // chosen kernel supports it: walk *counts* are never materialized, so
+  // values cannot overflow no matter how deep the traversal gets.  Kernels
+  // without semiring support fall back to (+, *) and the clamp below.
+  const bool boolean_capable = opts.algorithm == Algorithm::kHash ||
+                               opts.algorithm == Algorithm::kHashVector ||
+                               opts.algorithm == Algorithm::kSpa ||
+                               opts.algorithm == Algorithm::kKkHash ||
+                               opts.algorithm == Algorithm::kHeap;
+
+  for (IT depth = 1; frontier.nnz() > 0 &&
+                     depth <= a.nrows; ++depth) {
+    const CsrMatrix<IT, VT> product =
+        boolean_capable ? multiply_over<OrAnd>(at, frontier, opts)
+                        : multiply(at, frontier, opts);
+    ++out.iterations;
+
+    // Clamp to the Boolean semiring and drop visited vertices; what
+    // remains is the next frontier and gets level `depth`.
+    CooMatrix<IT, VT> next;
+    next.nrows = a.nrows;
+    next.ncols = k;
+    for (IT v = 0; v < product.nrows; ++v) {
+      for (Offset j = product.row_begin(v); j < product.row_end(v); ++j) {
+        const IT s = product.cols[static_cast<std::size_t>(j)];
+        auto& lvl = out.levels[static_cast<std::size_t>(v) *
+                                   static_cast<std::size_t>(k) +
+                               static_cast<std::size_t>(s)];
+        if (lvl < 0) {
+          lvl = depth;
+          next.push_back(v, s, VT{1});
+        }
+      }
+    }
+    frontier = csr_from_coo(std::move(next));
+  }
+  return out;
+}
+
+/// Serial single-source BFS oracle for tests.
+template <IndexType IT, ValueType VT>
+std::vector<IT> serial_bfs(const CsrMatrix<IT, VT>& a, IT source) {
+  std::vector<IT> level(static_cast<std::size_t>(a.nrows), IT{-1});
+  std::vector<IT> queue{source};
+  level[static_cast<std::size_t>(source)] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const IT v = queue[head];
+    for (Offset j = a.row_begin(v); j < a.row_end(v); ++j) {
+      const IT w = a.cols[static_cast<std::size_t>(j)];
+      if (level[static_cast<std::size_t>(w)] < 0) {
+        level[static_cast<std::size_t>(w)] =
+            level[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return level;
+}
+
+}  // namespace spgemm::apps

@@ -1,0 +1,82 @@
+// All-pairs cosine similarity via SpGEMM — the paper's §1 "high-dimensional
+// similarity search" motivation (Agrawal et al. [1]).
+//
+// Items are rows of a sparse feature matrix A.  Row-normalize to unit
+// 2-norm, then S = Â * Â^T holds every pairwise cosine similarity; pruning
+// below a threshold keeps S sparse, and the masked variant of the product
+// restricts the computation to candidate pairs.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/multiply.hpp"
+#include "matrix/ops.hpp"
+
+namespace spgemm::apps {
+
+/// Row-normalize to unit Euclidean norm (zero rows stay zero).
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> normalize_rows(const CsrMatrix<IT, VT>& a) {
+  CsrMatrix<IT, VT> out = a;
+  for (IT i = 0; i < a.nrows; ++i) {
+    double norm_sq = 0.0;
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      const auto v = static_cast<double>(a.vals[static_cast<std::size_t>(j)]);
+      norm_sq += v * v;
+    }
+    if (norm_sq <= 0.0) continue;
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      out.vals[static_cast<std::size_t>(j)] = static_cast<VT>(
+          static_cast<double>(a.vals[static_cast<std::size_t>(j)]) * inv);
+    }
+  }
+  return out;
+}
+
+/// Drop entries with |value| < threshold and (optionally) the diagonal.
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> prune(const CsrMatrix<IT, VT>& a, double threshold,
+                        bool drop_diagonal) {
+  CsrMatrix<IT, VT> out(a.nrows, a.ncols);
+  out.cols.reserve(a.cols.size());
+  out.vals.reserve(a.vals.size());
+  for (IT i = 0; i < a.nrows; ++i) {
+    Offset kept = 0;
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      const IT col = a.cols[static_cast<std::size_t>(j)];
+      const auto v = static_cast<double>(a.vals[static_cast<std::size_t>(j)]);
+      if (std::abs(v) < threshold) continue;
+      if (drop_diagonal && col == i) continue;
+      out.cols.push_back(col);
+      out.vals.push_back(a.vals[static_cast<std::size_t>(j)]);
+      ++kept;
+    }
+    out.rpts[static_cast<std::size_t>(i) + 1] =
+        out.rpts[static_cast<std::size_t>(i)] + kept;
+  }
+  out.sortedness = a.sortedness;
+  return out;
+}
+
+struct SimilarityParams {
+  double threshold = 0.1;     ///< keep pairs with cosine >= threshold
+  bool drop_diagonal = true;  ///< self-similarity (1.0) is uninformative
+};
+
+/// S = prune(Â Â^T): sparse all-pairs cosine similarity of the rows of A.
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> cosine_similarity(const CsrMatrix<IT, VT>& a,
+                                    const SimilarityParams& params = {},
+                                    SpGemmOptions opts = {},
+                                    SpGemmStats* stats = nullptr) {
+  if (opts.algorithm == Algorithm::kAuto) opts.algorithm = Algorithm::kHash;
+  const CsrMatrix<IT, VT> normalized = normalize_rows(a);
+  const CsrMatrix<IT, VT> normalized_t = transpose(normalized);
+  const CsrMatrix<IT, VT> product =
+      multiply(normalized, normalized_t, opts, stats);
+  return prune(product, params.threshold, params.drop_diagonal);
+}
+
+}  // namespace spgemm::apps

@@ -1,0 +1,27 @@
+#include "common/cpu_features.hpp"
+
+namespace spgemm {
+
+SimdLevel detected_simd_level() {
+#if defined(__AVX512F__)
+  if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512;
+#endif
+#if defined(__AVX2__)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return "avx512";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+}  // namespace spgemm

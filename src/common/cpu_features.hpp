@@ -1,0 +1,23 @@
+// Runtime CPU feature detection for the vectorized hash-probing paths.
+//
+// The HashVector kernel is compiled with whatever ISA the build enables
+// (-march=native by default); these queries let tests force the scalar
+// fallback and let the library report which probe width is active.
+#pragma once
+
+namespace spgemm {
+
+/// SIMD width available for hash probing.
+enum class SimdLevel {
+  kScalar,  ///< no usable vector extension; chunked scalar emulation
+  kAvx2,    ///< 256-bit: 8 x int32 keys per probe
+  kAvx512,  ///< 512-bit: 16 x int32 keys per probe
+};
+
+/// Highest SIMD level both compiled in and supported by the running CPU.
+SimdLevel detected_simd_level();
+
+/// Human-readable name ("scalar", "avx2", "avx512").
+const char* simd_level_name(SimdLevel level);
+
+}  // namespace spgemm

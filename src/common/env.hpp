@@ -1,0 +1,21 @@
+// Environment-variable helpers for bench binaries (sizing knobs, full-scale
+// toggles) so every bench runs unattended with sensible defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spgemm::env {
+
+/// Integer environment variable with default; returns `fallback` when unset
+/// or unparsable.
+std::int64_t get_int(const char* name, std::int64_t fallback);
+
+/// Boolean environment variable: "1", "true", "yes", "on" (case-insensitive)
+/// are true; unset or anything else returns `fallback`.
+bool get_bool(const char* name, bool fallback);
+
+/// String environment variable with default.
+std::string get_string(const char* name, const std::string& fallback);
+
+}  // namespace spgemm::env

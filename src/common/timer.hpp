@@ -1,0 +1,32 @@
+// Minimal wall-clock timer used by benches and the microbenchmark substrate.
+#pragma once
+
+#include <chrono>
+
+namespace spgemm {
+
+/// Steady-clock stopwatch.  Construction starts the clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the clock.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  /// Microseconds elapsed.
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spgemm

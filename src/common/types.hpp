@@ -1,0 +1,41 @@
+// Core type vocabulary shared by every module.
+//
+// Index and value types are template parameters throughout the library; the
+// concepts below pin down what a type must provide to act as one.  Row
+// pointer (offset) arrays always use std::int64_t: the flop count of a
+// multiply (and therefore intermediate-product counts) can exceed 2^31 even
+// when the matrix dimension fits comfortably in 32 bits (e.g. cage15 in the
+// paper's Table 2 has flop(A^2) = 2.08e9).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+
+namespace spgemm {
+
+/// Signed integer type usable as a row/column index.
+template <typename T>
+concept IndexType = std::signed_integral<T> && (sizeof(T) >= 4);
+
+/// Arithmetic type usable as a matrix value.
+template <typename T>
+concept ValueType = std::is_arithmetic_v<T>;
+
+/// Offsets into cols/vals arrays (row pointers, flop counters).
+using Offset = std::int64_t;
+
+/// Whether a kernel must emit rows with ascending column indices.
+/// Mirrors the paper's sorted/unsorted output distinction (Table 1).
+enum class SortOutput : std::uint8_t {
+  kYes,  ///< rows of C sorted by column index
+  kNo,   ///< rows of C in whatever order the accumulator produced
+};
+
+/// Sortedness state tracked on matrices themselves.
+enum class Sortedness : std::uint8_t {
+  kSorted,    ///< every row ascending by column index
+  kUnsorted,  ///< no ordering guarantee
+};
+
+}  // namespace spgemm

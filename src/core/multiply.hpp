@@ -1,0 +1,119 @@
+// multiply(): the public SpGEMM entry point.
+//
+// Dispatches to the requested kernel (or the Table 4 recipe when kAuto),
+// enforces input-sortedness preconditions, and post-sorts for kernels that
+// cannot natively honor a sorted-output request (preserving the fairness
+// rule of §1: a kernel that requires sorted inputs must emit sorted output).
+#pragma once
+
+#include <stdexcept>
+
+#include "core/recipe.hpp"
+#include "core/spgemm_adaptive.hpp"
+#include "core/spgemm_hash.hpp"
+#include "core/spgemm_hashvector.hpp"
+#include "core/spgemm_heap.hpp"
+#include "core/spgemm_ikj.hpp"
+#include "core/spgemm_kkhash.hpp"
+#include "core/spgemm_merge.hpp"
+#include "core/spgemm_options.hpp"
+#include "core/spgemm_ref.hpp"
+#include "core/spgemm_spa.hpp"
+#include "core/spgemm_spa1p.hpp"
+
+namespace spgemm {
+
+/// SpGEMM over an arbitrary semiring (core/semiring.hpp).  Supported by the
+/// hash-family, SPA and heap kernels — the ones whose accumulators fold
+/// values; the remaining baselines are (+,*)-only and throw.
+template <typename SR, IndexType IT, ValueType VT>
+  requires SemiringFor<SR, VT>
+CsrMatrix<IT, VT> multiply_over(const CsrMatrix<IT, VT>& a,
+                                const CsrMatrix<IT, VT>& b,
+                                SpGemmOptions opts = {},
+                                SpGemmStats* stats = nullptr) {
+  if (a.ncols != b.nrows) {
+    throw std::invalid_argument("multiply_over: inner dimensions disagree");
+  }
+  if (opts.algorithm == Algorithm::kAuto) opts.algorithm = Algorithm::kHash;
+  if (requires_sorted_input(opts.algorithm) &&
+      (!a.claims_sorted() || !b.claims_sorted())) {
+    throw std::invalid_argument(
+        "multiply_over: kernel requires sorted inputs");
+  }
+  switch (opts.algorithm) {
+    case Algorithm::kHeap:
+      return spgemm_heap(a, b, opts, stats, SR{});
+    case Algorithm::kHash:
+      return spgemm_hash(a, b, opts, stats, SR{});
+    case Algorithm::kHashVector:
+      return spgemm_hashvector(a, b, opts, stats, SR{});
+    case Algorithm::kSpa:
+      return spgemm_spa(a, b, opts, stats, SR{});
+    case Algorithm::kKkHash:
+      return spgemm_kkhash(a, b, opts, stats, SR{});
+    case Algorithm::kAdaptive:
+      return spgemm_adaptive(a, b, opts, stats, AdaptiveThresholds{}, SR{});
+    default:
+      throw std::invalid_argument(
+          "multiply_over: kernel does not support custom semirings");
+  }
+}
+
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> multiply(const CsrMatrix<IT, VT>& a,
+                           const CsrMatrix<IT, VT>& b,
+                           SpGemmOptions opts = {},
+                           SpGemmStats* stats = nullptr) {
+  if (a.ncols != b.nrows) {
+    throw std::invalid_argument("multiply: inner dimensions disagree");
+  }
+
+  if (opts.algorithm == Algorithm::kAuto) {
+    opts.algorithm = recipe::select_for(
+        a, b, recipe::Operation::kSquare, opts.sort_output,
+        recipe::DataOrigin::kReal);
+  }
+  if (requires_sorted_input(opts.algorithm) && !a.claims_sorted()) {
+    throw std::invalid_argument(
+        "multiply: kernel requires sorted inputs but A is unsorted");
+  }
+  if (requires_sorted_input(opts.algorithm) && !b.claims_sorted()) {
+    throw std::invalid_argument(
+        "multiply: kernel requires sorted inputs but B is unsorted");
+  }
+
+  switch (opts.algorithm) {
+    case Algorithm::kHeap:
+      return spgemm_heap(a, b, opts, stats);
+    case Algorithm::kHash:
+      return spgemm_hash(a, b, opts, stats);
+    case Algorithm::kHashVector:
+      return spgemm_hashvector(a, b, opts, stats);
+    case Algorithm::kSpa:
+      return spgemm_spa(a, b, opts, stats);
+    case Algorithm::kSpa1p:
+      return spgemm_spa1p(a, b, opts, stats);
+    case Algorithm::kKkHash:
+      return spgemm_kkhash(a, b, opts, stats);
+    case Algorithm::kMerge:
+      return spgemm_merge(a, b, opts, stats);
+    case Algorithm::kIkj:
+      return spgemm_ikj(a, b, opts, stats);
+    case Algorithm::kAdaptive:
+      return spgemm_adaptive(a, b, opts, stats);
+    case Algorithm::kReference: {
+      CsrMatrix<IT, VT> c = spgemm_reference(a, b);
+      if (stats != nullptr) {
+        stats->nnz_out = c.nnz();
+        stats->flop = count_flops(a, b);
+      }
+      return c;
+    }
+    case Algorithm::kAuto:
+      break;  // unreachable: resolved above
+  }
+  throw std::logic_error("multiply: unhandled algorithm");
+}
+
+}  // namespace spgemm

@@ -1,0 +1,139 @@
+// Sparse matrix addition: C = alpha*A + beta*B.
+//
+// The natural companion primitive of SpGEMM (AMG coarse-operator sums,
+// A = L + U reassembly, residual updates).  Sorted inputs take a linear
+// two-pointer row merge; unsorted inputs go through the hash accumulator,
+// reusing the same machinery as the kernels.
+#pragma once
+
+#include <omp.h>
+
+#include <stdexcept>
+
+#include "accumulator/hash_table.hpp"
+#include "common/types.hpp"
+#include "matrix/csr.hpp"
+#include "parallel/omp_utils.hpp"
+
+namespace spgemm {
+
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> add(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+                      VT alpha = VT{1}, VT beta = VT{1}, int threads = 0) {
+  if (a.nrows != b.nrows || a.ncols != b.ncols) {
+    throw std::invalid_argument("add: dimension mismatch");
+  }
+  const int nthreads = parallel::resolve_threads(threads);
+  parallel::ScopedNumThreads scoped(threads);
+  const auto nrows = static_cast<std::size_t>(a.nrows);
+  const bool merged_path = a.claims_sorted() && b.claims_sorted();
+
+  CsrMatrix<IT, VT> c(a.nrows, a.ncols);
+
+  if (merged_path) {
+    // Pass 1: count union sizes per row.
+#pragma omp parallel for schedule(static) num_threads(nthreads)
+    for (std::size_t i = 0; i < nrows; ++i) {
+      Offset pa = a.rpts[i];
+      Offset pb = b.rpts[i];
+      Offset count = 0;
+      while (pa < a.rpts[i + 1] && pb < b.rpts[i + 1]) {
+        const IT ca = a.cols[static_cast<std::size_t>(pa)];
+        const IT cb = b.cols[static_cast<std::size_t>(pb)];
+        pa += (ca <= cb) ? 1 : 0;
+        pb += (cb <= ca) ? 1 : 0;
+        ++count;
+      }
+      count += (a.rpts[i + 1] - pa) + (b.rpts[i + 1] - pb);
+      c.rpts[i + 1] = count;
+    }
+    for (std::size_t i = 0; i < nrows; ++i) c.rpts[i + 1] += c.rpts[i];
+    c.cols.resize(static_cast<std::size_t>(c.nnz()));
+    c.vals.resize(static_cast<std::size_t>(c.nnz()));
+
+    // Pass 2: merge values.
+#pragma omp parallel for schedule(static) num_threads(nthreads)
+    for (std::size_t i = 0; i < nrows; ++i) {
+      Offset pa = a.rpts[i];
+      Offset pb = b.rpts[i];
+      auto out = static_cast<std::size_t>(c.rpts[i]);
+      while (pa < a.rpts[i + 1] && pb < b.rpts[i + 1]) {
+        const IT ca = a.cols[static_cast<std::size_t>(pa)];
+        const IT cb = b.cols[static_cast<std::size_t>(pb)];
+        if (ca < cb) {
+          c.cols[out] = ca;
+          c.vals[out] = alpha * a.vals[static_cast<std::size_t>(pa++)];
+        } else if (cb < ca) {
+          c.cols[out] = cb;
+          c.vals[out] = beta * b.vals[static_cast<std::size_t>(pb++)];
+        } else {
+          c.cols[out] = ca;
+          c.vals[out] = alpha * a.vals[static_cast<std::size_t>(pa++)] +
+                        beta * b.vals[static_cast<std::size_t>(pb++)];
+        }
+        ++out;
+      }
+      for (; pa < a.rpts[i + 1]; ++pa, ++out) {
+        c.cols[out] = a.cols[static_cast<std::size_t>(pa)];
+        c.vals[out] = alpha * a.vals[static_cast<std::size_t>(pa)];
+      }
+      for (; pb < b.rpts[i + 1]; ++pb, ++out) {
+        c.cols[out] = b.cols[static_cast<std::size_t>(pb)];
+        c.vals[out] = beta * b.vals[static_cast<std::size_t>(pb)];
+      }
+    }
+    c.sortedness = Sortedness::kSorted;
+    return c;
+  }
+
+  // Unsorted path: hash-accumulate both rows (two-phase, like the kernels).
+#pragma omp parallel num_threads(nthreads)
+  {
+    HashAccumulator<IT, VT> acc;
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < nrows; ++i) {
+      const Offset bound = (a.rpts[i + 1] - a.rpts[i]) +
+                           (b.rpts[i + 1] - b.rpts[i]);
+      acc.prepare(hash_table_size_for(bound,
+                                      static_cast<std::size_t>(a.ncols)));
+      for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+        acc.insert(a.cols[static_cast<std::size_t>(j)]);
+      }
+      for (Offset j = b.rpts[i]; j < b.rpts[i + 1]; ++j) {
+        acc.insert(b.cols[static_cast<std::size_t>(j)]);
+      }
+      c.rpts[i + 1] = static_cast<Offset>(acc.count());
+      acc.reset();
+    }
+  }
+  for (std::size_t i = 0; i < nrows; ++i) c.rpts[i + 1] += c.rpts[i];
+  c.cols.resize(static_cast<std::size_t>(c.nnz()));
+  c.vals.resize(static_cast<std::size_t>(c.nnz()));
+
+#pragma omp parallel num_threads(nthreads)
+  {
+    HashAccumulator<IT, VT> acc;
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < nrows; ++i) {
+      const Offset bound = (a.rpts[i + 1] - a.rpts[i]) +
+                           (b.rpts[i + 1] - b.rpts[i]);
+      acc.prepare(hash_table_size_for(bound,
+                                      static_cast<std::size_t>(a.ncols)));
+      for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+        acc.accumulate(a.cols[static_cast<std::size_t>(j)],
+                       alpha * a.vals[static_cast<std::size_t>(j)]);
+      }
+      for (Offset j = b.rpts[i]; j < b.rpts[i + 1]; ++j) {
+        acc.accumulate(b.cols[static_cast<std::size_t>(j)],
+                       beta * b.vals[static_cast<std::size_t>(j)]);
+      }
+      acc.extract_sorted(c.cols.data() + c.rpts[i],
+                         c.vals.data() + c.rpts[i]);
+      acc.reset();
+    }
+  }
+  c.sortedness = Sortedness::kSorted;
+  return c;
+}
+
+}  // namespace spgemm

@@ -1,0 +1,26 @@
+// Hash SpGEMM (paper §4.2.1): the two-phase driver with the linear-probing
+// hash accumulator, sized per thread to the maximum per-row flop of its row
+// block (paper Fig. 7).
+#pragma once
+
+#include "accumulator/hash_table.hpp"
+#include "core/spgemm_twophase.hpp"
+
+namespace spgemm {
+
+template <IndexType IT, ValueType VT, typename SR = PlusTimes>
+CsrMatrix<IT, VT> spgemm_hash(const CsrMatrix<IT, VT>& a,
+                              const CsrMatrix<IT, VT>& b,
+                              const SpGemmOptions& opts = {},
+                              SpGemmStats* stats = nullptr,
+                              SR semiring = {}) {
+  return detail::spgemm_two_phase<IT, VT>(
+      a, b, opts, [] { return HashAccumulator<IT, VT>{}; },
+      [](HashAccumulator<IT, VT>& acc, Offset max_row_flop, IT ncols) {
+        acc.prepare(hash_table_size_for(max_row_flop,
+                                        static_cast<std::size_t>(ncols)));
+      },
+      stats, semiring);
+}
+
+}  // namespace spgemm

@@ -1,0 +1,27 @@
+// HashVector SpGEMM (paper §4.2.2): the two-phase driver with the chunked
+// SIMD-probed hash accumulator.  Identical structure to Hash SpGEMM; only
+// the probing data structure differs (paper Fig. 8).
+#pragma once
+
+#include "accumulator/hash_vec.hpp"
+#include "core/spgemm_twophase.hpp"
+
+namespace spgemm {
+
+template <IndexType IT, ValueType VT, typename SR = PlusTimes>
+CsrMatrix<IT, VT> spgemm_hashvector(const CsrMatrix<IT, VT>& a,
+                                    const CsrMatrix<IT, VT>& b,
+                                    const SpGemmOptions& opts = {},
+                                    SpGemmStats* stats = nullptr,
+                                    SR semiring = {}) {
+  const ProbeKind probe = opts.probe;
+  return detail::spgemm_two_phase<IT, VT>(
+      a, b, opts, [probe] { return HashVecAccumulator<IT, VT>{probe}; },
+      [](HashVecAccumulator<IT, VT>& acc, Offset max_row_flop, IT ncols) {
+        acc.prepare(hash_table_size_for(max_row_flop,
+                                        static_cast<std::size_t>(ncols)));
+      },
+      stats, semiring);
+}
+
+}  // namespace spgemm

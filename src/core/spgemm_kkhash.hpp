@@ -1,0 +1,28 @@
+// Two-level hash map SpGEMM: the KokkosKernels 'kkmem' stand-in
+// (see DESIGN.md).  Two-phase, chained hash accumulator, natively unsorted
+// output (paper Table 1 lists KokkosKernels as Any/Unsorted).
+#pragma once
+
+#include "accumulator/two_level_hash.hpp"
+#include "core/spgemm_twophase.hpp"
+
+namespace spgemm {
+
+template <IndexType IT, ValueType VT, typename SR = PlusTimes>
+CsrMatrix<IT, VT> spgemm_kkhash(const CsrMatrix<IT, VT>& a,
+                                const CsrMatrix<IT, VT>& b,
+                                const SpGemmOptions& opts = {},
+                                SpGemmStats* stats = nullptr,
+                                SR semiring = {}) {
+  return detail::spgemm_two_phase<IT, VT>(
+      a, b, opts, [] { return TwoLevelHashAccumulator<IT, VT>{}; },
+      [](TwoLevelHashAccumulator<IT, VT>& acc, Offset max_row_flop,
+         IT ncols) {
+        const auto bound = static_cast<std::size_t>(
+            std::min<Offset>(max_row_flop, static_cast<Offset>(ncols)));
+        acc.prepare(bound + 1);
+      },
+      stats, semiring);
+}
+
+}  // namespace spgemm

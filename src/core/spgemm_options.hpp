@@ -1,0 +1,84 @@
+// User-facing knobs of the multiply() dispatcher, mirroring the paper's
+// algorithm menu (Table 1) plus the scheduling/allocation ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "accumulator/hash_vec.hpp"
+#include "common/types.hpp"
+#include "parallel/schedule.hpp"
+
+namespace spgemm {
+
+/// Kernel selection.  Paper codes map as: MKL -> kSpa, MKL-inspector ->
+/// kSpa1p, KokkosKernels(kkmem) -> kKkHash (see DESIGN.md substitutions);
+/// kHeap/kHash/kHashVector are the paper's own algorithms.
+enum class Algorithm : std::uint8_t {
+  kAuto,        ///< let the recipe (Table 4) decide
+  kHeap,        ///< 1-phase, heap accumulator, always sorted output
+  kHash,        ///< 2-phase, hash table, sortedness selectable
+  kHashVector,  ///< 2-phase, SIMD-probed hash table, sortedness selectable
+  kSpa,         ///< 2-phase, dense SPA (MKL stand-in), sortedness selectable
+  kSpa1p,       ///< 1-phase, dense SPA, unsorted (MKL-inspector stand-in)
+  kKkHash,      ///< 2-phase, two-level hash map (KokkosKernels stand-in)
+  kMerge,       ///< 1-phase, iterative sorted-row merging (ViennaCL-like)
+  kIkj,         ///< Sulatycke-Ghose IKJ baseline, O(n^2 + flop)
+  kAdaptive,    ///< 2-phase poly-algorithm: per-row tiny/hash/SPA regimes
+  kReference,   ///< serial std::map oracle (tests only)
+};
+
+const char* algorithm_name(Algorithm algo);
+
+/// True when the kernel can emit unsorted output natively (Table 1).
+constexpr bool supports_unsorted(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kHash:
+    case Algorithm::kHashVector:
+    case Algorithm::kSpa:
+    case Algorithm::kSpa1p:
+    case Algorithm::kKkHash:
+    case Algorithm::kAdaptive:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True when the kernel requires its inputs sorted (Table 1: only Heap and
+/// the merge-based kernel consume sortedness; hash/SPA families accept any).
+constexpr bool requires_sorted_input(Algorithm algo) {
+  return algo == Algorithm::kHeap || algo == Algorithm::kMerge ||
+         algo == Algorithm::kIkj;
+}
+
+struct SpGemmOptions {
+  Algorithm algorithm = Algorithm::kAuto;
+  SortOutput sort_output = SortOutput::kYes;
+  /// 0 = use the OpenMP default thread count.
+  int threads = 0;
+  parallel::SchedulePolicy schedule =
+      parallel::SchedulePolicy::kBalancedParallel;
+  /// SIMD probing override for HashVector (tests/ablation).
+  ProbeKind probe = ProbeKind::kAuto;
+};
+
+/// Optional per-multiply measurements filled by multiply().
+struct SpGemmStats {
+  double setup_ms = 0.0;     ///< flop count + partition
+  double symbolic_ms = 0.0;  ///< 0 for one-phase kernels
+  double numeric_ms = 0.0;
+  Offset flop = 0;           ///< scalar multiplications
+  Offset nnz_out = 0;
+  std::uint64_t probes = 0;  ///< accumulator probe count (hash kernels)
+
+  [[nodiscard]] double total_ms() const {
+    return setup_ms + symbolic_ms + numeric_ms;
+  }
+  /// The paper's MFLOPS convention: 2*flop (multiply+add) per second.
+  [[nodiscard]] double mflops() const {
+    const double ms = total_ms();
+    return ms > 0.0 ? 2.0 * static_cast<double>(flop) / (ms * 1e3) : 0.0;
+  }
+};
+
+}  // namespace spgemm

@@ -1,0 +1,168 @@
+// Inspector-executor SpGEMM: plan once, execute many times.
+//
+// The MKL-inspector code the paper benchmarks embodies this model: when the
+// same sparsity structures are multiplied repeatedly with changing values
+// (AMG re-assembly each time step, MCL iterations at fixed pattern), the
+// symbolic phase, output allocation and load-balanced partition can be paid
+// once.  SpGemmPlan captures them; execute() then runs only the numeric
+// phase into a pre-sized output.
+//
+// Contract: execute() inputs must have exactly the structure (rpts, cols)
+// the plan was built from — values are free to change.  Structure drift is
+// detected by an FNV fingerprint over both structures, recomputed on every
+// execute (O(nnz), negligible next to the numeric phase it protects: a
+// drifted structure could overflow the planned hash tables).
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "accumulator/hash_table.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "core/semiring.hpp"
+#include "core/spgemm_options.hpp"
+#include "matrix/csr.hpp"
+#include "parallel/omp_utils.hpp"
+#include "parallel/rows_to_threads.hpp"
+
+namespace spgemm {
+
+template <IndexType IT, ValueType VT>
+class SpGemmPlan {
+ public:
+  /// Inspect: symbolic phase + partition + output skeleton.
+  SpGemmPlan(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+             SpGemmOptions opts = {})
+      : opts_(opts),
+        nrows_a_(a.nrows),
+        ncols_b_(b.ncols),
+        nnz_a_(a.nnz()),
+        nnz_b_(b.nnz()) {
+    if (a.ncols != b.nrows) {
+      throw std::invalid_argument("SpGemmPlan: inner dimensions disagree");
+    }
+    fingerprint_ = structure_fingerprint(a) ^
+                   (structure_fingerprint(b) * 0x9e3779b97f4a7c15ULL);
+    const int nthreads = parallel::resolve_threads(opts_.threads);
+    parallel::ScopedNumThreads scoped(opts_.threads);
+    part_ = parallel::rows_to_threads(static_cast<std::size_t>(a.nrows),
+                                      a.rpts.data(), a.cols.data(),
+                                      b.rpts.data(), nthreads);
+
+    skeleton_ = CsrMatrix<IT, VT>(a.nrows, b.ncols);
+#pragma omp parallel num_threads(nthreads)
+    {
+      const int tid = omp_get_thread_num();
+      if (tid < part_.threads()) {
+        HashAccumulator<IT, VT> acc;
+        acc.prepare(hash_table_size_for(
+            part_.max_row_flop(tid), static_cast<std::size_t>(b.ncols)));
+        for (std::size_t i =
+                 part_.offsets[static_cast<std::size_t>(tid)];
+             i < part_.offsets[static_cast<std::size_t>(tid) + 1]; ++i) {
+          for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+            const auto k = static_cast<std::size_t>(
+                a.cols[static_cast<std::size_t>(j)]);
+            for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
+              acc.insert(b.cols[static_cast<std::size_t>(l)]);
+            }
+          }
+          skeleton_.rpts[i + 1] = static_cast<Offset>(acc.count());
+          acc.reset();
+        }
+      }
+    }
+    for (std::size_t i = 0; i < static_cast<std::size_t>(a.nrows); ++i) {
+      skeleton_.rpts[i + 1] += skeleton_.rpts[i];
+    }
+  }
+
+  [[nodiscard]] Offset nnz_out() const { return skeleton_.nnz(); }
+  [[nodiscard]] Offset flop() const { return part_.total_flop(); }
+
+  /// Execute the numeric phase for inputs with the planned structure.
+  template <typename SR = PlusTimes>
+  CsrMatrix<IT, VT> execute(const CsrMatrix<IT, VT>& a,
+                            const CsrMatrix<IT, VT>& b,
+                            SR /*semiring*/ = {}) const {
+    if (a.nrows != nrows_a_ || b.ncols != ncols_b_ || a.nnz() != nnz_a_ ||
+        b.nnz() != nnz_b_ ||
+        (structure_fingerprint(a) ^
+         (structure_fingerprint(b) * 0x9e3779b97f4a7c15ULL)) !=
+            fingerprint_) {
+      throw std::invalid_argument(
+          "SpGemmPlan::execute: input structure differs from the plan");
+    }
+    const int nthreads = parallel::resolve_threads(opts_.threads);
+    parallel::ScopedNumThreads scoped(opts_.threads);
+
+    CsrMatrix<IT, VT> c(nrows_a_, ncols_b_);
+    c.rpts = skeleton_.rpts;
+    c.cols.resize(static_cast<std::size_t>(skeleton_.nnz()));
+    c.vals.resize(static_cast<std::size_t>(skeleton_.nnz()));
+
+#pragma omp parallel num_threads(nthreads)
+    {
+      const int tid = omp_get_thread_num();
+      if (tid < part_.threads()) {
+        HashAccumulator<IT, VT> acc;
+        acc.prepare(hash_table_size_for(
+            part_.max_row_flop(tid), static_cast<std::size_t>(ncols_b_)));
+        for (std::size_t i =
+                 part_.offsets[static_cast<std::size_t>(tid)];
+             i < part_.offsets[static_cast<std::size_t>(tid) + 1]; ++i) {
+          for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+            const auto k = static_cast<std::size_t>(
+                a.cols[static_cast<std::size_t>(j)]);
+            const VT av = a.vals[static_cast<std::size_t>(j)];
+            for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
+              acc.accumulate(
+                  b.cols[static_cast<std::size_t>(l)],
+                  SR::mul(av, b.vals[static_cast<std::size_t>(l)]),
+                  [](VT& fold_acc, VT v) { SR::add_into(fold_acc, v); });
+            }
+          }
+          IT* out_cols = c.cols.data() + c.rpts[i];
+          VT* out_vals = c.vals.data() + c.rpts[i];
+          if (opts_.sort_output == SortOutput::kYes) {
+            acc.extract_sorted(out_cols, out_vals);
+          } else {
+            acc.extract_unsorted(out_cols, out_vals);
+          }
+          acc.reset();
+        }
+      }
+    }
+    c.sortedness = opts_.sort_output == SortOutput::kYes
+                       ? Sortedness::kSorted
+                       : Sortedness::kUnsorted;
+    return c;
+  }
+
+ private:
+  /// FNV-1a over the structure arrays (rpts + cols), values excluded.
+  static std::uint64_t structure_fingerprint(const CsrMatrix<IT, VT>& m) {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t word) {
+      h ^= word;
+      h *= 1099511628211ULL;
+    };
+    for (const Offset r : m.rpts) mix(static_cast<std::uint64_t>(r));
+    for (const IT c : m.cols) mix(static_cast<std::uint64_t>(c));
+    return h;
+  }
+
+  SpGemmOptions opts_;
+  IT nrows_a_;
+  IT ncols_b_;
+  Offset nnz_a_;
+  Offset nnz_b_;
+  std::uint64_t fingerprint_ = 0;
+  parallel::RowPartition part_;
+  CsrMatrix<IT, VT> skeleton_;  ///< rpts of the product
+};
+
+}  // namespace spgemm

@@ -1,0 +1,52 @@
+// Serial reference SpGEMM over std::map — the test oracle.
+//
+// Deliberately naive and independent of every optimized code path (no
+// shared accumulators, no partitioner, no pool memory), so agreement with
+// it is meaningful evidence of kernel correctness.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "matrix/csr.hpp"
+
+namespace spgemm {
+
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> spgemm_reference(const CsrMatrix<IT, VT>& a,
+                                   const CsrMatrix<IT, VT>& b) {
+  CsrMatrix<IT, VT> c(a.nrows, b.ncols);
+  std::map<IT, VT> row;
+  // First pass: count; second pass would recompute, so store rows as we go.
+  std::vector<std::map<IT, VT>> all_rows(static_cast<std::size_t>(a.nrows));
+  for (IT i = 0; i < a.nrows; ++i) {
+    row.clear();
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      const auto k = static_cast<std::size_t>(
+          a.cols[static_cast<std::size_t>(j)]);
+      const VT av = a.vals[static_cast<std::size_t>(j)];
+      for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
+        row[b.cols[static_cast<std::size_t>(l)]] +=
+            av * b.vals[static_cast<std::size_t>(l)];
+      }
+    }
+    c.rpts[static_cast<std::size_t>(i) + 1] =
+        c.rpts[static_cast<std::size_t>(i)] +
+        static_cast<Offset>(row.size());
+    all_rows[static_cast<std::size_t>(i)] = row;
+  }
+  c.cols.reserve(static_cast<std::size_t>(c.nnz()));
+  c.vals.reserve(static_cast<std::size_t>(c.nnz()));
+  for (IT i = 0; i < a.nrows; ++i) {
+    for (const auto& [col, val] : all_rows[static_cast<std::size_t>(i)]) {
+      c.cols.push_back(col);
+      c.vals.push_back(val);
+    }
+  }
+  c.sortedness = Sortedness::kSorted;
+  return c;
+}
+
+}  // namespace spgemm

@@ -1,0 +1,27 @@
+// SPA SpGEMM: two-phase Gustavson with a dense sparse accumulator.
+//
+// This kernel is the repository's stand-in for Intel MKL's sorted-capable
+// mkl_sparse_spmm path (see DESIGN.md): O(ncols) accumulator per thread,
+// insert cost insensitive to collisions, output sortedness selectable by
+// sorting the touched-column list.
+#pragma once
+
+#include "accumulator/spa.hpp"
+#include "core/spgemm_twophase.hpp"
+
+namespace spgemm {
+
+template <IndexType IT, ValueType VT, typename SR = PlusTimes>
+CsrMatrix<IT, VT> spgemm_spa(const CsrMatrix<IT, VT>& a,
+                             const CsrMatrix<IT, VT>& b,
+                             const SpGemmOptions& opts = {},
+                             SpGemmStats* stats = nullptr, SR semiring = {}) {
+  return detail::spgemm_two_phase<IT, VT>(
+      a, b, opts, [] { return SpaAccumulator<IT, VT>{}; },
+      [](SpaAccumulator<IT, VT>& acc, Offset /*max_row_flop*/, IT ncols) {
+        acc.prepare(static_cast<std::size_t>(ncols));
+      },
+      stats, semiring);
+}
+
+}  // namespace spgemm

@@ -1,0 +1,145 @@
+// Generic two-phase (symbolic + numeric) row-wise SpGEMM driver.
+//
+// This is Gustavson's algorithm (paper Fig. 1) parallelized over rows with
+// the paper's architecture-specific structure:
+//   * flop-balanced static row partition (Fig. 6) by default,
+//   * one accumulator per thread, allocated inside the owning thread
+//     ("parallel" memory scheme, §3.2) and reinitialized per row,
+//   * symbolic phase counts nnz per output row, an exclusive scan sizes the
+//     output exactly, the numeric phase fills it in place (§2, two-phase
+//     strategy).
+// The accumulator type is a template parameter: Hash, HashVector, SPA and
+// the two-level hash map all flow through this one driver, so the kernels
+// differ only in their accumulation data structure — exactly the framing
+// of the paper.
+#pragma once
+
+#include <omp.h>
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "core/semiring.hpp"
+#include "core/spgemm_options.hpp"
+#include "matrix/csr.hpp"
+#include "parallel/omp_utils.hpp"
+#include "parallel/prefix_sum.hpp"
+#include "parallel/rows_to_threads.hpp"
+
+namespace spgemm::detail {
+
+/// PrepareFn: void(Acc&, Offset max_row_flop, IT ncols) — sizes the
+/// accumulator for a thread's row block before symbolic and numeric loops.
+/// MakeAcc: Acc() — constructs a thread-local accumulator (lets kernels
+/// inject configuration such as the SIMD probe kind).
+/// SR: the semiring policy (core/semiring.hpp); PlusTimes is ordinary
+/// SpGEMM.  The symbolic phase is algebra-independent.
+template <IndexType IT, ValueType VT, typename MakeAcc, typename PrepareFn,
+          typename SR = PlusTimes>
+  requires SemiringFor<SR, VT>
+CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
+                                   const CsrMatrix<IT, VT>& b,
+                                   const SpGemmOptions& opts,
+                                   MakeAcc make_acc, PrepareFn prepare,
+                                   SpGemmStats* stats, SR /*semiring*/ = {}) {
+  const int nthreads = parallel::resolve_threads(opts.threads);
+  parallel::ScopedNumThreads scoped(opts.threads);
+
+  Timer timer;
+  const auto nrows = static_cast<std::size_t>(a.nrows);
+  parallel::RowPartition part =
+      parallel::is_balanced(opts.schedule)
+          ? parallel::rows_to_threads(nrows, a.rpts.data(), a.cols.data(),
+                                      b.rpts.data(), nthreads)
+          : parallel::rows_equal(nrows, a.rpts.data(), a.cols.data(),
+                                 b.rpts.data(), nthreads);
+  if (stats != nullptr) {
+    stats->setup_ms = timer.millis();
+    stats->flop = part.total_flop();
+  }
+
+  CsrMatrix<IT, VT> c(a.nrows, b.ncols);
+  std::atomic<std::uint64_t> total_probes{0};
+
+  // ---- Symbolic phase: count nnz of every output row. ------------------
+  timer.reset();
+#pragma omp parallel num_threads(nthreads)
+  {
+    const int tid = omp_get_thread_num();
+    if (tid < part.threads()) {
+      auto acc = make_acc();
+      prepare(acc, part.max_row_flop(tid), b.ncols);
+      const std::size_t row_begin = part.offsets[static_cast<std::size_t>(tid)];
+      const std::size_t row_end =
+          part.offsets[static_cast<std::size_t>(tid) + 1];
+      for (std::size_t i = row_begin; i < row_end; ++i) {
+        for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+          const auto k = static_cast<std::size_t>(
+              a.cols[static_cast<std::size_t>(j)]);
+          for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
+            acc.insert(b.cols[static_cast<std::size_t>(l)]);
+          }
+        }
+        c.rpts[i + 1] = static_cast<Offset>(acc.count());
+        acc.reset();
+      }
+    }
+  }
+  // Exclusive scan over the per-row counts stored at rpts[1..nrows].
+  for (std::size_t i = 0; i < nrows; ++i) c.rpts[i + 1] += c.rpts[i];
+  if (stats != nullptr) stats->symbolic_ms = timer.millis();
+
+  const auto nnz_c = static_cast<std::size_t>(c.rpts[nrows]);
+  c.cols.resize(nnz_c);
+  c.vals.resize(nnz_c);
+
+  // ---- Numeric phase: fill cols/vals in place. --------------------------
+  timer.reset();
+#pragma omp parallel num_threads(nthreads)
+  {
+    const int tid = omp_get_thread_num();
+    if (tid < part.threads()) {
+      auto acc = make_acc();
+      prepare(acc, part.max_row_flop(tid), b.ncols);
+      const std::size_t row_begin = part.offsets[static_cast<std::size_t>(tid)];
+      const std::size_t row_end =
+          part.offsets[static_cast<std::size_t>(tid) + 1];
+      for (std::size_t i = row_begin; i < row_end; ++i) {
+        for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+          const auto k = static_cast<std::size_t>(
+              a.cols[static_cast<std::size_t>(j)]);
+          const VT av = a.vals[static_cast<std::size_t>(j)];
+          for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
+            acc.accumulate(
+                b.cols[static_cast<std::size_t>(l)],
+                SR::mul(av, b.vals[static_cast<std::size_t>(l)]),
+                [](VT& fold_acc, VT v) { SR::add_into(fold_acc, v); });
+          }
+        }
+        IT* out_cols = c.cols.data() + c.rpts[i];
+        VT* out_vals = c.vals.data() + c.rpts[i];
+        if (opts.sort_output == SortOutput::kYes) {
+          acc.extract_sorted(out_cols, out_vals);
+        } else {
+          acc.extract_unsorted(out_cols, out_vals);
+        }
+        acc.reset();
+      }
+      total_probes.fetch_add(acc.probes(), std::memory_order_relaxed);
+    }
+  }
+  if (stats != nullptr) {
+    stats->numeric_ms = timer.millis();
+    stats->nnz_out = c.rpts[nrows];
+    stats->probes = total_probes.load(std::memory_order_relaxed);
+  }
+
+  c.sortedness = opts.sort_output == SortOutput::kYes
+                     ? Sortedness::kSorted
+                     : Sortedness::kUnsorted;
+  return c;
+}
+
+}  // namespace spgemm::detail

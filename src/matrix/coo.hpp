@@ -1,0 +1,89 @@
+// Coordinate-format sparse matrix: the assembly format.
+//
+// Generators and the MatrixMarket reader emit COO triplets; CsrMatrix is
+// built from a COO by sorting and combining duplicates.  COO is never used
+// inside kernels.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace spgemm {
+
+template <IndexType IT, ValueType VT>
+struct CooMatrix {
+  IT nrows = 0;
+  IT ncols = 0;
+  std::vector<IT> rows;
+  std::vector<IT> cols;
+  std::vector<VT> vals;
+
+  [[nodiscard]] std::size_t nnz() const { return rows.size(); }
+
+  /// Append one entry (no dedup; combine happens at CSR conversion).
+  void push_back(IT r, IT c, VT v) {
+    rows.push_back(r);
+    cols.push_back(c);
+    vals.push_back(v);
+  }
+
+  void reserve(std::size_t n) {
+    rows.reserve(n);
+    cols.reserve(n);
+    vals.reserve(n);
+  }
+
+  /// Bounds-check every entry; throws std::out_of_range on violation.
+  void validate() const {
+    if (rows.size() != cols.size() || rows.size() != vals.size()) {
+      throw std::invalid_argument("CooMatrix: parallel arrays disagree");
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i] < 0 || rows[i] >= nrows || cols[i] < 0 ||
+          cols[i] >= ncols) {
+        throw std::out_of_range("CooMatrix: entry out of bounds");
+      }
+    }
+  }
+
+  /// Sort entries by (row, col) and sum duplicates in place.
+  void sort_and_combine() {
+    const std::size_t n = nnz();
+    if (n == 0) return;
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (rows[a] != rows[b]) return rows[a] < rows[b];
+                return cols[a] < cols[b];
+              });
+
+    std::vector<IT> new_rows;
+    std::vector<IT> new_cols;
+    std::vector<VT> new_vals;
+    new_rows.reserve(n);
+    new_cols.reserve(n);
+    new_vals.reserve(n);
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      const std::size_t p = order[idx];
+      if (!new_rows.empty() && new_rows.back() == rows[p] &&
+          new_cols.back() == cols[p]) {
+        new_vals.back() += vals[p];
+      } else {
+        new_rows.push_back(rows[p]);
+        new_cols.push_back(cols[p]);
+        new_vals.push_back(vals[p]);
+      }
+    }
+    rows = std::move(new_rows);
+    cols = std::move(new_cols);
+    vals = std::move(new_vals);
+  }
+};
+
+}  // namespace spgemm

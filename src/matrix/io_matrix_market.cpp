@@ -1,0 +1,59 @@
+#include "matrix/io_matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace spgemm::io {
+namespace {
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+MmHeader read_mm_header(std::istream& in) {
+  std::string banner;
+  if (!std::getline(in, banner)) {
+    throw std::runtime_error("matrix market: empty stream");
+  }
+  std::istringstream bs(lowercase(banner));
+  std::string tag, object, format, field, symmetry;
+  bs >> tag >> object >> format >> field >> symmetry;
+  if (tag != "%%matrixmarket" || object != "matrix") {
+    throw std::runtime_error("matrix market: bad banner: " + banner);
+  }
+  if (format != "coordinate") {
+    throw std::runtime_error("matrix market: only coordinate supported");
+  }
+  MmHeader h;
+  if (field == "pattern") {
+    h.pattern = true;
+  } else if (field != "real" && field != "integer" && field != "double") {
+    throw std::runtime_error("matrix market: unsupported field: " + field);
+  }
+  if (symmetry == "symmetric") {
+    h.symmetric = true;
+  } else if (symmetry == "skew-symmetric") {
+    h.skew = true;
+  } else if (symmetry != "general") {
+    throw std::runtime_error("matrix market: unsupported symmetry: " +
+                             symmetry);
+  }
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    ls >> h.nrows >> h.ncols >> h.entries;
+    if (ls.fail() || h.nrows < 0 || h.ncols < 0 || h.entries < 0) {
+      throw std::runtime_error("matrix market: bad size line: " + line);
+    }
+    return h;
+  }
+  throw std::runtime_error("matrix market: missing size line");
+}
+
+}  // namespace spgemm::io

@@ -1,0 +1,100 @@
+// MatrixMarket (.mtx) reader/writer.
+//
+// SuiteSparse matrices — the paper's Table 2 corpus — ship in this format.
+// Supported: `matrix coordinate` with field real/integer/pattern and
+// symmetry general/symmetric/skew-symmetric.  Pattern entries get value 1.
+// Symmetric inputs are expanded to full storage (both triangles), matching
+// how SpGEMM codes consume them.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+
+namespace spgemm::io {
+
+/// Parsed MatrixMarket header.
+struct MmHeader {
+  bool pattern = false;
+  bool symmetric = false;
+  bool skew = false;
+  std::int64_t nrows = 0;
+  std::int64_t ncols = 0;
+  std::int64_t entries = 0;
+};
+
+/// Parse the banner + size line from a stream positioned at the top.
+/// Throws std::runtime_error on malformed input.
+MmHeader read_mm_header(std::istream& in);
+
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> read_matrix_market(std::istream& in) {
+  const MmHeader h = read_mm_header(in);
+  CooMatrix<IT, VT> coo;
+  coo.nrows = static_cast<IT>(h.nrows);
+  coo.ncols = static_cast<IT>(h.ncols);
+  coo.reserve(static_cast<std::size_t>(h.entries) *
+              ((h.symmetric || h.skew) ? 2 : 1));
+
+  std::string line;
+  std::int64_t seen = 0;
+  while (seen < h.entries && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::int64_t r = 0;
+    std::int64_t c = 0;
+    double v = 1.0;
+    ls >> r >> c;
+    if (!h.pattern) ls >> v;
+    if (ls.fail()) {
+      throw std::runtime_error("matrix market: malformed entry line");
+    }
+    ++seen;
+    const IT ri = static_cast<IT>(r - 1);  // 1-based on disk
+    const IT ci = static_cast<IT>(c - 1);
+    coo.push_back(ri, ci, static_cast<VT>(v));
+    if ((h.symmetric || h.skew) && ri != ci) {
+      coo.push_back(ci, ri, static_cast<VT>(h.skew ? -v : v));
+    }
+  }
+  if (seen != h.entries) {
+    throw std::runtime_error("matrix market: truncated file");
+  }
+  return csr_from_coo(std::move(coo));
+}
+
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_matrix_market<IT, VT>(in);
+}
+
+/// Write in `coordinate real general` format (1-based, one entry per line).
+template <IndexType IT, ValueType VT>
+void write_matrix_market(std::ostream& out, const CsrMatrix<IT, VT>& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.nrows << ' ' << a.ncols << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (IT i = 0; i < a.nrows; ++i) {
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      out << (i + 1) << ' ' << (a.cols[static_cast<std::size_t>(j)] + 1)
+          << ' ' << static_cast<double>(a.vals[static_cast<std::size_t>(j)])
+          << '\n';
+    }
+  }
+}
+
+template <IndexType IT, ValueType VT>
+void write_matrix_market(const std::string& path, const CsrMatrix<IT, VT>& a) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_matrix_market(out, a);
+}
+
+}  // namespace spgemm::io

@@ -1,0 +1,131 @@
+// R-MAT recursive matrix generator (Chakrabarti et al.), parameterized as in
+// the paper's §5.1: ER (a=b=c=d=0.25, Erdős–Rényi-like) and G500
+// (a=0.57, b=c=0.19, d=0.05, the skewed Graph500 distribution).  A scale-n
+// matrix is 2^n-by-2^n; edge_factor is the average nonzeros per row.
+//
+// Edges are generated in parallel (each thread owns a contiguous slice of
+// the edge count with an independent seeded stream, so results are
+// deterministic for a given (seed, threads-independent) configuration),
+// then deduplicated through COO->CSR conversion.  Duplicate collapsing means
+// the realized nnz is slightly below scale*edge_factor for skewed
+// parameters, exactly as with the reference Graph500 generator.
+#pragma once
+
+#include <omp.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+
+namespace spgemm {
+
+struct RmatParams {
+  double a = 0.25;
+  double b = 0.25;
+  double c = 0.25;
+  int scale = 10;          ///< matrix is 2^scale square
+  int edge_factor = 16;    ///< average nnz per row before dedup
+  std::uint64_t seed = 42;
+  bool symmetric = false;  ///< mirror each edge (undirected graphs)
+  // d = 1 - a - b - c
+
+  static RmatParams er(int scale, int edge_factor, std::uint64_t seed = 42) {
+    RmatParams p;
+    p.a = p.b = p.c = 0.25;
+    p.scale = scale;
+    p.edge_factor = edge_factor;
+    p.seed = seed;
+    return p;
+  }
+
+  static RmatParams g500(int scale, int edge_factor,
+                         std::uint64_t seed = 42) {
+    RmatParams p;
+    p.a = 0.57;
+    p.b = p.c = 0.19;
+    p.scale = scale;
+    p.edge_factor = edge_factor;
+    p.seed = seed;
+    return p;
+  }
+};
+
+namespace detail {
+
+/// One R-MAT edge: descend `scale` levels of the quadtree.
+inline std::pair<std::uint64_t, std::uint64_t> rmat_edge(
+    const RmatParams& p, Xoshiro256& rng) {
+  std::uint64_t row = 0;
+  std::uint64_t col = 0;
+  for (int level = 0; level < p.scale; ++level) {
+    const double r = rng.next_double();
+    row <<= 1;
+    col <<= 1;
+    if (r < p.a) {
+      // top-left: nothing to add
+    } else if (r < p.a + p.b) {
+      col |= 1;
+    } else if (r < p.a + p.b + p.c) {
+      row |= 1;
+    } else {
+      row |= 1;
+      col |= 1;
+    }
+  }
+  return {row, col};
+}
+
+}  // namespace detail
+
+/// Generate the matrix as CSR with duplicates combined and rows sorted.
+/// Values are uniform in (0, 1]; structure is what matters for SpGEMM.
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> rmat_matrix(const RmatParams& p) {
+  const std::uint64_t n = 1ULL << p.scale;
+  const std::uint64_t edges =
+      n * static_cast<std::uint64_t>(p.edge_factor);
+
+  CooMatrix<IT, VT> coo;
+  coo.nrows = static_cast<IT>(n);
+  coo.ncols = static_cast<IT>(n);
+  const std::size_t total =
+      static_cast<std::size_t>(edges) * (p.symmetric ? 2 : 1);
+  coo.rows.resize(total);
+  coo.cols.resize(total);
+  coo.vals.resize(total);
+
+  // Fixed 64-way seed blocking: determinism does not depend on the OpenMP
+  // thread count because each block re-derives its own stream.
+  constexpr std::uint64_t kBlocks = 64;
+  const std::uint64_t per_block = (edges + kBlocks - 1) / kBlocks;
+#pragma omp parallel for schedule(static)
+  for (std::uint64_t blk = 0; blk < kBlocks; ++blk) {
+    SplitMix64 seeder(p.seed + 0x1234567ULL * (blk + 1));
+    Xoshiro256 rng(seeder.next());
+    const std::uint64_t begin = blk * per_block;
+    const std::uint64_t end = begin + per_block < edges
+                                  ? begin + per_block
+                                  : edges;
+    for (std::uint64_t e = begin; e < end; ++e) {
+      const auto [row, col] = detail::rmat_edge(p, rng);
+      const double v = rng.next_double();
+      const std::size_t slot =
+          static_cast<std::size_t>(e) * (p.symmetric ? 2 : 1);
+      coo.rows[slot] = static_cast<IT>(row);
+      coo.cols[slot] = static_cast<IT>(col);
+      coo.vals[slot] = static_cast<VT>(v + 0x1.0p-53);
+      if (p.symmetric) {
+        coo.rows[slot + 1] = static_cast<IT>(col);
+        coo.cols[slot + 1] = static_cast<IT>(row);
+        coo.vals[slot + 1] = static_cast<VT>(v + 0x1.0p-53);
+      }
+    }
+  }
+  return csr_from_coo(std::move(coo));
+}
+
+}  // namespace spgemm

@@ -1,0 +1,94 @@
+// Matrix and multiply statistics: flop counts, compression ratio, degree
+// distribution summaries.  These drive the recipe (Table 4), the analytic
+// cost model (§4.2.4) and the per-figure bench reports.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "matrix/csr.hpp"
+#include "parallel/rows_to_threads.hpp"
+
+namespace spgemm {
+
+/// Total scalar multiplications of C = A*B (paper: "flop"); each nonzero
+/// product counts once (the paper reports 2*flop/time as FLOPS; see
+/// bench/ for the convention used there).
+template <IndexType IT, ValueType VT>
+Offset count_flops(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b) {
+  Offset total = 0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (IT i = 0; i < a.nrows; ++i) {
+    Offset acc = 0;
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      const auto k = static_cast<std::size_t>(
+          a.cols[static_cast<std::size_t>(j)]);
+      acc += b.rpts[k + 1] - b.rpts[k];
+    }
+    total += acc;
+  }
+  return total;
+}
+
+/// Degree (row-nnz) distribution summary of a matrix.
+struct DegreeStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  Offset max = 0;
+  /// max/mean; >~8 indicates the skewed regime the paper calls "Skewed".
+  [[nodiscard]] double skew() const {
+    return mean > 0.0 ? static_cast<double>(max) / mean : 0.0;
+  }
+};
+
+template <IndexType IT, ValueType VT>
+DegreeStats degree_stats(const CsrMatrix<IT, VT>& a) {
+  DegreeStats s;
+  if (a.nrows == 0) return s;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (IT i = 0; i < a.nrows; ++i) {
+    const auto d = static_cast<double>(a.row_nnz(i));
+    sum += d;
+    sum_sq += d * d;
+    s.max = std::max(s.max, a.row_nnz(i));
+  }
+  const auto n = static_cast<double>(a.nrows);
+  s.mean = sum / n;
+  s.stddev = std::sqrt(std::max(0.0, sum_sq / n - s.mean * s.mean));
+  return s;
+}
+
+/// Everything the recipe and the cost model need to know about a multiply,
+/// computable without running it (compression ratio needs nnz(C), which the
+/// caller supplies after a symbolic pass or an actual multiply).
+struct MultiplyProfile {
+  Offset flop = 0;         ///< scalar multiplications
+  Offset nnz_out = 0;      ///< nonzeros of the product (0 = unknown)
+  double mean_row_nnz_a = 0.0;
+  double skew_a = 0.0;     ///< max/mean row degree of A
+
+  /// flop / nnz(C), the paper's compression ratio (CR).
+  [[nodiscard]] double compression_ratio() const {
+    return nnz_out > 0 ? static_cast<double>(flop) /
+                             static_cast<double>(nnz_out)
+                       : 0.0;
+  }
+};
+
+template <IndexType IT, ValueType VT>
+MultiplyProfile profile_multiply(const CsrMatrix<IT, VT>& a,
+                                 const CsrMatrix<IT, VT>& b,
+                                 Offset nnz_out = 0) {
+  MultiplyProfile p;
+  p.flop = count_flops(a, b);
+  p.nnz_out = nnz_out;
+  const DegreeStats da = degree_stats(a);
+  p.mean_row_nnz_a = da.mean;
+  p.skew_a = da.skew();
+  return p;
+}
+
+}  // namespace spgemm

@@ -1,0 +1,135 @@
+#include "matrix/suitesparse_proxy.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "matrix/generators.hpp"
+#include "matrix/rmat.hpp"
+
+namespace spgemm::proxy {
+namespace {
+
+std::vector<ProxyEntry> build_table2() {
+  // Paper Table 2 statistics (converted from millions to raw counts);
+  // `degree` is round(nnz/n), the generator's density parameter.
+  // Family assignment follows the matrix's origin: FEM/mesh -> banded,
+  // cage/economics/combinatorial -> uniform, web/patents/circuit -> power law.
+  return {
+      {"2cubes_sphere", Family::kBanded, 101492, 1647264, 27.45e6, 8.97e6, 16},
+      {"cage12", Family::kBanded, 130228, 2032536, 34.61e6, 15.23e6, 16},
+      {"cage15", Family::kBanded, 5154859, 99199551, 2078.63e6, 929.02e6, 19},
+      {"cant", Family::kBanded, 62451, 4007383, 269.49e6, 17.44e6, 64},
+      {"conf5_4-8x8-05", Family::kBanded, 49152, 1916928, 74.76e6, 10.91e6,
+       39},
+      {"consph", Family::kBanded, 83334, 6010480, 463.85e6, 26.54e6, 72},
+      {"cop20k_A", Family::kBanded, 121192, 2624331, 79.88e6, 18.71e6, 22},
+      {"delaunay_n24", Family::kBanded, 16777216, 100663202, 633.91e6,
+       347.32e6, 6},
+      {"filter3D", Family::kBanded, 106437, 2707179, 85.96e6, 20.16e6, 25},
+      {"hood", Family::kBanded, 220542, 10768436, 562.03e6, 34.24e6, 49},
+      {"m133-b3", Family::kUniform, 200200, 800800, 3.20e6, 3.18e6, 4},
+      {"mac_econ_fwd500", Family::kUniform, 206500, 1273389, 7.56e6, 6.70e6,
+       6},
+      {"majorbasis", Family::kBanded, 160000, 1750416, 19.18e6, 8.24e6, 11},
+      {"mario002", Family::kBanded, 389874, 2101242, 12.83e6, 6.45e6, 5},
+      {"mc2depi", Family::kBanded, 525825, 2100225, 8.39e6, 5.25e6, 4},
+      {"mono_500Hz", Family::kBanded, 169410, 5036288, 204.03e6, 41.38e6, 30},
+      {"offshore", Family::kBanded, 259789, 4242673, 71.34e6, 23.36e6, 16},
+      {"patents_main", Family::kPowerLaw, 240547, 560943, 2.60e6, 2.28e6, 2},
+      {"pdb1HYS", Family::kBanded, 36417, 4344765, 555.32e6, 19.59e6, 119},
+      {"poisson3Da", Family::kBanded, 13514, 352762, 11.77e6, 2.96e6, 26},
+      {"pwtk", Family::kBanded, 217918, 11634424, 626.05e6, 32.77e6, 53},
+      {"rma10", Family::kBanded, 46835, 2374001, 156.48e6, 7.90e6, 51},
+      {"scircuit", Family::kPowerLaw, 170998, 958936, 8.68e6, 5.22e6, 6},
+      {"shipsec1", Family::kBanded, 140874, 7813404, 450.64e6, 24.09e6, 55},
+      {"wb-edu", Family::kPowerLaw, 9845725, 57156537, 1559.58e6, 630.08e6,
+       6},
+      {"webbase-1M", Family::kPowerLaw, 1000005, 3105536, 69.52e6, 51.11e6,
+       3},
+  };
+}
+
+std::uint64_t name_seed(const std::string& name, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ULL ^ seed;
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const std::vector<ProxyEntry>& table2() {
+  static const std::vector<ProxyEntry> entries = build_table2();
+  return entries;
+}
+
+const ProxyEntry& find(const std::string& name) {
+  for (const ProxyEntry& e : table2()) {
+    if (e.name == name) return e;
+  }
+  throw std::out_of_range("unknown Table 2 matrix: " + name);
+}
+
+std::int64_t effective_dimension(const ProxyEntry& entry, bool full_scale) {
+  const std::int64_t n =
+      full_scale ? entry.n : std::min(entry.n, kScaledDimensionCap);
+  if (entry.family == Family::kPowerLaw) {
+    // R-MAT needs power-of-two dimensions; round to the nearest.
+    const auto width = static_cast<int>(std::llround(
+        std::log2(static_cast<double>(n))));
+    return std::int64_t{1} << width;
+  }
+  return n;
+}
+
+CsrMatrix<std::int32_t, double> generate(const ProxyEntry& entry,
+                                         bool full_scale,
+                                         std::uint64_t seed) {
+  const std::int64_t n = effective_dimension(entry, full_scale);
+  const std::uint64_t s = name_seed(entry.name, seed);
+  switch (entry.family) {
+    case Family::kBanded: {
+      // Window width calibrated from the paper's own Table 2 statistics:
+      // a scattered band of degree d and window w has CR(A^2) ~
+      // d^2/(2w) + 1/2 (the union of neighbouring windows spans ~2w
+      // columns, plus the diagonal term), so inverting for the paper's CR
+      // reproduces the original matrix's compression-ratio regime.
+      const double paper_cr = entry.flop_sq / entry.nnz_sq;
+      const double target = std::max(0.75, paper_cr - 0.5);
+      const auto window = static_cast<std::int32_t>(std::llround(
+          std::max<double>(entry.degree,
+                           entry.degree * entry.degree / (2.0 * target))));
+      return scattered_band_matrix<std::int32_t, double>(
+          static_cast<std::int32_t>(n),
+          static_cast<std::int32_t>(entry.degree), window, s);
+    }
+    case Family::kUniform:
+      return uniform_random_matrix<std::int32_t, double>(
+          static_cast<std::int32_t>(n), static_cast<std::int32_t>(n),
+          static_cast<Offset>(n) * entry.degree, s);
+    case Family::kPowerLaw: {
+      const auto scale = static_cast<int>(std::countr_zero(
+          static_cast<std::uint64_t>(n)));
+      RmatParams p = RmatParams::g500(scale, entry.degree, s);
+      return rmat_matrix<std::int32_t, double>(p);
+    }
+  }
+  throw std::logic_error("unreachable proxy family");
+}
+
+const char* family_name(Family family) {
+  switch (family) {
+    case Family::kBanded:
+      return "banded";
+    case Family::kUniform:
+      return "uniform";
+    case Family::kPowerLaw:
+      return "power-law";
+  }
+  return "?";
+}
+
+}  // namespace spgemm::proxy

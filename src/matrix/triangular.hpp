@@ -1,0 +1,113 @@
+// Triangle-counting preprocessing (paper §5.6): reorder the vertices of an
+// undirected graph by increasing degree, then split the reordered adjacency
+// matrix A into strictly-lower L and strictly-upper U so that L*U generates
+// all wedges through each vertex's lower-numbered neighbours.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "common/types.hpp"
+#include "matrix/csr.hpp"
+
+namespace spgemm {
+
+template <IndexType IT, ValueType VT>
+struct TriangularSplit {
+  CsrMatrix<IT, VT> reordered;  ///< A after symmetric permutation
+  CsrMatrix<IT, VT> lower;      ///< strictly lower triangle of reordered
+  CsrMatrix<IT, VT> upper;      ///< strictly upper triangle of reordered
+};
+
+/// Symmetric permutation of a square matrix: B = P A P^T with
+/// B[p(i)][p(j)] = A[i][j], where p = perm[i] is the new label of old
+/// vertex i.  Output rows are sorted.
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> symmetric_permute(const CsrMatrix<IT, VT>& a,
+                                    const std::vector<IT>& perm) {
+  CsrMatrix<IT, VT> out(a.nrows, a.ncols);
+  // Count: new row perm[i] receives row i's entries.
+  for (IT i = 0; i < a.nrows; ++i) {
+    out.rpts[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)]) +
+             1] = a.row_nnz(i);
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(a.nrows); ++i) {
+    out.rpts[i + 1] += out.rpts[i];
+  }
+  out.cols.resize(static_cast<std::size_t>(a.nnz()));
+  out.vals.resize(static_cast<std::size_t>(a.nnz()));
+  for (IT i = 0; i < a.nrows; ++i) {
+    const IT ni = perm[static_cast<std::size_t>(i)];
+    auto slot = static_cast<std::size_t>(out.row_begin(ni));
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      out.cols[slot] = perm[static_cast<std::size_t>(
+          a.cols[static_cast<std::size_t>(j)])];
+      out.vals[slot] = a.vals[static_cast<std::size_t>(j)];
+      ++slot;
+    }
+  }
+  out.sortedness = Sortedness::kUnsorted;
+  out.sort_rows();
+  return out;
+}
+
+/// Permutation that relabels vertices in increasing-degree order.
+template <IndexType IT, ValueType VT>
+std::vector<IT> degree_order(const CsrMatrix<IT, VT>& a) {
+  std::vector<IT> by_degree(static_cast<std::size_t>(a.nrows));
+  std::iota(by_degree.begin(), by_degree.end(), IT{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](IT x, IT y) { return a.row_nnz(x) < a.row_nnz(y); });
+  std::vector<IT> perm(static_cast<std::size_t>(a.nrows));
+  for (std::size_t rank = 0; rank < by_degree.size(); ++rank) {
+    perm[static_cast<std::size_t>(by_degree[rank])] = static_cast<IT>(rank);
+  }
+  return perm;
+}
+
+/// Extract the strictly lower (keep_lower=true) or strictly upper triangle.
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> triangle_part(const CsrMatrix<IT, VT>& a, bool keep_lower) {
+  CsrMatrix<IT, VT> out(a.nrows, a.ncols);
+  for (IT i = 0; i < a.nrows; ++i) {
+    Offset count = 0;
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      const IT c = a.cols[static_cast<std::size_t>(j)];
+      if (keep_lower ? (c < i) : (c > i)) ++count;
+    }
+    out.rpts[static_cast<std::size_t>(i) + 1] = count;
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(a.nrows); ++i) {
+    out.rpts[i + 1] += out.rpts[i];
+  }
+  out.cols.resize(static_cast<std::size_t>(out.nnz()));
+  out.vals.resize(static_cast<std::size_t>(out.nnz()));
+  for (IT i = 0; i < a.nrows; ++i) {
+    auto slot = static_cast<std::size_t>(out.row_begin(i));
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      const IT c = a.cols[static_cast<std::size_t>(j)];
+      if (keep_lower ? (c < i) : (c > i)) {
+        out.cols[slot] = c;
+        out.vals[slot] = a.vals[static_cast<std::size_t>(j)];
+        ++slot;
+      }
+    }
+  }
+  out.sortedness = a.sortedness;
+  return out;
+}
+
+/// Full preprocessing pipeline: degree reorder, then split A = L + U
+/// (diagonal entries are dropped; they carry no triangle information).
+template <IndexType IT, ValueType VT>
+TriangularSplit<IT, VT> prepare_triangle_split(const CsrMatrix<IT, VT>& a) {
+  TriangularSplit<IT, VT> out;
+  out.reordered = symmetric_permute(a, degree_order(a));
+  out.lower = triangle_part(out.reordered, /*keep_lower=*/true);
+  out.upper = triangle_part(out.reordered, /*keep_lower=*/false);
+  return out;
+}
+
+}  // namespace spgemm

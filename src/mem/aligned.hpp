@@ -1,0 +1,89 @@
+// Cache-line / vector-register aligned raw buffers.
+//
+// The vectorized hash tables load 64-byte chunks with aligned SIMD loads, so
+// their backing storage must be 64-byte aligned.  AlignedBuffer is the RAII
+// owner used everywhere a plain std::vector's alignment guarantee (alignof
+// of the element) is not enough.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace spgemm::mem {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Owning, move-only, aligned array of trivially-destructible T.
+/// Contents are uninitialized after construction and resize.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count,
+                         std::size_t alignment = kCacheLineBytes) {
+    allocate(count, alignment);
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        count_(std::exchange(other.count_, 0)),
+        alignment_(other.alignment_) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      count_ = std::exchange(other.count_, 0);
+      alignment_ = other.alignment_;
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  /// Grow-only reallocation; existing contents are NOT preserved.
+  void ensure(std::size_t count, std::size_t alignment = kCacheLineBytes) {
+    if (count <= count_ && alignment <= alignment_) return;
+    release();
+    allocate(count, alignment);
+  }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  void allocate(std::size_t count, std::size_t alignment) {
+    if (count == 0) return;
+    // Round the byte size up to a multiple of the alignment as required by
+    // std::aligned_alloc.
+    std::size_t bytes = count * sizeof(T);
+    bytes = (bytes + alignment - 1) / alignment * alignment;
+    data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    count_ = count;
+    alignment_ = alignment;
+  }
+
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t alignment_ = kCacheLineBytes;
+};
+
+}  // namespace spgemm::mem

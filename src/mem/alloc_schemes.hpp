@@ -1,0 +1,43 @@
+// The §3.2 memory-management experiment, as a reusable measurement core.
+//
+// "single": one thread allocates the whole array, every thread (or one) then
+// touches it, one call frees it.  "parallel": each thread independently
+// allocates, touches and frees 1/T of the total (the paper's Fig. 3).  The
+// paper contrasts C++ new/delete against TBB scalable_malloc; here the pool
+// allocator (mem/pool_allocator.hpp) plays TBB's role.
+#pragma once
+
+#include <cstddef>
+
+namespace spgemm::mem {
+
+/// Which allocator backs the experiment.
+enum class AllocKind {
+  kCpp,      ///< ::operator new / ::operator delete
+  kAligned,  ///< std::aligned_alloc / std::free (the paper's _mm_malloc)
+  kPool,     ///< pool_malloc / pool_free (TBB scalable_malloc stand-in)
+};
+
+/// Single vs parallel scheme (paper Fig. 3).
+enum class AllocScheme {
+  kSingle,
+  kParallel,
+};
+
+/// Timings in milliseconds for one allocate→touch→deallocate round.
+struct AllocTimings {
+  double alloc_ms = 0.0;
+  double touch_ms = 0.0;
+  double dealloc_ms = 0.0;
+};
+
+/// Run one round: allocate `total_bytes` under `scheme` with `kind`, write
+/// every byte once, then free.  `threads` is the OpenMP thread count used by
+/// the parallel scheme (ignored for single).
+AllocTimings run_alloc_experiment(std::size_t total_bytes, AllocScheme scheme,
+                                  AllocKind kind, int threads);
+
+const char* alloc_kind_name(AllocKind kind);
+const char* alloc_scheme_name(AllocScheme scheme);
+
+}  // namespace spgemm::mem

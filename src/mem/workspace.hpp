@@ -1,0 +1,52 @@
+// Thread-private reusable workspaces for SpGEMM kernels.
+//
+// Kernels allocate their per-thread scratch (hash tables, SPA arrays, heap
+// storage, staging buffers) through this holder so that (a) allocation
+// happens inside the owning thread — the paper's "parallel" scheme — and
+// (b) repeated multiplies recycle the same memory via the pool allocator.
+#pragma once
+
+#include <cstddef>
+
+#include "mem/pool_allocator.hpp"
+
+namespace spgemm::mem {
+
+/// A grow-only, pool-backed, uninitialized array of trivially-copyable T.
+/// Intended to be used as `static thread_local` scratch or as a member of a
+/// per-thread kernel state object.
+template <typename T>
+class ThreadScratch {
+ public:
+  ThreadScratch() = default;
+  ThreadScratch(const ThreadScratch&) = delete;
+  ThreadScratch& operator=(const ThreadScratch&) = delete;
+
+  ThreadScratch(ThreadScratch&& other) noexcept
+      : data_(other.data_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+  }
+
+  ~ThreadScratch() { pool_free(data_); }
+
+  /// Make sure at least `count` elements are available.  Contents are not
+  /// preserved on growth (kernels fully reinitialize their scratch).
+  T* ensure(std::size_t count) {
+    if (count > capacity_) {
+      pool_free(data_);
+      data_ = static_cast<T*>(pool_malloc(count * sizeof(T)));
+      capacity_ = count;
+    }
+    return data_;
+  }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace spgemm::mem

@@ -1,0 +1,74 @@
+#include "microbench/scheduling.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace spgemm::microbench {
+namespace {
+
+// The loop body must survive -O3 without letting the compiler collapse the
+// loop; one relaxed add to a thread-shared sink keeps each iteration alive
+// at ~1 instruction of real work.
+std::int64_t run_loop(OmpSchedule schedule, std::int64_t iterations,
+                      int threads) {
+  std::int64_t sink = 0;
+  switch (schedule) {
+    case OmpSchedule::kStatic:
+#pragma omp parallel for schedule(static) num_threads(threads) \
+    reduction(+ : sink)
+      for (std::int64_t i = 0; i < iterations; ++i) sink += i & 1;
+      break;
+    case OmpSchedule::kDynamic:
+#pragma omp parallel for schedule(dynamic) num_threads(threads) \
+    reduction(+ : sink)
+      for (std::int64_t i = 0; i < iterations; ++i) sink += i & 1;
+      break;
+    case OmpSchedule::kGuided:
+#pragma omp parallel for schedule(guided) num_threads(threads) \
+    reduction(+ : sink)
+      for (std::int64_t i = 0; i < iterations; ++i) sink += i & 1;
+      break;
+  }
+  return sink;
+}
+
+}  // namespace
+
+const char* omp_schedule_name(OmpSchedule s) {
+  switch (s) {
+    case OmpSchedule::kStatic:
+      return "static";
+    case OmpSchedule::kDynamic:
+      return "dynamic";
+    case OmpSchedule::kGuided:
+      return "guided";
+  }
+  return "?";
+}
+
+double scheduling_cost_ms(OmpSchedule schedule, std::int64_t iterations,
+                          int threads, int repeats) {
+  const int nthreads = threads > 0 ? threads : omp_get_max_threads();
+  volatile std::int64_t guard = 0;
+  // Warm-up creates the thread team outside the measurement.
+  guard = run_loop(schedule, std::min<std::int64_t>(iterations, 1024),
+                   nthreads);
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    Timer t;
+    guard = guard + run_loop(schedule, iterations, nthreads);
+    samples.push_back(t.millis());
+  }
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<long>(samples.size() / 2),
+                   samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace spgemm::microbench

@@ -1,0 +1,23 @@
+// OpenMP scheduling-cost microbenchmark core (paper §3.1, Fig. 2):
+// time a parallel loop whose body does (almost) nothing, isolating the
+// runtime's iteration-dispatch overhead for static/dynamic/guided.
+#pragma once
+
+#include <cstdint>
+
+namespace spgemm::microbench {
+
+enum class OmpSchedule {
+  kStatic,
+  kDynamic,
+  kGuided,
+};
+
+const char* omp_schedule_name(OmpSchedule s);
+
+/// Milliseconds to run `iterations` empty loop iterations under `schedule`
+/// with `threads` OpenMP threads (0 = default), median of `repeats` runs.
+double scheduling_cost_ms(OmpSchedule schedule, std::int64_t iterations,
+                          int threads, int repeats = 5);
+
+}  // namespace spgemm::microbench

@@ -1,0 +1,70 @@
+#include "microbench/stanza.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/timer.hpp"
+
+namespace spgemm::microbench {
+
+StanzaResult stanza_read_bandwidth(std::size_t array_bytes,
+                                   std::size_t stanza_bytes,
+                                   std::size_t touch_bytes, int threads,
+                                   std::uint64_t seed) {
+  const int nthreads = threads > 0 ? threads : omp_get_max_threads();
+  const std::size_t words = std::max<std::size_t>(array_bytes / 8, 1024);
+  const std::size_t stanza_words = std::max<std::size_t>(stanza_bytes / 8, 1);
+
+  std::vector<std::uint64_t> data(words);
+#pragma omp parallel for schedule(static) num_threads(nthreads)
+  for (std::size_t i = 0; i < words; ++i) {
+    data[i] = i * 0x9e3779b97f4a7c15ULL;
+  }
+
+  const std::size_t stanzas_total =
+      std::max<std::size_t>(touch_bytes / (stanza_words * 8), 1);
+  // Pre-compute random stanza start offsets so index generation is not
+  // part of the measured loop.
+  const std::size_t starts_per_thread =
+      (stanzas_total + static_cast<std::size_t>(nthreads) - 1) /
+      static_cast<std::size_t>(nthreads);
+  std::vector<std::vector<std::size_t>> starts(
+      static_cast<std::size_t>(nthreads));
+  const std::size_t range = words - stanza_words + 1;
+  for (int t = 0; t < nthreads; ++t) {
+    SplitMix64 rng(seed + static_cast<std::uint64_t>(t) * 7919);
+    auto& mine = starts[static_cast<std::size_t>(t)];
+    mine.resize(starts_per_thread);
+    for (auto& s : mine) {
+      s = static_cast<std::size_t>(rng.next_below(range));
+    }
+  }
+
+  std::uint64_t checksum = 0;
+  Timer timer;
+#pragma omp parallel num_threads(nthreads) reduction(+ : checksum)
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    std::uint64_t local = 0;
+    for (const std::size_t start : starts[tid]) {
+      const std::uint64_t* p = data.data() + start;
+      for (std::size_t w = 0; w < stanza_words; ++w) local += p[w];
+    }
+    checksum += local;
+  }
+  const double seconds = timer.seconds();
+
+  StanzaResult out;
+  out.checksum = checksum;
+  const double bytes_touched =
+      static_cast<double>(starts_per_thread) *
+      static_cast<double>(nthreads) * static_cast<double>(stanza_words) *
+      8.0;
+  out.gbytes_per_s = bytes_touched / seconds / 1e9;
+  return out;
+}
+
+}  // namespace spgemm::microbench

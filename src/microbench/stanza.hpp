@@ -1,0 +1,26 @@
+// Stanza-bandwidth microbenchmark core (paper §3.3, Fig. 5): measure read
+// bandwidth when contiguous "stanzas" of a given length are fetched from
+// effectively random locations — the canonical access pattern of reading
+// rows of B in row-wise SpGEMM.  At stanza = 8 bytes this is pure random
+// access; at stanza = array size it converges to STREAM.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spgemm::microbench {
+
+struct StanzaResult {
+  double gbytes_per_s = 0.0;
+  std::uint64_t checksum = 0;  ///< defeats dead-code elimination
+};
+
+/// Measure read bandwidth for `stanza_bytes`-long contiguous reads at
+/// random offsets inside a working set of `array_bytes`, touching
+/// `touch_bytes` in total, with `threads` OpenMP threads (0 = default).
+StanzaResult stanza_read_bandwidth(std::size_t array_bytes,
+                                   std::size_t stanza_bytes,
+                                   std::size_t touch_bytes, int threads,
+                                   std::uint64_t seed = 42);
+
+}  // namespace spgemm::microbench

@@ -1,0 +1,22 @@
+#include "model/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spgemm::model {
+
+double log2_at_least2(double x) {
+  return std::log2(std::max(2.0, x));
+}
+
+double heap_cost(const CostInputs& in) {
+  return in.sum_flop_log_nnz_a;
+}
+
+double hash_cost(const CostInputs& in, bool sorted) {
+  double cost = static_cast<double>(in.flop) * in.collision_factor;
+  if (sorted) cost += in.sum_nnz_log_nnz_c;
+  return cost;
+}
+
+}  // namespace spgemm::model

@@ -1,0 +1,69 @@
+// Analytic accumulation-cost model (paper §4.2.4, Eqs. 1-2).
+//
+//   T_heap = sum_i flop(c_i*) * log2 nnz(a_i*)                      (Eq. 1)
+//   T_hash = flop * c + sum_i nnz(c_i*) * log2 nnz(c_i*)  [if sorted] (Eq. 2)
+//
+// with c the hash collision factor (average probes per detect/insert).
+// The model underlies the recipe: Hash wins when nnz(c_i*) or the per-row
+// compression factor flop(c_i*)/nnz(c_i*) is large; Heap wins on very
+// sparse, low-CR products.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/stats.hpp"
+
+namespace spgemm::model {
+
+/// Inputs the closed-form estimates need; obtainable from a symbolic pass
+/// or an actual product.
+struct CostInputs {
+  Offset flop = 0;                ///< total scalar multiplications
+  double sum_flop_log_nnz_a = 0;  ///< sum_i flop(c_i*) * log2 max(2,nnz(a_i*))
+  double sum_nnz_log_nnz_c = 0;   ///< sum_i nnz(c_i*) * log2 max(2,nnz(c_i*))
+  double collision_factor = 1.2;  ///< measured or assumed average probes
+};
+
+/// Estimated abstract cost of Heap SpGEMM (Eq. 1).
+double heap_cost(const CostInputs& in);
+
+/// Estimated abstract cost of Hash SpGEMM (Eq. 2); `sorted` adds the
+/// per-row sort term.
+double hash_cost(const CostInputs& in, bool sorted);
+
+/// log2 clamped below at 1 (log2 of anything < 2): heap/sort costs never
+/// vanish entirely for singleton rows.
+double log2_at_least2(double x);
+
+/// Gather CostInputs from concrete A, B and the (already computed) C.
+template <IndexType IT, ValueType VT>
+CostInputs gather_cost_inputs(const CsrMatrix<IT, VT>& a,
+                              const CsrMatrix<IT, VT>& b,
+                              const CsrMatrix<IT, VT>& c,
+                              double collision_factor = 1.2) {
+  CostInputs in;
+  in.collision_factor = collision_factor;
+  for (IT i = 0; i < a.nrows; ++i) {
+    Offset row_flop = 0;
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      const auto k = static_cast<std::size_t>(
+          a.cols[static_cast<std::size_t>(j)]);
+      row_flop += b.rpts[k + 1] - b.rpts[k];
+    }
+    in.flop += row_flop;
+    const double nnz_a = static_cast<double>(a.row_nnz(i));
+    const double nnz_c = static_cast<double>(c.row_nnz(i));
+    if (row_flop > 0 && nnz_a >= 1.0) {
+      in.sum_flop_log_nnz_a +=
+          static_cast<double>(row_flop) * log2_at_least2(nnz_a);
+    }
+    if (nnz_c >= 1.0) {
+      in.sum_nnz_log_nnz_c += nnz_c * log2_at_least2(nnz_c);
+    }
+  }
+  return in;
+}
+
+}  // namespace spgemm::model

@@ -1,0 +1,78 @@
+// Parametric two-tier memory model: the MCDRAM hardware substitution.
+//
+// This machine has no Knights Landing MCDRAM, so the paper's Fig. 5
+// (stanza bandwidth, DDR vs MCDRAM-as-cache) and Fig. 10 (MCDRAM speedup of
+// SpGEMM vs edge factor) are reproduced analytically.  The model is
+// Little's-law style: a thread issuing stanza transfers of s bytes pays a
+// fixed latency per stanza plus s over its per-thread streaming bandwidth;
+// aggregate bandwidth across T threads saturates at the tier's peak:
+//
+//   BW(s) = min( peak_bw,  T * s / (latency + s / thread_bw) )
+//
+// Defaults are calibrated to the paper's observations: MCDRAM peak 3.4x the
+// DDR peak, slightly higher latency, little benefit below ~256-byte
+// stanzas, and a capacity cliff at 16 GB (Fig. 10, Heap at edge factor 64).
+// The *measured* stanza microbenchmark (src/microbench/stanza.*) exercises
+// the same access pattern on the host's real memory.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace spgemm::model {
+
+struct TierParams {
+  double latency_ns = 200.0;     ///< per-stanza fixed cost
+  double thread_bw_gbps = 8.0;   ///< single-thread streaming bandwidth
+  double peak_bw_gbps = 90.0;    ///< socket-level saturation bandwidth
+  double capacity_gb = 1e9;      ///< tier capacity (cache-mode cliff)
+};
+
+/// KNL DDR4 (6 channels, ~90 GB/s STREAM).
+TierParams knl_ddr();
+/// KNL MCDRAM in cache mode: 3.4x DDR peak, higher latency, 16 GB.
+TierParams knl_mcdram_cache();
+
+/// Aggregate bandwidth for stanza transfers of `stanza_bytes`.
+double stanza_bandwidth_gbps(const TierParams& tier, double stanza_bytes,
+                             int threads);
+
+/// One class of accesses an algorithm performs: `bytes` moved in stanzas of
+/// `stanza_bytes`.
+struct AccessComponent {
+  double bytes = 0.0;
+  double stanza_bytes = 8.0;
+};
+
+/// Modeled transfer time (seconds) of a component mix on one tier.  When
+/// the working set exceeds the tier's capacity, the overflow fraction is
+/// charged at `fallback` (the paper's cache-mode behaviour: misses go to
+/// DDR).
+double modeled_time_s(const TierParams& tier, const TierParams& fallback,
+                      const std::vector<AccessComponent>& mix, int threads,
+                      double working_set_gb);
+
+/// Which accumulator's access profile to model (Fig. 10 series).
+enum class AccessPattern {
+  kHeap,
+  kHash,
+  kHashVector,
+};
+
+/// Build the access-component mix of one SpGEMM run (paper §3.3's three
+/// access types: streaming row pointers / output, stanza reads of B rows,
+/// accumulator traffic).
+std::vector<AccessComponent> spgemm_access_mix(AccessPattern pattern,
+                                               double flop, double nnz_out,
+                                               double edge_factor,
+                                               bool sorted_output);
+
+/// Modeled MCDRAM-cache speedup over DDR-only for one SpGEMM configuration
+/// (the y-axis of Fig. 10).
+double mcdram_speedup(AccessPattern pattern, double flop, double nnz_out,
+                      double edge_factor, bool sorted_output,
+                      double working_set_gb, int threads = 64);
+
+}  // namespace spgemm::model

@@ -1,0 +1,26 @@
+// lowbnd(vec, value): minimum index whose element is >= value
+// (paper Fig. 6, line 14).  Plain binary search over a monotone array.
+#pragma once
+
+#include <cstddef>
+
+namespace spgemm::parallel {
+
+template <typename T>
+std::size_t lowbnd(const T* vec, std::size_t n, T value) {
+  std::size_t lo = 0;
+  std::size_t len = n;
+  while (len > 0) {
+    const std::size_t half = len / 2;
+    const std::size_t mid = lo + half;
+    if (vec[mid] < value) {
+      lo = mid + 1;
+      len -= half + 1;
+    } else {
+      len = half;
+    }
+  }
+  return lo;
+}
+
+}  // namespace spgemm::parallel

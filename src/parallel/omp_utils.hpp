@@ -1,0 +1,32 @@
+// Thin OpenMP convenience layer: thread-count resolution and a scoped
+// override used by kernels that take an explicit `threads` option.
+#pragma once
+
+#include <omp.h>
+
+namespace spgemm::parallel {
+
+/// Resolve a user-facing thread-count option: 0 means "OpenMP default".
+inline int resolve_threads(int requested) {
+  return requested > 0 ? requested : omp_get_max_threads();
+}
+
+/// RAII override of omp_set_num_threads, restoring the prior value.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int threads)
+      : previous_(omp_get_max_threads()), active_(threads > 0) {
+    if (active_) omp_set_num_threads(threads);
+  }
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+  ~ScopedNumThreads() {
+    if (active_) omp_set_num_threads(previous_);
+  }
+
+ private:
+  int previous_;
+  bool active_;
+};
+
+}  // namespace spgemm::parallel

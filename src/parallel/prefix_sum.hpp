@@ -1,0 +1,72 @@
+// Parallel prefix sums over contiguous arrays.
+//
+// RowsToThreads (paper Fig. 6, line 8) and every two-phase kernel's
+// symbolic→numeric transition need an exclusive scan over per-row counts.
+// The implementation blocks the input per thread, scans blocks locally,
+// scans the block totals serially (T is tiny), then offsets each block.
+#pragma once
+
+#include <omp.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace spgemm::parallel {
+
+/// In-place exclusive scan of `data[0..n)`; returns the grand total.
+/// After the call data[i] holds the sum of the original data[0..i).
+template <typename T>
+T exclusive_scan_inplace(T* data, std::size_t n) {
+  if (n == 0) return T{0};
+  int nthreads = 1;
+  std::vector<T> block_total;
+
+#pragma omp parallel
+  {
+#pragma omp single
+    {
+      nthreads = omp_get_num_threads();
+      block_total.assign(static_cast<std::size_t>(nthreads) + 1, T{0});
+    }
+    const int tid = omp_get_thread_num();
+    const std::size_t chunk = (n + static_cast<std::size_t>(nthreads) - 1) /
+                              static_cast<std::size_t>(nthreads);
+    const std::size_t begin = chunk * static_cast<std::size_t>(tid);
+    const std::size_t end = begin + chunk < n ? begin + chunk : n;
+
+    T local = T{0};
+    for (std::size_t i = begin; i < end; ++i) {
+      const T value = data[i];
+      data[i] = local;
+      local += value;
+    }
+    block_total[static_cast<std::size_t>(tid) + 1] = local;
+
+#pragma omp barrier
+#pragma omp single
+    {
+      for (int t = 0; t < nthreads; ++t) {
+        block_total[static_cast<std::size_t>(t) + 1] +=
+            block_total[static_cast<std::size_t>(t)];
+      }
+    }
+
+    const T offset = block_total[static_cast<std::size_t>(tid)];
+    if (offset != T{0}) {
+      for (std::size_t i = begin; i < end; ++i) data[i] += offset;
+    }
+  }
+  return block_total[static_cast<std::size_t>(nthreads)];
+}
+
+/// Exclusive scan from `counts[0..n)` into `out[0..n]`; out[n] = total.
+/// `out` must have room for n+1 elements.
+template <typename TIn, typename TOut>
+TOut exclusive_scan(const TIn* counts, std::size_t n, TOut* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<TOut>(counts[i]);
+  const TOut total = exclusive_scan_inplace(out, n);
+  out[n] = total;
+  return total;
+}
+
+}  // namespace spgemm::parallel

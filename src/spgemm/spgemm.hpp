@@ -1,0 +1,29 @@
+// Umbrella header: the whole public API.
+//
+//   #include "spgemm/spgemm.hpp"
+//
+// pulls in the matrix types, generators, every SpGEMM kernel, the
+// multiply() dispatcher, the Table 4 recipe, and the analytic models.
+// Individual headers remain includable on their own for faster builds.
+#pragma once
+
+#include "common/cpu_features.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "core/multiply.hpp"
+#include "core/recipe.hpp"
+#include "core/semiring.hpp"
+#include "core/spadd.hpp"
+#include "core/spgemm_masked.hpp"
+#include "core/spgemm_plan.hpp"
+#include "core/symbolic.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/io_matrix_market.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/rmat.hpp"
+#include "matrix/stats.hpp"
+#include "matrix/suitesparse_proxy.hpp"
+#include "matrix/triangular.hpp"
+#include "model/cost_model.hpp"
+#include "model/memory_model.hpp"

@@ -1,0 +1,325 @@
+// Accumulator unit tests: hash table, SIMD-chunked hash table, SPA,
+// two-level hash map, stream heap.  Every accumulator is driven through the
+// same insert/accumulate/extract/reset protocol the kernels use.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "accumulator/hash_table.hpp"
+#include "accumulator/hash_vec.hpp"
+#include "accumulator/heap.hpp"
+#include "accumulator/spa.hpp"
+#include "accumulator/two_level_hash.hpp"
+#include "common/random.hpp"
+
+namespace spgemm {
+namespace {
+
+using I = std::int32_t;
+
+TEST(HashTableSizePolicy, StrictlyGreaterPowerOfTwo) {
+  EXPECT_EQ(hash_table_size_for(0, 100), 1u);
+  EXPECT_EQ(hash_table_size_for(1, 100), 2u);
+  EXPECT_EQ(hash_table_size_for(7, 100), 8u);
+  EXPECT_EQ(hash_table_size_for(8, 100), 16u);   // strictly greater
+  EXPECT_EQ(hash_table_size_for(63, 100), 64u);
+  EXPECT_EQ(hash_table_size_for(64, 100), 128u);
+}
+
+TEST(HashTableSizePolicy, CappedByColumnCount) {
+  // flop bound 10^6 but only 100 columns: table need not exceed 128.
+  EXPECT_EQ(hash_table_size_for(1000000, 100), 128u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-level tests shared by all map-like accumulators via a typed suite.
+// ---------------------------------------------------------------------------
+
+template <typename Acc>
+void prepare_for(Acc& acc, std::size_t entries, std::size_t ncols);
+
+template <>
+void prepare_for(HashAccumulator<I, double>& acc, std::size_t entries,
+                 std::size_t ncols) {
+  acc.prepare(hash_table_size_for(static_cast<Offset>(entries), ncols));
+}
+template <>
+void prepare_for(HashVecAccumulator<I, double>& acc, std::size_t entries,
+                 std::size_t ncols) {
+  acc.prepare(hash_table_size_for(static_cast<Offset>(entries), ncols));
+}
+template <>
+void prepare_for(SpaAccumulator<I, double>& acc, std::size_t /*entries*/,
+                 std::size_t ncols) {
+  acc.prepare(ncols);
+}
+template <>
+void prepare_for(TwoLevelHashAccumulator<I, double>& acc, std::size_t entries,
+                 std::size_t /*ncols*/) {
+  acc.prepare(entries + 1);
+}
+
+template <typename Acc>
+class MapAccumulatorTest : public ::testing::Test {};
+
+using MapAccumulators =
+    ::testing::Types<HashAccumulator<I, double>,
+                     HashVecAccumulator<I, double>, SpaAccumulator<I, double>,
+                     TwoLevelHashAccumulator<I, double>>;
+TYPED_TEST_SUITE(MapAccumulatorTest, MapAccumulators);
+
+TYPED_TEST(MapAccumulatorTest, InsertCountsDistinctKeys) {
+  TypeParam acc;
+  prepare_for(acc, 64, 1000);
+  EXPECT_TRUE(acc.insert(5));
+  EXPECT_TRUE(acc.insert(17));
+  EXPECT_FALSE(acc.insert(5));
+  EXPECT_TRUE(acc.insert(999));
+  EXPECT_EQ(acc.count(), 3u);
+}
+
+TYPED_TEST(MapAccumulatorTest, AccumulateSumsDuplicates) {
+  TypeParam acc;
+  prepare_for(acc, 64, 1000);
+  acc.accumulate(3, 1.0);
+  acc.accumulate(7, 2.0);
+  acc.accumulate(3, 0.25);
+  ASSERT_EQ(acc.count(), 2u);
+  std::vector<I> cols(2);
+  std::vector<double> vals(2);
+  acc.extract_unsorted(cols.data(), vals.data());
+  std::map<I, double> got;
+  for (std::size_t i = 0; i < 2; ++i) got[cols[i]] = vals[i];
+  EXPECT_DOUBLE_EQ(got[3], 1.25);
+  EXPECT_DOUBLE_EQ(got[7], 2.0);
+}
+
+TYPED_TEST(MapAccumulatorTest, ResetClearsState) {
+  TypeParam acc;
+  prepare_for(acc, 64, 1000);
+  acc.accumulate(1, 1.0);
+  acc.accumulate(2, 1.0);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_TRUE(acc.insert(1));  // key 1 must be forgotten
+}
+
+TYPED_TEST(MapAccumulatorTest, SortedExtractionAscends) {
+  TypeParam acc;
+  prepare_for(acc, 256, 1000);
+  SplitMix64 rng(77);
+  std::map<I, double> oracle;
+  for (int i = 0; i < 150; ++i) {
+    const I key = static_cast<I>(rng.next_below(1000));
+    const double v = rng.next_double();
+    acc.accumulate(key, v);
+    oracle[key] += v;
+  }
+  ASSERT_EQ(acc.count(), oracle.size());
+  std::vector<I> cols(oracle.size());
+  std::vector<double> vals(oracle.size());
+  acc.extract_sorted(cols.data(), vals.data());
+  EXPECT_TRUE(std::is_sorted(cols.begin(), cols.end()));
+  std::size_t idx = 0;
+  for (const auto& [key, val] : oracle) {
+    EXPECT_EQ(cols[idx], key);
+    EXPECT_NEAR(vals[idx], val, 1e-12);
+    ++idx;
+  }
+}
+
+TYPED_TEST(MapAccumulatorTest, ReuseAcrossManyRows) {
+  // Simulates the kernel loop: many rows, one prepare, reset between rows.
+  TypeParam acc;
+  prepare_for(acc, 128, 4096);
+  SplitMix64 rng(123);
+  for (int row = 0; row < 200; ++row) {
+    std::map<I, double> oracle;
+    const int inserts = 1 + static_cast<int>(rng.next_below(100));
+    for (int i = 0; i < inserts; ++i) {
+      const I key = static_cast<I>(rng.next_below(4096));
+      const double v = rng.next_double();
+      acc.accumulate(key, v);
+      oracle[key] += v;
+    }
+    ASSERT_EQ(acc.count(), oracle.size()) << "row " << row;
+    std::vector<I> cols(oracle.size());
+    std::vector<double> vals(oracle.size());
+    acc.extract_sorted(cols.data(), vals.data());
+    std::size_t idx = 0;
+    for (const auto& [key, val] : oracle) {
+      ASSERT_EQ(cols[idx], key) << "row " << row;
+      ASSERT_NEAR(vals[idx], val, 1e-12) << "row " << row;
+      ++idx;
+    }
+    acc.reset();
+  }
+}
+
+TYPED_TEST(MapAccumulatorTest, GrowBetweenPreparations) {
+  TypeParam acc;
+  prepare_for(acc, 16, 64);
+  acc.insert(1);
+  acc.reset();
+  prepare_for(acc, 4096, 100000);
+  EXPECT_TRUE(acc.insert(99999));
+  EXPECT_EQ(acc.count(), 1u);
+}
+
+TYPED_TEST(MapAccumulatorTest, HandlesKeyZero) {
+  TypeParam acc;
+  prepare_for(acc, 16, 64);
+  EXPECT_TRUE(acc.insert(0));
+  EXPECT_FALSE(acc.insert(0));
+}
+
+TYPED_TEST(MapAccumulatorTest, FillToBound) {
+  // Insert every key in [0, 64): accumulators must cope with a row whose
+  // distinct-key count reaches the sizing bound.
+  TypeParam acc;
+  prepare_for(acc, 64, 64);
+  for (I k = 0; k < 64; ++k) EXPECT_TRUE(acc.insert(k));
+  for (I k = 0; k < 64; ++k) EXPECT_FALSE(acc.insert(k));
+  EXPECT_EQ(acc.count(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Hash-specific behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(HashAccumulator, ProbeCounterGrowsUnderCollisions) {
+  HashAccumulator<I, double> acc;
+  acc.prepare(64);
+  const auto before = acc.probes();
+  for (I k = 0; k < 48; ++k) acc.insert(k * 64);  // force collisions
+  EXPECT_GT(acc.probes(), before + 47);           // > 1 probe per insert
+}
+
+TEST(HashVecAccumulator, AllProbeKindsAgree) {
+  // Same insert sequence through scalar, AVX2 and AVX-512 probing must give
+  // identical contents (insertion order may differ from scalar hash, but
+  // within HashVector the layout rule is deterministic and shared).
+  SplitMix64 rng(2024);
+  std::vector<I> keys;
+  for (int i = 0; i < 400; ++i) {
+    keys.push_back(static_cast<I>(rng.next_below(512)));
+  }
+  std::vector<std::pair<std::vector<I>, std::vector<double>>> results;
+  for (const ProbeKind kind :
+       {ProbeKind::kScalar, ProbeKind::kAvx2, ProbeKind::kAvx512}) {
+    HashVecAccumulator<I, double> acc(kind);
+    acc.prepare(1024);
+    for (const I k : keys) acc.accumulate(k, static_cast<double>(k) + 0.5);
+    std::vector<I> cols(acc.count());
+    std::vector<double> vals(acc.count());
+    acc.extract_sorted(cols.data(), vals.data());
+    results.emplace_back(std::move(cols), std::move(vals));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].first, results[0].first);
+    EXPECT_EQ(results[i].second, results[0].second);
+  }
+}
+
+TEST(HashVecAccumulator, ChunkOverflowSpillsToNextChunk) {
+  // 2 chunks of 16 keys; insert 20 distinct keys mapping everywhere: all
+  // must be found again.
+  HashVecAccumulator<I, double> acc;
+  acc.prepare(32);
+  for (I k = 0; k < 20; ++k) EXPECT_TRUE(acc.insert(k * 97));
+  for (I k = 0; k < 20; ++k) EXPECT_FALSE(acc.insert(k * 97));
+}
+
+TEST(TwoLevelHash, ChainsUnderSmallBucketArray) {
+  TwoLevelHashAccumulator<I, double> acc;
+  acc.prepare(5000);
+  for (I k = 0; k < 5000; ++k) ASSERT_TRUE(acc.insert(k));
+  EXPECT_EQ(acc.count(), 5000u);
+  EXPECT_GT(acc.probes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stream heap.
+// ---------------------------------------------------------------------------
+
+TEST(StreamHeap, OrdersByColumn) {
+  StreamHeap<I, double> heap;
+  heap.prepare(8);
+  for (const I col : {5, 1, 9, 3, 7}) {
+    heap.push({col, 1.0, 0, 1});
+  }
+  std::vector<I> popped;
+  while (!heap.empty()) {
+    popped.push_back(heap.top().col);
+    heap.pop();
+  }
+  EXPECT_EQ(popped, (std::vector<I>{1, 3, 5, 7, 9}));
+}
+
+TEST(StreamHeap, ReplaceTopKeepsHeapProperty) {
+  StreamHeap<I, double> heap;
+  heap.prepare(8);
+  for (const I col : {2, 4, 6, 8}) heap.push({col, 1.0, 0, 1});
+  HeapStream<I, double> s = heap.top();
+  EXPECT_EQ(s.col, 2);
+  s.col = 7;  // advance the minimum stream past several others
+  heap.replace_top(s);
+  std::vector<I> popped;
+  while (!heap.empty()) {
+    popped.push_back(heap.top().col);
+    heap.pop();
+  }
+  EXPECT_EQ(popped, (std::vector<I>{4, 6, 7, 8}));
+}
+
+TEST(StreamHeap, DuplicateColumnsAllSurface) {
+  StreamHeap<I, double> heap;
+  heap.prepare(4);
+  heap.push({3, 1.0, 0, 1});
+  heap.push({3, 2.0, 0, 1});
+  heap.push({1, 3.0, 0, 1});
+  EXPECT_EQ(heap.top().col, 1);
+  heap.pop();
+  EXPECT_EQ(heap.top().col, 3);
+  heap.pop();
+  EXPECT_EQ(heap.top().col, 3);
+  heap.pop();
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(StreamHeap, PrepareResetsSize) {
+  StreamHeap<I, double> heap;
+  heap.prepare(4);
+  heap.push({1, 1.0, 0, 1});
+  heap.prepare(4);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+}
+
+TEST(StreamHeap, RandomizedSortAgainstStdSort) {
+  SplitMix64 rng(31337);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.next_below(200);
+    StreamHeap<I, double> heap;
+    heap.prepare(n);
+    std::vector<I> expected;
+    for (std::size_t i = 0; i < n; ++i) {
+      const I col = static_cast<I>(rng.next_below(1000));
+      expected.push_back(col);
+      heap.push({col, 0.0, 0, 1});
+    }
+    std::sort(expected.begin(), expected.end());
+    std::vector<I> got;
+    while (!heap.empty()) {
+      got.push_back(heap.top().col);
+      heap.pop();
+    }
+    ASSERT_EQ(got, expected) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace spgemm

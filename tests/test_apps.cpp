@@ -1,0 +1,327 @@
+// Application-layer tests: triangle counting, multi-source BFS, Markov
+// clustering, AMG Galerkin products — each validated against brute-force
+// oracles on known graphs.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "apps/amg_galerkin.hpp"
+#include "apps/markov_cluster.hpp"
+#include "apps/msbfs.hpp"
+#include "apps/triangle_count.hpp"
+#include "matrix/rmat.hpp"
+
+namespace spgemm::apps {
+namespace {
+
+using I = std::int32_t;
+using Matrix = CsrMatrix<I, double>;
+using Triplets = std::vector<std::tuple<I, I, double>>;
+
+/// Build an undirected graph from an edge list.
+Matrix graph_from_edges(I n, const std::vector<std::pair<I, I>>& edges) {
+  CooMatrix<I, double> coo;
+  coo.nrows = n;
+  coo.ncols = n;
+  for (const auto& [u, v] : edges) {
+    coo.push_back(u, v, 1.0);
+    coo.push_back(v, u, 1.0);
+  }
+  return csr_from_coo(std::move(coo));
+}
+
+/// Complete graph K_n.
+Matrix complete_graph(I n) {
+  std::vector<std::pair<I, I>> edges;
+  for (I i = 0; i < n; ++i) {
+    for (I j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return graph_from_edges(n, edges);
+}
+
+/// Brute-force triangle count.
+std::int64_t brute_triangles(const Matrix& a) {
+  const auto dense = a.to_dense();
+  const auto n = static_cast<std::size_t>(a.nrows);
+  std::int64_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dense[i * n + j] == 0.0) continue;
+      for (std::size_t k = j + 1; k < n; ++k) {
+        if (dense[i * n + k] != 0.0 && dense[j * n + k] != 0.0) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+// --- Triangle counting --------------------------------------------------------
+
+TEST(TriangleCount, TriangleFreeGraph) {
+  // A path graph has no triangles.
+  const Matrix path =
+      graph_from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(count_triangles(path).triangles, 0);
+}
+
+TEST(TriangleCount, SingleTriangle) {
+  const Matrix tri = graph_from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(count_triangles(tri).triangles, 1);
+}
+
+TEST(TriangleCount, CompleteGraphs) {
+  // K_n has C(n,3) triangles.
+  EXPECT_EQ(count_triangles(complete_graph(4)).triangles, 4);
+  EXPECT_EQ(count_triangles(complete_graph(5)).triangles, 10);
+  EXPECT_EQ(count_triangles(complete_graph(7)).triangles, 35);
+}
+
+TEST(TriangleCount, CycleWithChord) {
+  // 4-cycle + one chord = 2 triangles.
+  const Matrix g =
+      graph_from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  EXPECT_EQ(count_triangles(g).triangles, 2);
+}
+
+TEST(TriangleCount, ValuesDoNotAffectCount) {
+  Matrix g = graph_from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  for (auto& v : g.vals) v = 17.5;  // weights must be ignored
+  EXPECT_EQ(count_triangles(g).triangles, 1);
+}
+
+class TriangleKernelSweep : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(TriangleKernelSweep, RandomGraphMatchesBruteForce) {
+  RmatParams p = RmatParams::er(6, 6, 12345);
+  p.symmetric = true;
+  Matrix g = rmat_matrix<I, double>(p);
+  // Remove self loops for a simple graph.
+  g = triangle_part(g, true);
+  Matrix sym = g;
+  {
+    const Matrix upper = transpose(g);
+    CooMatrix<I, double> merge;
+    merge.nrows = g.nrows;
+    merge.ncols = g.ncols;
+    for (I i = 0; i < g.nrows; ++i) {
+      for (Offset j = g.row_begin(i); j < g.row_end(i); ++j) {
+        merge.push_back(i, g.cols[static_cast<std::size_t>(j)], 1.0);
+      }
+      for (Offset j = upper.row_begin(i); j < upper.row_end(i); ++j) {
+        merge.push_back(i, upper.cols[static_cast<std::size_t>(j)], 1.0);
+      }
+    }
+    sym = csr_from_coo(std::move(merge));
+  }
+  SpGemmOptions opts;
+  opts.algorithm = GetParam();
+  const auto result = count_triangles(sym, opts);
+  EXPECT_EQ(result.triangles, brute_triangles(sym))
+      << algorithm_name(GetParam());
+  EXPECT_GT(result.spgemm_stats.nnz_out, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, TriangleKernelSweep,
+                         ::testing::Values(Algorithm::kHeap, Algorithm::kHash,
+                                           Algorithm::kHashVector,
+                                           Algorithm::kSpa),
+                         [](const auto& info) {
+                           std::string name = algorithm_name(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// --- Multi-source BFS ---------------------------------------------------------
+
+TEST(MsBfs, PathGraphLevels) {
+  const Matrix path =
+      graph_from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto result = multi_source_bfs(path, std::vector<I>{0});
+  for (I v = 0; v < 5; ++v) EXPECT_EQ(result.level(v, 0), v);
+}
+
+TEST(MsBfs, DisconnectedComponentUnreached) {
+  // Vertices {3,4} disconnected from {0,1,2}.
+  const Matrix g = graph_from_edges(5, {{0, 1}, {1, 2}, {3, 4}});
+  const auto result = multi_source_bfs(g, std::vector<I>{0});
+  EXPECT_EQ(result.level(2, 0), 2);
+  EXPECT_EQ(result.level(3, 0), -1);
+  EXPECT_EQ(result.level(4, 0), -1);
+}
+
+TEST(MsBfs, MultipleSourcesIndependent) {
+  const Matrix g =
+      graph_from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const auto result = multi_source_bfs(g, std::vector<I>{0, 3});
+  EXPECT_EQ(result.level(2, 0), 2);
+  EXPECT_EQ(result.level(5, 0), -1);
+  EXPECT_EQ(result.level(5, 1), 2);
+  EXPECT_EQ(result.level(0, 1), -1);
+}
+
+TEST(MsBfs, DirectedEdgesAreRespected) {
+  // 0 -> 1 -> 2, no reverse edges.
+  const Matrix g = csr_from_triplets<I, double>(
+      3, 3, Triplets{{0, 1, 1.0}, {1, 2, 1.0}});
+  const auto fwd = multi_source_bfs(g, std::vector<I>{0});
+  EXPECT_EQ(fwd.level(2, 0), 2);
+  const auto bwd = multi_source_bfs(g, std::vector<I>{2});
+  EXPECT_EQ(bwd.level(0, 0), -1);
+}
+
+TEST(MsBfs, MatchesSerialOracleOnRandomGraph) {
+  RmatParams p = RmatParams::g500(7, 6, 777);
+  p.symmetric = true;
+  const Matrix g = rmat_matrix<I, double>(p);
+  const std::vector<I> sources{0, 5, 17, 100};
+  const auto result = multi_source_bfs(g, sources);
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    const auto oracle = serial_bfs(g, sources[s]);
+    for (I v = 0; v < g.nrows; ++v) {
+      ASSERT_EQ(result.level(v, static_cast<I>(s)),
+                oracle[static_cast<std::size_t>(v)])
+          << "vertex " << v << " source " << sources[s];
+    }
+  }
+}
+
+TEST(MsBfs, AllKernelsAgree) {
+  RmatParams p = RmatParams::er(6, 4, 31);
+  p.symmetric = true;
+  const Matrix g = rmat_matrix<I, double>(p);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  const auto base = multi_source_bfs(g, std::vector<I>{1, 2}, opts);
+  for (const Algorithm algo :
+       {Algorithm::kHeap, Algorithm::kHashVector, Algorithm::kSpa1p}) {
+    opts.algorithm = algo;
+    const auto other = multi_source_bfs(g, std::vector<I>{1, 2}, opts);
+    EXPECT_EQ(base.levels, other.levels) << algorithm_name(algo);
+  }
+}
+
+// --- Markov clustering ---------------------------------------------------------
+
+TEST(Mcl, TwoCliquesWithBridgeSplit) {
+  // Two K4 cliques joined by a single bridge edge: MCL must find 2 clusters.
+  std::vector<std::pair<I, I>> edges;
+  for (I i = 0; i < 4; ++i) {
+    for (I j = i + 1; j < 4; ++j) {
+      edges.emplace_back(i, j);          // clique A: 0..3
+      edges.emplace_back(i + 4, j + 4);  // clique B: 4..7
+    }
+  }
+  edges.emplace_back(3, 4);  // bridge
+  const Matrix g = graph_from_edges(8, edges);
+  const auto result = markov_cluster(g);
+  EXPECT_EQ(result.clusters, 2);
+  // Members of each clique share a label.
+  for (I v = 1; v < 4; ++v) {
+    EXPECT_EQ(result.cluster_of[static_cast<std::size_t>(v)],
+              result.cluster_of[0]);
+  }
+  for (I v = 5; v < 8; ++v) {
+    EXPECT_EQ(result.cluster_of[static_cast<std::size_t>(v)],
+              result.cluster_of[4]);
+  }
+  EXPECT_NE(result.cluster_of[0], result.cluster_of[4]);
+}
+
+TEST(Mcl, SingleCliqueIsOneCluster) {
+  const auto result = markov_cluster(complete_graph(5));
+  EXPECT_EQ(result.clusters, 1);
+}
+
+TEST(Mcl, ConvergesWithinBudget) {
+  const auto result = markov_cluster(complete_graph(6));
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, MclParams{}.max_iterations);
+}
+
+TEST(Mcl, EveryVertexGetsALabel) {
+  RmatParams p = RmatParams::er(5, 3, 71);
+  p.symmetric = true;
+  const Matrix g = rmat_matrix<I, double>(p);
+  const auto result = markov_cluster(g);
+  EXPECT_GE(result.clusters, 1);
+  for (const I label : result.cluster_of) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, result.clusters);
+  }
+}
+
+// --- AMG Galerkin product -------------------------------------------------------
+
+TEST(AmgGalerkin, Poisson1dCoarseOperator) {
+  // P^T A P of 1D Poisson with aggregates of 2 is again tridiagonal-like
+  // with row sums preserved at the boundary structure; dimension halves.
+  const auto a = poisson_1d<I, double>(16);
+  const auto p = aggregation_prolongator<I, double>(16, 2);
+  const auto result = galerkin_product(a, p);
+  EXPECT_EQ(result.coarse.nrows, 8);
+  EXPECT_EQ(result.coarse.ncols, 8);
+  // Known stencil: piecewise-constant aggregation of size 2 on [-1,2,-1]
+  // gives interior rows [-1, 2, -1] on the coarse level.
+  const auto dense = result.coarse.to_dense();
+  for (I i = 1; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(dense[static_cast<std::size_t>(i * 8 + i)], 2.0) << i;
+    EXPECT_DOUBLE_EQ(dense[static_cast<std::size_t>(i * 8 + i - 1)], -1.0);
+    EXPECT_DOUBLE_EQ(dense[static_cast<std::size_t>(i * 8 + i + 1)], -1.0);
+  }
+}
+
+TEST(AmgGalerkin, CoarseOperatorIsSymmetricForSymmetricA) {
+  const auto a = poisson_2d<I, double>(8, 8);
+  const auto p = aggregation_prolongator<I, double>(64, 4);
+  const auto result = galerkin_product(a, p);
+  const auto at = transpose(result.coarse);
+  EXPECT_TRUE(approx_equal(result.coarse, at, 1e-12));
+}
+
+TEST(AmgGalerkin, RowSumsArePreservedByConstantInterpolation) {
+  // For piecewise-constant P, P^T A P applied to the constant vector gives
+  // P^T (A 1) — and A 1 = 0 in the interior of a Poisson operator, so the
+  // coarse row sums must also vanish in the interior.
+  const auto a = poisson_1d<I, double>(32);
+  const auto p = aggregation_prolongator<I, double>(32, 4);
+  const auto result = galerkin_product(a, p);
+  const auto dense = result.coarse.to_dense();
+  const I nc = result.coarse.nrows;
+  for (I i = 1; i + 1 < nc; ++i) {
+    double row_sum = 0.0;
+    for (I j = 0; j < nc; ++j) {
+      row_sum += dense[static_cast<std::size_t>(i * nc + j)];
+    }
+    EXPECT_NEAR(row_sum, 0.0, 1e-12) << i;
+  }
+}
+
+TEST(AmgGalerkin, KernelsAgreeOnGalerkinProduct) {
+  const auto a = poisson_2d<I, double>(10, 10);
+  const auto p = aggregation_prolongator<I, double>(100, 5);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  const auto base = galerkin_product(a, p, opts);
+  for (const Algorithm algo :
+       {Algorithm::kHeap, Algorithm::kMerge, Algorithm::kSpa}) {
+    opts.algorithm = algo;
+    const auto other = galerkin_product(a, p, opts);
+    EXPECT_TRUE(approx_equal(base.coarse, other.coarse, 1e-10))
+        << algorithm_name(algo);
+  }
+}
+
+TEST(AmgGalerkin, ProlongatorRejectsBadAggSize) {
+  EXPECT_THROW((aggregation_prolongator<I, double>(10, 0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spgemm::apps

@@ -1,0 +1,119 @@
+// Tests for batched betweenness centrality against the serial Brandes
+// oracle and hand-computed values on canonical graphs.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "apps/betweenness.hpp"
+#include "matrix/rmat.hpp"
+
+namespace spgemm::apps {
+namespace {
+
+using I = std::int32_t;
+using Matrix = CsrMatrix<I, double>;
+
+Matrix undirected(I n, const std::vector<std::pair<I, I>>& edges) {
+  CooMatrix<I, double> coo;
+  coo.nrows = n;
+  coo.ncols = n;
+  for (const auto& [u, v] : edges) {
+    coo.push_back(u, v, 1.0);
+    coo.push_back(v, u, 1.0);
+  }
+  return csr_from_coo(std::move(coo));
+}
+
+std::vector<I> all_vertices(I n) {
+  std::vector<I> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), I{0});
+  return v;
+}
+
+TEST(Betweenness, PathGraphCenterDominates) {
+  // Path 0-1-2-3-4: vertex 2 lies on the most shortest paths.
+  const Matrix g = undirected(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto result = betweenness_centrality(g, all_vertices(5));
+  // Undirected exact values (summed over ordered pairs): ends 0, middle 8.
+  EXPECT_DOUBLE_EQ(result.score[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.score[4], 0.0);
+  EXPECT_DOUBLE_EQ(result.score[2], 8.0);
+  EXPECT_GT(result.score[2], result.score[1]);
+}
+
+TEST(Betweenness, StarGraphHubTakesAll) {
+  // Star with center 0 and 4 leaves: every leaf pair routes through 0.
+  const Matrix g = undirected(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto result = betweenness_centrality(g, all_vertices(5));
+  // 4*3 ordered leaf pairs, each fully dependent on the hub.
+  EXPECT_DOUBLE_EQ(result.score[0], 12.0);
+  for (int leaf = 1; leaf < 5; ++leaf) {
+    EXPECT_DOUBLE_EQ(result.score[static_cast<std::size_t>(leaf)], 0.0);
+  }
+}
+
+TEST(Betweenness, CompleteGraphAllZero) {
+  // K5: every pair is adjacent; no intermediary carries dependency.
+  std::vector<std::pair<I, I>> edges;
+  for (I i = 0; i < 5; ++i) {
+    for (I j = i + 1; j < 5; ++j) edges.emplace_back(i, j);
+  }
+  const Matrix g = undirected(5, edges);
+  const auto result = betweenness_centrality(g, all_vertices(5));
+  for (const double s : result.score) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(Betweenness, MatchesBrandesOracleOnRandomGraph) {
+  RmatParams p = RmatParams::er(6, 5, 321);
+  p.symmetric = true;
+  const Matrix g = rmat_matrix<I, double>(p);
+  const auto sources = all_vertices(g.nrows);
+  const auto batched = betweenness_centrality(g, sources);
+  const auto oracle = brandes_reference(g, sources);
+  ASSERT_EQ(batched.score.size(), oracle.size());
+  for (std::size_t v = 0; v < oracle.size(); ++v) {
+    ASSERT_NEAR(batched.score[v], oracle[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(Betweenness, SubsetOfSourcesMatchesOracle) {
+  RmatParams p = RmatParams::g500(6, 6, 99);
+  p.symmetric = true;
+  const Matrix g = rmat_matrix<I, double>(p);
+  const std::vector<I> sources{0, 7, 13, 31};
+  const auto batched = betweenness_centrality(g, sources);
+  const auto oracle = brandes_reference(g, sources);
+  for (std::size_t v = 0; v < oracle.size(); ++v) {
+    ASSERT_NEAR(batched.score[v], oracle[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(Betweenness, KernelsAgree) {
+  RmatParams p = RmatParams::er(6, 4, 17);
+  p.symmetric = true;
+  const Matrix g = rmat_matrix<I, double>(p);
+  const std::vector<I> sources{1, 2, 3};
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  const auto base = betweenness_centrality(g, sources, opts);
+  for (const Algorithm algo :
+       {Algorithm::kHeap, Algorithm::kHashVector, Algorithm::kAdaptive}) {
+    opts.algorithm = algo;
+    const auto other = betweenness_centrality(g, sources, opts);
+    for (std::size_t v = 0; v < base.score.size(); ++v) {
+      ASSERT_NEAR(base.score[v], other.score[v], 1e-9)
+          << algorithm_name(algo);
+    }
+  }
+}
+
+TEST(Betweenness, RejectsRectangular) {
+  CsrMatrix<I, double> rect(3, 4);
+  EXPECT_THROW(betweenness_centrality(rect, std::vector<I>{0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spgemm::apps

@@ -1,0 +1,149 @@
+// Unit tests for src/common: PRNGs, timer, CPU feature detection, env vars.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <thread>
+
+#include "common/cpu_features.hpp"
+#include "common/env.hpp"
+#include "common/random.hpp"
+#include "common/timer.hpp"
+
+namespace spgemm {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference value of splitmix64(seed=0) first output, from the public
+  // domain reference implementation.
+  SplitMix64 rng(0);
+  EXPECT_EQ(rng.next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(SplitMix64, DoubleInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, NextBelowRespectsBound) {
+  SplitMix64 rng(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(SplitMix64, NextBelowCoversRange) {
+  SplitMix64 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, RoughlyUniformBits) {
+  Xoshiro256 rng(5);
+  int ones = 0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    ones += __builtin_popcountll(rng.next());
+  }
+  const double mean_bits = static_cast<double>(ones) / kSamples;
+  EXPECT_NEAR(mean_bits, 32.0, 0.5);
+}
+
+TEST(Timer, MeasuresSleep) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = t.millis();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 500.0);
+}
+
+TEST(Timer, ResetRestartsClock) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.reset();
+  EXPECT_LT(t.millis(), 10.0);
+}
+
+TEST(Timer, UnitsAreConsistent) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = t.seconds();
+  const double ms = t.millis();
+  EXPECT_NEAR(ms / 1000.0, s, 0.01);
+}
+
+TEST(CpuFeatures, DetectionIsStable) {
+  const SimdLevel a = detected_simd_level();
+  const SimdLevel b = detected_simd_level();
+  EXPECT_EQ(a, b);
+}
+
+TEST(CpuFeatures, NameIsNonEmpty) {
+  EXPECT_STRNE(simd_level_name(detected_simd_level()), "");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx512), "avx512");
+}
+
+TEST(Env, IntFallbackAndParse) {
+  ::unsetenv("SPGEMM_TEST_INT");
+  EXPECT_EQ(env::get_int("SPGEMM_TEST_INT", 7), 7);
+  ::setenv("SPGEMM_TEST_INT", "42", 1);
+  EXPECT_EQ(env::get_int("SPGEMM_TEST_INT", 7), 42);
+  ::setenv("SPGEMM_TEST_INT", "not-a-number", 1);
+  EXPECT_EQ(env::get_int("SPGEMM_TEST_INT", 7), 7);
+  ::unsetenv("SPGEMM_TEST_INT");
+}
+
+TEST(Env, BoolVariants) {
+  ::unsetenv("SPGEMM_TEST_BOOL");
+  EXPECT_TRUE(env::get_bool("SPGEMM_TEST_BOOL", true));
+  EXPECT_FALSE(env::get_bool("SPGEMM_TEST_BOOL", false));
+  for (const char* yes : {"1", "true", "YES", "On"}) {
+    ::setenv("SPGEMM_TEST_BOOL", yes, 1);
+    EXPECT_TRUE(env::get_bool("SPGEMM_TEST_BOOL", false)) << yes;
+  }
+  for (const char* no : {"0", "false", "NO", "Off"}) {
+    ::setenv("SPGEMM_TEST_BOOL", no, 1);
+    EXPECT_FALSE(env::get_bool("SPGEMM_TEST_BOOL", true)) << no;
+  }
+  ::unsetenv("SPGEMM_TEST_BOOL");
+}
+
+TEST(Env, StringFallback) {
+  ::unsetenv("SPGEMM_TEST_STR");
+  EXPECT_EQ(env::get_string("SPGEMM_TEST_STR", "dflt"), "dflt");
+  ::setenv("SPGEMM_TEST_STR", "value", 1);
+  EXPECT_EQ(env::get_string("SPGEMM_TEST_STR", "dflt"), "value");
+  ::unsetenv("SPGEMM_TEST_STR");
+}
+
+}  // namespace
+}  // namespace spgemm

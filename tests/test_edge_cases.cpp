@@ -1,0 +1,264 @@
+// Edge-case and stress tests across the kernel suite: degenerate shapes,
+// pathological skew, thread overcommit, explicit zeros, differential
+// fuzzing of the accumulators, and allocator churn.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cstring>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "accumulator/hash_table.hpp"
+#include "accumulator/hash_vec.hpp"
+#include "core/multiply.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/rmat.hpp"
+#include "mem/pool_allocator.hpp"
+
+namespace spgemm {
+namespace {
+
+using I = std::int32_t;
+using Matrix = CsrMatrix<I, double>;
+using Triplets = std::vector<std::tuple<I, I, double>>;
+
+const std::vector<Algorithm> kAllKernels = {
+    Algorithm::kHeap, Algorithm::kHash,   Algorithm::kHashVector,
+    Algorithm::kSpa,  Algorithm::kSpa1p,  Algorithm::kKkHash,
+    Algorithm::kMerge, Algorithm::kAdaptive,
+};
+
+class EdgeCase : public ::testing::TestWithParam<Algorithm> {
+ protected:
+  SpGemmOptions opts() const {
+    SpGemmOptions o;
+    o.algorithm = GetParam();
+    o.threads = 3;
+    return o;
+  }
+};
+
+TEST_P(EdgeCase, ZeroByZeroMatrix) {
+  Matrix empty(0, 0);
+  const Matrix c = multiply(empty, empty, opts());
+  EXPECT_EQ(c.nrows, 0);
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST_P(EdgeCase, ZeroRowsTimesSomething) {
+  Matrix a(0, 5);
+  Matrix b(5, 3);
+  const Matrix c = multiply(a, b, opts());
+  EXPECT_EQ(c.nrows, 0);
+  EXPECT_EQ(c.ncols, 3);
+}
+
+TEST_P(EdgeCase, MoreThreadsThanRows) {
+  const auto a = csr_from_triplets<I, double>(
+      3, 3, Triplets{{0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 3.0}});
+  SpGemmOptions o = opts();
+  o.threads = 16;  // far more threads than rows
+  const Matrix c = multiply(a, a, o);
+  EXPECT_TRUE(approx_equal(c, spgemm_reference(a, a)));
+}
+
+TEST_P(EdgeCase, StarGraphMaximalSkew) {
+  // One dense row + one dense column: the most skewed flop distribution
+  // possible (a single row carries ~all the work).
+  constexpr I kN = 256;
+  Triplets t;
+  for (I j = 1; j < kN; ++j) {
+    t.emplace_back(0, j, 1.0);
+    t.emplace_back(j, 0, 1.0);
+  }
+  const auto a = csr_from_triplets<I, double>(kN, kN, t);
+  const Matrix c = multiply(a, a, opts());
+  EXPECT_TRUE(approx_equal(c, spgemm_reference(a, a)))
+      << algorithm_name(GetParam());
+}
+
+TEST_P(EdgeCase, ExplicitZeroValuesPropagate) {
+  // Stored zeros are structure: they multiply through like any value.
+  const auto a = csr_from_triplets<I, double>(
+      2, 2, Triplets{{0, 0, 0.0}, {0, 1, 1.0}, {1, 0, 2.0}});
+  const Matrix c = multiply(a, a, opts());
+  const Matrix expected = spgemm_reference(a, a);
+  EXPECT_TRUE(approx_equal(c, expected));
+  EXPECT_EQ(c.nnz(), expected.nnz());
+}
+
+TEST_P(EdgeCase, SingleColumnOutput) {
+  // B is n x 1: every output row collapses to at most one entry.
+  const auto a = rmat_matrix<I, double>(RmatParams::er(6, 4, 3));
+  Triplets t;
+  for (I i = 0; i < a.ncols; i += 2) t.emplace_back(i, 0, 1.0);
+  const auto b = csr_from_triplets<I, double>(a.ncols, 1, t);
+  const Matrix c = multiply(a, b, opts());
+  EXPECT_TRUE(approx_equal(c, spgemm_reference(a, b)));
+  EXPECT_EQ(c.ncols, 1);
+}
+
+TEST_P(EdgeCase, ChainOfPermutationMatrices) {
+  // Permutation matrices compose: P1*P2 is again a permutation.
+  constexpr I kN = 64;
+  Triplets t1;
+  Triplets t2;
+  for (I i = 0; i < kN; ++i) {
+    t1.emplace_back(i, (i * 7 + 3) % kN, 1.0);
+    t2.emplace_back(i, (i * 13 + 5) % kN, 1.0);
+  }
+  const auto p1 = csr_from_triplets<I, double>(kN, kN, t1);
+  const auto p2 = csr_from_triplets<I, double>(kN, kN, t2);
+  const Matrix c = multiply(p1, p2, opts());
+  EXPECT_EQ(c.nnz(), kN);
+  for (I i = 0; i < kN; ++i) EXPECT_EQ(c.row_nnz(i), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, EdgeCase,
+                         ::testing::ValuesIn(kAllKernels),
+                         [](const auto& info) {
+                           std::string name = algorithm_name(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
+// --- Differential fuzz: accumulators vs std::unordered_map -------------------
+
+template <typename Acc>
+void fuzz_against_unordered_map(Acc& acc, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (int round = 0; round < 60; ++round) {
+    const auto universe = static_cast<I>(8 + rng.next_below(4096));
+    const auto ops = 1 + rng.next_below(300);
+    acc.prepare(hash_table_size_for(static_cast<Offset>(ops),
+                                    static_cast<std::size_t>(universe)));
+    std::unordered_map<I, double> oracle;
+    for (std::uint64_t o = 0; o < ops; ++o) {
+      const I key = static_cast<I>(
+          rng.next_below(static_cast<std::uint64_t>(universe)));
+      const double v = rng.next_double() - 0.5;
+      acc.accumulate(key, v);
+      oracle[key] += v;
+    }
+    ASSERT_EQ(acc.count(), oracle.size()) << "round " << round;
+    std::vector<I> cols(oracle.size());
+    std::vector<double> vals(oracle.size());
+    acc.extract_sorted(cols.data(), vals.data());
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      auto it = oracle.find(cols[i]);
+      ASSERT_NE(it, oracle.end()) << "round " << round;
+      ASSERT_NEAR(vals[i], it->second, 1e-12) << "round " << round;
+    }
+    acc.reset();
+  }
+}
+
+TEST(AccumulatorFuzz, HashVsUnorderedMap) {
+  HashAccumulator<I, double> acc;
+  fuzz_against_unordered_map(acc, 0xF00D);
+}
+
+TEST(AccumulatorFuzz, HashVecVsUnorderedMap) {
+  for (const ProbeKind kind :
+       {ProbeKind::kScalar, ProbeKind::kAvx2, ProbeKind::kAvx512}) {
+    HashVecAccumulator<I, double> acc(kind);
+    fuzz_against_unordered_map(acc, 0xBEEF);
+  }
+}
+
+TEST(AccumulatorFuzz, HashVec64BitKeysScalarPath) {
+  // int64 keys take the scalar chunk walk; same protocol must hold.
+  HashVecAccumulator<std::int64_t, double> acc;
+  acc.prepare(256);
+  std::unordered_map<std::int64_t, double> oracle;
+  SplitMix64 rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const auto key = static_cast<std::int64_t>(rng.next_below(200));
+    acc.accumulate(key, 1.0);
+    oracle[key] += 1.0;
+  }
+  EXPECT_EQ(acc.count(), oracle.size());
+}
+
+// --- Kernel fuzz: random shapes through every kernel --------------------------
+
+TEST(KernelFuzz, RandomRectangularShapes) {
+  SplitMix64 rng(2025);
+  for (int round = 0; round < 12; ++round) {
+    const auto m = static_cast<I>(1 + rng.next_below(80));
+    const auto k = static_cast<I>(1 + rng.next_below(80));
+    const auto n = static_cast<I>(1 + rng.next_below(80));
+    const auto nnz_a = static_cast<Offset>(
+        rng.next_below(static_cast<std::uint64_t>(m) * k / 2 + 1));
+    const auto nnz_b = static_cast<Offset>(
+        rng.next_below(static_cast<std::uint64_t>(k) * n / 2 + 1));
+    const auto a = uniform_random_matrix<I, double>(m, k, nnz_a, round);
+    const auto b =
+        uniform_random_matrix<I, double>(k, n, nnz_b, round + 1000);
+    const Matrix expected = spgemm_reference(a, b);
+    for (const Algorithm algo : kAllKernels) {
+      SpGemmOptions o;
+      o.algorithm = algo;
+      o.threads = 2;
+      const Matrix c = multiply(a, b, o);
+      ASSERT_TRUE(approx_equal(c, expected))
+          << algorithm_name(algo) << " round " << round << " dims " << m
+          << "x" << k << "x" << n;
+    }
+  }
+}
+
+// --- Pool allocator churn under concurrency ----------------------------------
+
+TEST(PoolStress, ConcurrentChurn) {
+  constexpr int kThreads = 8;
+#pragma omp parallel num_threads(kThreads)
+  {
+    const int tid = omp_get_thread_num();
+    std::uint64_t state = 777 + static_cast<std::uint64_t>(tid);
+    std::vector<void*> live;
+    for (int i = 0; i < 3000; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      if (live.size() > 32 || (state & 1 && !live.empty())) {
+        mem::pool_free(live.back());
+        live.pop_back();
+      } else {
+        const std::size_t bytes = 16 + (state >> 40);
+        void* p = mem::pool_malloc(bytes);
+        std::memset(p, tid, bytes);
+        live.push_back(p);
+      }
+    }
+    for (void* p : live) mem::pool_free(p);
+  }
+  SUCCEED();
+}
+
+// --- Moderate-scale smoke under memory pressure -------------------------------
+
+TEST(Stress, Scale13SquareAllFlagshipKernels) {
+  const auto a = rmat_matrix<I, double>(RmatParams::g500(13, 16, 31337));
+  SpGemmOptions o;
+  o.threads = 4;
+  SpGemmStats base_stats;
+  o.algorithm = Algorithm::kHash;
+  const Matrix base = multiply(a, a, o, &base_stats);
+  EXPECT_NO_THROW(base.validate());
+  for (const Algorithm algo :
+       {Algorithm::kHeap, Algorithm::kHashVector, Algorithm::kSpa1p}) {
+    o.algorithm = algo;
+    SpGemmStats stats;
+    const Matrix c = multiply(a, a, o, &stats);
+    EXPECT_EQ(stats.nnz_out, base_stats.nnz_out) << algorithm_name(algo);
+    EXPECT_EQ(stats.flop, base_stats.flop) << algorithm_name(algo);
+  }
+}
+
+}  // namespace
+}  // namespace spgemm

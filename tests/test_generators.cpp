@@ -1,0 +1,208 @@
+// Tests for the workload generators: R-MAT (ER and G500), banded and
+// uniform matrices — determinism, density targets, degree-skew contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/recipe.hpp"
+#include "core/spgemm_ref.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/rmat.hpp"
+#include "matrix/stats.hpp"
+
+namespace spgemm {
+namespace {
+
+using I = std::int32_t;
+
+TEST(Rmat, DimensionsMatchScale) {
+  const auto a = rmat_matrix<I, double>(RmatParams::er(8, 4, 1));
+  EXPECT_EQ(a.nrows, 256);
+  EXPECT_EQ(a.ncols, 256);
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Rmat, DeterministicForSeed) {
+  const auto a = rmat_matrix<I, double>(RmatParams::g500(8, 8, 5));
+  const auto b = rmat_matrix<I, double>(RmatParams::g500(8, 8, 5));
+  EXPECT_EQ(a.cols, b.cols);
+  EXPECT_EQ(a.rpts, b.rpts);
+  EXPECT_EQ(a.vals, b.vals);
+}
+
+TEST(Rmat, SeedChangesOutput) {
+  const auto a = rmat_matrix<I, double>(RmatParams::g500(8, 8, 5));
+  const auto b = rmat_matrix<I, double>(RmatParams::g500(8, 8, 6));
+  EXPECT_NE(a.cols, b.cols);
+}
+
+TEST(Rmat, NnzNearTargetForEr) {
+  // ER at scale 12, EF 8: dedup loses only a tiny fraction.
+  const auto a = rmat_matrix<I, double>(RmatParams::er(12, 8, 9));
+  const double target = 4096.0 * 8.0;
+  EXPECT_GT(static_cast<double>(a.nnz()), 0.95 * target);
+  EXPECT_LE(static_cast<double>(a.nnz()), target);
+}
+
+TEST(Rmat, G500IsMoreSkewedThanEr) {
+  const auto er = rmat_matrix<I, double>(RmatParams::er(12, 16, 3));
+  const auto g500 = rmat_matrix<I, double>(RmatParams::g500(12, 16, 3));
+  const DegreeStats ds_er = degree_stats(er);
+  const DegreeStats ds_g500 = degree_stats(g500);
+  EXPECT_GT(ds_g500.skew(), 3.0 * ds_er.skew());
+  EXPECT_GT(ds_g500.max, 4 * ds_er.max);
+}
+
+TEST(Rmat, SymmetricFlagProducesSymmetricStructure) {
+  RmatParams p = RmatParams::er(7, 4, 21);
+  p.symmetric = true;
+  const auto a = rmat_matrix<I, double>(p);
+  const auto at = transpose(a);
+  EXPECT_TRUE(approx_equal(a, at, 1e-12));
+}
+
+TEST(Rmat, RowsAreSortedAndDeduplicated) {
+  const auto a = rmat_matrix<I, double>(RmatParams::g500(9, 16, 2));
+  EXPECT_TRUE(a.rows_are_ascending());  // strict: also proves no duplicates
+}
+
+TEST(Banded, ExactDegreeInteriorRows) {
+  const auto a = banded_matrix<I, double>(100, 11, 4);
+  EXPECT_NO_THROW(a.validate());
+  // Interior rows hold exactly `degree` nonzeros.
+  for (I i = 10; i < 90; ++i) EXPECT_EQ(a.row_nnz(i), 11);
+  // Border rows are clipped but non-empty.
+  EXPECT_GT(a.row_nnz(0), 0);
+  EXPECT_LE(a.row_nnz(0), 11);
+}
+
+TEST(Banded, EntriesStayInBand) {
+  const auto a = banded_matrix<I, double>(64, 9, 7);
+  for (I i = 0; i < 64; ++i) {
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      EXPECT_NEAR(a.cols[static_cast<std::size_t>(j)], i, 9);
+    }
+  }
+}
+
+TEST(Banded, DegreeClampedToDimension) {
+  const auto a = banded_matrix<I, double>(4, 100, 1);
+  EXPECT_NO_THROW(a.validate());
+  for (I i = 0; i < 4; ++i) EXPECT_EQ(a.row_nnz(i), 4);
+}
+
+TEST(Banded, Deterministic) {
+  const auto a = banded_matrix<I, double>(200, 7, 3);
+  const auto b = banded_matrix<I, double>(200, 7, 3);
+  EXPECT_EQ(a.vals, b.vals);
+}
+
+TEST(Banded, SquaredHasHighCompressionRatio) {
+  // The property the proxies rely on: banded^2 compresses ~degree/4 or
+  // more, the paper's "high CR" FEM regime.
+  const auto a = banded_matrix<I, double>(2048, 33, 5);
+  const Offset flop = count_flops(a, a);
+  // nnz(A^2) <= n * (2*degree) for a banded matrix.
+  const double cr_lower_bound =
+      static_cast<double>(flop) / (2048.0 * 2.0 * 33.0);
+  EXPECT_GT(cr_lower_bound, recipe::kHighCompression);
+}
+
+TEST(ScatteredBand, ExactDegreeEveryRow) {
+  const auto a = scattered_band_matrix<I, double>(500, 12, 40, 3);
+  EXPECT_NO_THROW(a.validate());
+  for (I i = 0; i < 500; ++i) EXPECT_EQ(a.row_nnz(i), 12) << i;
+}
+
+TEST(ScatteredBand, ColumnsStayInWindow) {
+  const I window = 48;
+  const auto a = scattered_band_matrix<I, double>(1000, 8, window, 5);
+  for (I i = 0; i < 1000; ++i) {
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      EXPECT_NEAR(a.cols[static_cast<std::size_t>(j)], i, window) << i;
+    }
+  }
+}
+
+TEST(ScatteredBand, ColumnsAreDistinctAndSorted) {
+  const auto a = scattered_band_matrix<I, double>(300, 16, 64, 7);
+  EXPECT_TRUE(a.rows_are_ascending());  // strict: distinct + sorted
+}
+
+TEST(ScatteredBand, WindowEqualsDegreeIsDenseBand) {
+  // window == degree leaves no freedom: every window column is used.
+  const auto a = scattered_band_matrix<I, double>(100, 10, 10, 9);
+  for (I i = 20; i < 80; ++i) {
+    const auto first = a.cols[static_cast<std::size_t>(a.row_begin(i))];
+    const auto last =
+        a.cols[static_cast<std::size_t>(a.row_end(i)) - 1];
+    EXPECT_EQ(last - first, 9) << i;  // contiguous run
+  }
+}
+
+TEST(ScatteredBand, Deterministic) {
+  const auto a = scattered_band_matrix<I, double>(400, 9, 30, 11);
+  const auto b = scattered_band_matrix<I, double>(400, 9, 30, 11);
+  EXPECT_EQ(a.cols, b.cols);
+  EXPECT_EQ(a.vals, b.vals);
+}
+
+TEST(ScatteredBand, WiderWindowLowersCompressionRatio) {
+  // The calibration lever the proxies rely on: CR(A^2) falls as the window
+  // widens at fixed degree.
+  const auto narrow = scattered_band_matrix<I, double>(4096, 16, 16, 13);
+  const auto wide = scattered_band_matrix<I, double>(4096, 16, 128, 13);
+  const auto cr = [](const CsrMatrix<I, double>& m) {
+    const auto c = spgemm_reference(m, m);
+    return static_cast<double>(count_flops(m, m)) /
+           static_cast<double>(c.nnz());
+  };
+  EXPECT_GT(cr(narrow), 1.5 * cr(wide));
+}
+
+TEST(Uniform, TargetsNnz) {
+  const auto a = uniform_random_matrix<I, double>(1000, 1000, 8000, 13);
+  EXPECT_GT(a.nnz(), 7800);  // dedup removes only collisions
+  EXPECT_LE(a.nnz(), 8000);
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Uniform, RectangularShape) {
+  const auto a = uniform_random_matrix<I, double>(50, 500, 2000, 17);
+  EXPECT_EQ(a.nrows, 50);
+  EXPECT_EQ(a.ncols, 500);
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Uniform, LowSkew) {
+  const auto a = uniform_random_matrix<I, double>(4096, 4096, 65536, 19);
+  const DegreeStats ds = degree_stats(a);
+  EXPECT_LT(ds.skew(), recipe::kSkewThreshold);
+}
+
+TEST(DegreeStats, HandComputed) {
+  const auto a = csr_from_triplets<I, double>(
+      3, 3,
+      std::vector<std::tuple<I, I, double>>{
+          {0, 0, 1.0}, {0, 1, 1.0}, {0, 2, 1.0}, {1, 0, 1.0}});
+  const DegreeStats ds = degree_stats(a);
+  EXPECT_NEAR(ds.mean, 4.0 / 3.0, 1e-12);
+  EXPECT_EQ(ds.max, 3);
+  EXPECT_NEAR(ds.skew(), 3.0 / (4.0 / 3.0), 1e-12);
+}
+
+TEST(CountFlops, MatchesBruteForce) {
+  const auto a = rmat_matrix<I, double>(RmatParams::er(6, 4, 23));
+  const auto b = rmat_matrix<I, double>(RmatParams::g500(6, 4, 29));
+  Offset brute = 0;
+  for (I i = 0; i < a.nrows; ++i) {
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      brute += b.row_nnz(a.cols[static_cast<std::size_t>(j)]);
+    }
+  }
+  EXPECT_EQ(count_flops(a, b), brute);
+}
+
+}  // namespace
+}  // namespace spgemm

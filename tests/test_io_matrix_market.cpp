@@ -1,0 +1,143 @@
+// Tests for MatrixMarket I/O: banner parsing, symmetric expansion, pattern
+// matrices, round-trips, and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matrix/io_matrix_market.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/rmat.hpp"
+
+namespace spgemm::io {
+namespace {
+
+using I = std::int32_t;
+
+TEST(MmHeader, ParsesGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 2\n");
+  const MmHeader h = read_mm_header(in);
+  EXPECT_FALSE(h.pattern);
+  EXPECT_FALSE(h.symmetric);
+  EXPECT_EQ(h.nrows, 3);
+  EXPECT_EQ(h.ncols, 4);
+  EXPECT_EQ(h.entries, 2);
+}
+
+TEST(MmHeader, CaseInsensitiveBanner) {
+  std::istringstream in(
+      "%%MatrixMarket MATRIX Coordinate REAL General\n1 1 0\n");
+  EXPECT_NO_THROW(read_mm_header(in));
+}
+
+TEST(MmHeader, RejectsArrayFormat) {
+  std::istringstream in("%%MatrixMarket matrix array real general\n1 1 1\n");
+  EXPECT_THROW(read_mm_header(in), std::runtime_error);
+}
+
+TEST(MmHeader, RejectsComplexField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n");
+  EXPECT_THROW(read_mm_header(in), std::runtime_error);
+}
+
+TEST(MmHeader, RejectsMissingSizeLine) {
+  std::istringstream in("%%MatrixMarket matrix coordinate real general\n");
+  EXPECT_THROW(read_mm_header(in), std::runtime_error);
+}
+
+TEST(ReadMatrixMarket, SmallGeneral) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.5\n"
+      "1 2 -2\n"
+      "2 2 3e0\n");
+  const auto m = read_matrix_market<I, double>(in);
+  EXPECT_EQ(m.nrows, 2);
+  EXPECT_EQ(m.nnz(), 3);
+  const std::vector<double> expected{1.5, -2.0, 0.0, 3.0};
+  EXPECT_EQ(m.to_dense(), expected);
+}
+
+TEST(ReadMatrixMarket, SymmetricExpansion) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 1\n"
+      "2 1 5\n"
+      "3 2 7\n");
+  const auto m = read_matrix_market<I, double>(in);
+  // Diagonal stays single; off-diagonals mirrored.
+  EXPECT_EQ(m.nnz(), 5);
+  const std::vector<double> expected{1, 5, 0, 5, 0, 7, 0, 7, 0};
+  EXPECT_EQ(m.to_dense(), expected);
+}
+
+TEST(ReadMatrixMarket, SkewSymmetricNegatesMirror) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 4\n");
+  const auto m = read_matrix_market<I, double>(in);
+  const std::vector<double> expected{0, -4, 4, 0};
+  EXPECT_EQ(m.to_dense(), expected);
+}
+
+TEST(ReadMatrixMarket, PatternGetsUnitValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const auto m = read_matrix_market<I, double>(in);
+  const std::vector<double> expected{0, 1, 1, 0};
+  EXPECT_EQ(m.to_dense(), expected);
+}
+
+TEST(ReadMatrixMarket, TruncatedFileThrows) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.0\n");
+  EXPECT_THROW((read_matrix_market<I, double>(in)), std::runtime_error);
+}
+
+TEST(ReadMatrixMarket, MissingFileThrows) {
+  EXPECT_THROW((read_matrix_market<I, double>(
+                   std::string("/nonexistent/path.mtx"))),
+               std::runtime_error);
+}
+
+TEST(WriteMatrixMarket, RoundTripRandomMatrix) {
+  const auto a = rmat_matrix<I, double>(RmatParams::g500(6, 4, 31));
+  std::stringstream buffer;
+  write_matrix_market(buffer, a);
+  const auto b = read_matrix_market<I, double>(buffer);
+  EXPECT_EQ(a.nrows, b.nrows);
+  EXPECT_EQ(a.ncols, b.ncols);
+  EXPECT_EQ(a.nnz(), b.nnz());
+  EXPECT_TRUE(approx_equal(a, b, 1e-12));
+}
+
+TEST(WriteMatrixMarket, RoundTripThroughFile) {
+  const auto a = rmat_matrix<I, double>(RmatParams::er(5, 3, 77));
+  const std::string path = ::testing::TempDir() + "/spgemm_roundtrip.mtx";
+  write_matrix_market(path, a);
+  const auto b = read_matrix_market<I, double>(path);
+  EXPECT_TRUE(approx_equal(a, b, 1e-12));
+}
+
+TEST(WriteMatrixMarket, EmptyMatrix) {
+  CsrMatrix<I, double> empty(3, 3);
+  std::stringstream buffer;
+  write_matrix_market(buffer, empty);
+  const auto back = read_matrix_market<I, double>(buffer);
+  EXPECT_EQ(back.nnz(), 0);
+  EXPECT_EQ(back.nrows, 3);
+}
+
+}  // namespace
+}  // namespace spgemm::io

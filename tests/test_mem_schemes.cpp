@@ -1,0 +1,60 @@
+// Tests for the §3.2 allocation-scheme experiment core (Fig. 3/4 machinery).
+#include <gtest/gtest.h>
+
+#include "mem/alloc_schemes.hpp"
+
+namespace spgemm::mem {
+namespace {
+
+class AllocSchemes
+    : public ::testing::TestWithParam<std::tuple<AllocScheme, AllocKind>> {};
+
+TEST_P(AllocSchemes, RunsAndReportsNonNegativeTimings) {
+  const auto [scheme, kind] = GetParam();
+  const AllocTimings t =
+      run_alloc_experiment(8u << 20, scheme, kind, /*threads=*/4);
+  EXPECT_GE(t.alloc_ms, 0.0);
+  EXPECT_GE(t.touch_ms, 0.0);
+  EXPECT_GE(t.dealloc_ms, 0.0);
+  // Touching 8 MB cannot be instantaneous-zero AND enormous; sanity bound.
+  EXPECT_LT(t.touch_ms, 10000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAndKinds, AllocSchemes,
+    ::testing::Combine(::testing::Values(AllocScheme::kSingle,
+                                         AllocScheme::kParallel),
+                       ::testing::Values(AllocKind::kCpp, AllocKind::kAligned,
+                                         AllocKind::kPool)),
+    [](const auto& info) {
+      const AllocScheme scheme = std::get<0>(info.param);
+      const AllocKind kind = std::get<1>(info.param);
+      return std::string(alloc_scheme_name(scheme)) + "_" +
+             (kind == AllocKind::kCpp
+                  ? "cpp"
+                  : kind == AllocKind::kAligned ? "aligned" : "pool");
+    });
+
+TEST(AllocSchemes, SmallSingleAllocation) {
+  const AllocTimings t =
+      run_alloc_experiment(4096, AllocScheme::kSingle, AllocKind::kCpp, 1);
+  EXPECT_GE(t.alloc_ms, 0.0);
+}
+
+TEST(AllocSchemes, ParallelSplitsAcrossThreads) {
+  // Parallel with 1 thread must behave like single (no crash, full touch).
+  const AllocTimings t = run_alloc_experiment(1u << 20, AllocScheme::kParallel,
+                                              AllocKind::kPool, 1);
+  EXPECT_GE(t.touch_ms, 0.0);
+}
+
+TEST(AllocSchemes, NamesAreStable) {
+  EXPECT_STREQ(alloc_scheme_name(AllocScheme::kSingle), "single");
+  EXPECT_STREQ(alloc_scheme_name(AllocScheme::kParallel), "parallel");
+  EXPECT_STREQ(alloc_kind_name(AllocKind::kCpp), "C++");
+  EXPECT_STREQ(alloc_kind_name(AllocKind::kAligned), "aligned");
+  EXPECT_STREQ(alloc_kind_name(AllocKind::kPool), "pool");
+}
+
+}  // namespace
+}  // namespace spgemm::mem

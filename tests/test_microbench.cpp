@@ -1,0 +1,74 @@
+// Unit tests for the microbenchmark measurement cores (Figs. 2 and 5):
+// they must produce stable, physically sensible numbers since the figure
+// benches build directly on them.
+#include <gtest/gtest.h>
+
+#include "microbench/scheduling.hpp"
+#include "microbench/stanza.hpp"
+
+namespace spgemm::microbench {
+namespace {
+
+TEST(SchedulingCost, NonNegativeAndFinite) {
+  for (const OmpSchedule s :
+       {OmpSchedule::kStatic, OmpSchedule::kDynamic, OmpSchedule::kGuided}) {
+    const double ms = scheduling_cost_ms(s, 1 << 12, /*threads=*/2,
+                                         /*repeats=*/3);
+    EXPECT_GE(ms, 0.0);
+    EXPECT_LT(ms, 10000.0);
+  }
+}
+
+TEST(SchedulingCost, DynamicCostGrowsWithIterations) {
+  // The core Fig. 2 relationship: dynamic dispatch cost scales with the
+  // iteration count (each iteration is a runtime transaction).
+  const double small = scheduling_cost_ms(OmpSchedule::kDynamic, 1 << 8, 2, 3);
+  const double large =
+      scheduling_cost_ms(OmpSchedule::kDynamic, 1 << 16, 2, 3);
+  EXPECT_GT(large, small);
+}
+
+TEST(SchedulingCost, StaticCheaperThanDynamicAtScale) {
+  const double stat = scheduling_cost_ms(OmpSchedule::kStatic, 1 << 17, 2, 3);
+  const double dyn = scheduling_cost_ms(OmpSchedule::kDynamic, 1 << 17, 2, 3);
+  EXPECT_LT(stat, dyn);
+}
+
+TEST(SchedulingCost, NamesStable) {
+  EXPECT_STREQ(omp_schedule_name(OmpSchedule::kStatic), "static");
+  EXPECT_STREQ(omp_schedule_name(OmpSchedule::kDynamic), "dynamic");
+  EXPECT_STREQ(omp_schedule_name(OmpSchedule::kGuided), "guided");
+}
+
+TEST(StanzaBandwidth, PositiveAndBounded) {
+  const StanzaResult r = stanza_read_bandwidth(
+      /*array_bytes=*/1 << 24, /*stanza_bytes=*/256,
+      /*touch_bytes=*/1 << 22, /*threads=*/2);
+  EXPECT_GT(r.gbytes_per_s, 0.0);
+  EXPECT_LT(r.gbytes_per_s, 10000.0);  // no machine reads 10 TB/s
+}
+
+TEST(StanzaBandwidth, ChecksumDeterministicForSeed) {
+  const StanzaResult a = stanza_read_bandwidth(1 << 22, 64, 1 << 20, 1, 7);
+  const StanzaResult b = stanza_read_bandwidth(1 << 22, 64, 1 << 20, 1, 7);
+  EXPECT_EQ(a.checksum, b.checksum);
+}
+
+TEST(StanzaBandwidth, LongStanzasNotSlowerThanTinyOnes) {
+  // The Fig. 5 monotonicity (within noise): sequential 4 KB stanzas must
+  // not be slower than random 8-byte reads.
+  const double tiny =
+      stanza_read_bandwidth(1 << 26, 8, 1 << 23, 2).gbytes_per_s;
+  const double longer =
+      stanza_read_bandwidth(1 << 26, 4096, 1 << 24, 2).gbytes_per_s;
+  EXPECT_GT(longer, tiny * 0.8);
+}
+
+TEST(StanzaBandwidth, TinyArrayClampsSafely) {
+  // Degenerate sizes must not crash or divide by zero.
+  const StanzaResult r = stanza_read_bandwidth(1024, 8, 4096, 1);
+  EXPECT_GT(r.gbytes_per_s, 0.0);
+}
+
+}  // namespace
+}  // namespace spgemm::microbench

@@ -1,0 +1,106 @@
+// Tests for the multiply() dispatcher: option plumbing, kAuto resolution,
+// stats reporting, error paths.
+#include <gtest/gtest.h>
+
+#include "core/multiply.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/rmat.hpp"
+
+namespace spgemm {
+namespace {
+
+using I = std::int32_t;
+using Matrix = CsrMatrix<I, double>;
+
+TEST(MultiplyDispatch, AutoResolvesAndComputes) {
+  const Matrix a = rmat_matrix<I, double>(RmatParams::g500(7, 8, 3));
+  SpGemmOptions opts;  // kAuto default
+  const Matrix c = multiply(a, a, opts);
+  EXPECT_TRUE(approx_equal(c, spgemm_reference(a, a)));
+}
+
+TEST(MultiplyDispatch, StatsAreFilled) {
+  const Matrix a = rmat_matrix<I, double>(RmatParams::er(8, 8, 5));
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  SpGemmStats stats;
+  const Matrix c = multiply(a, a, opts, &stats);
+  EXPECT_EQ(stats.nnz_out, c.nnz());
+  EXPECT_GT(stats.flop, 0);
+  EXPECT_GT(stats.numeric_ms, 0.0);
+  EXPECT_GT(stats.symbolic_ms, 0.0);  // two-phase kernel
+  EXPECT_GT(stats.mflops(), 0.0);
+  EXPECT_GT(stats.total_ms(), 0.0);
+  EXPECT_GT(stats.probes, 0u);  // hash kernels count probes
+}
+
+TEST(MultiplyDispatch, OnePhaseKernelsReportZeroSymbolic) {
+  const Matrix a = rmat_matrix<I, double>(RmatParams::er(7, 4, 7));
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHeap;
+  SpGemmStats stats;
+  multiply(a, a, opts, &stats);
+  EXPECT_EQ(stats.symbolic_ms, 0.0);
+}
+
+TEST(MultiplyDispatch, ReferenceAlgorithmWorksThroughDispatch) {
+  const Matrix a = rmat_matrix<I, double>(RmatParams::er(5, 4, 9));
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kReference;
+  SpGemmStats stats;
+  const Matrix c = multiply(a, a, opts, &stats);
+  EXPECT_EQ(stats.nnz_out, c.nnz());
+  EXPECT_TRUE(c.rows_are_ascending());
+}
+
+TEST(MultiplyDispatch, MflopsConventionIsTwoFlopPerProduct) {
+  SpGemmStats stats;
+  stats.flop = 500;
+  stats.numeric_ms = 1.0;
+  EXPECT_NEAR(stats.mflops(), 2.0 * 500.0 / 1e3, 1e-9);
+}
+
+TEST(MultiplyDispatch, SupportsUnsortedClassification) {
+  EXPECT_TRUE(supports_unsorted(Algorithm::kHash));
+  EXPECT_TRUE(supports_unsorted(Algorithm::kHashVector));
+  EXPECT_TRUE(supports_unsorted(Algorithm::kSpa));
+  EXPECT_TRUE(supports_unsorted(Algorithm::kSpa1p));
+  EXPECT_TRUE(supports_unsorted(Algorithm::kKkHash));
+  EXPECT_FALSE(supports_unsorted(Algorithm::kHeap));
+  EXPECT_FALSE(supports_unsorted(Algorithm::kMerge));
+}
+
+TEST(MultiplyDispatch, RequiresSortedInputClassification) {
+  EXPECT_TRUE(requires_sorted_input(Algorithm::kHeap));
+  EXPECT_TRUE(requires_sorted_input(Algorithm::kMerge));
+  EXPECT_TRUE(requires_sorted_input(Algorithm::kIkj));
+  EXPECT_FALSE(requires_sorted_input(Algorithm::kHash));
+  EXPECT_FALSE(requires_sorted_input(Algorithm::kSpa));
+}
+
+TEST(MultiplyDispatch, AlgorithmNamesAreDistinct) {
+  std::set<std::string> names;
+  for (const Algorithm algo :
+       {Algorithm::kAuto, Algorithm::kHeap, Algorithm::kHash,
+        Algorithm::kHashVector, Algorithm::kSpa, Algorithm::kSpa1p,
+        Algorithm::kKkHash, Algorithm::kMerge, Algorithm::kIkj,
+        Algorithm::kReference}) {
+    EXPECT_TRUE(names.insert(algorithm_name(algo)).second);
+  }
+}
+
+TEST(MultiplyDispatch, RectangularChainMatchesReference) {
+  // (2^6 x 2^6) times tall-skinny extraction: the §5.5 shape through the
+  // dispatcher.
+  const Matrix a = rmat_matrix<I, double>(RmatParams::g500(6, 8, 11));
+  const auto cols = sample_columns<I>(a.ncols, 16, 3);
+  const Matrix f = extract_columns(a, cols);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  const Matrix c = multiply(a, f, opts);
+  EXPECT_EQ(c.ncols, 16);
+  EXPECT_TRUE(approx_equal(c, spgemm_reference(a, f)));
+}
+
+}  // namespace
+}  // namespace spgemm

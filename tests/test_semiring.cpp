@@ -1,0 +1,204 @@
+// Semiring SpGEMM tests: (min,+), (OR,AND) and (max,*) products against
+// brute-force oracles, cross-kernel agreement, and the dispatcher contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/multiply.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/rmat.hpp"
+
+namespace spgemm {
+namespace {
+
+using I = std::int32_t;
+using Matrix = CsrMatrix<I, double>;
+using Triplets = std::vector<std::tuple<I, I, double>>;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Dense (min,+) oracle; absent entries are +inf.
+std::vector<double> dense_minplus(const Matrix& a, const Matrix& b) {
+  const auto n = static_cast<std::size_t>(a.nrows);
+  const auto m = static_cast<std::size_t>(b.ncols);
+  const auto k = static_cast<std::size_t>(a.ncols);
+  std::vector<double> da(n * k, kInf);
+  std::vector<double> db(k * m, kInf);
+  for (I i = 0; i < a.nrows; ++i) {
+    for (Offset j = a.row_begin(i); j < a.row_end(i); ++j) {
+      da[static_cast<std::size_t>(i) * k +
+         static_cast<std::size_t>(a.cols[static_cast<std::size_t>(j)])] =
+          a.vals[static_cast<std::size_t>(j)];
+    }
+  }
+  for (I i = 0; i < b.nrows; ++i) {
+    for (Offset j = b.row_begin(i); j < b.row_end(i); ++j) {
+      db[static_cast<std::size_t>(i) * m +
+         static_cast<std::size_t>(b.cols[static_cast<std::size_t>(j)])] =
+          b.vals[static_cast<std::size_t>(j)];
+    }
+  }
+  std::vector<double> dc(n * m, kInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      if (da[i * k + kk] == kInf) continue;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (db[kk * m + j] == kInf) continue;
+        dc[i * m + j] = std::min(dc[i * m + j], da[i * k + kk] + db[kk * m + j]);
+      }
+    }
+  }
+  return dc;
+}
+
+TEST(MinPlusSemiring, TwoHopShortestDistances) {
+  // Weighted digraph: 0->1 (2), 1->2 (3), 0->2 (10), 2->0 (1).
+  const auto a = csr_from_triplets<I, double>(
+      3, 3, Triplets{{0, 1, 2.0}, {1, 2, 3.0}, {0, 2, 10.0}, {2, 0, 1.0}});
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  const Matrix c = multiply_over<MinPlus>(a, a, opts);
+  const auto oracle = dense_minplus(a, a);
+  // Structural nonzeros of C are exactly the finite oracle entries.
+  for (I i = 0; i < 3; ++i) {
+    for (Offset j = c.row_begin(i); j < c.row_end(i); ++j) {
+      const auto col = static_cast<std::size_t>(
+          c.cols[static_cast<std::size_t>(j)]);
+      EXPECT_DOUBLE_EQ(c.vals[static_cast<std::size_t>(j)],
+                       oracle[static_cast<std::size_t>(i) * 3 + col]);
+    }
+  }
+  // The 0->2 two-hop path through 1 (2+3=5) must beat nothing else.
+  bool found = false;
+  for (Offset j = c.row_begin(0); j < c.row_end(0); ++j) {
+    if (c.cols[static_cast<std::size_t>(j)] == 2) {
+      EXPECT_DOUBLE_EQ(c.vals[static_cast<std::size_t>(j)], 5.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+class MinPlusKernelSweep : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(MinPlusKernelSweep, AgreesWithDenseOracle) {
+  const auto a = rmat_matrix<I, double>(RmatParams::g500(6, 4, 77));
+  SpGemmOptions opts;
+  opts.algorithm = GetParam();
+  const Matrix c = multiply_over<MinPlus>(a, a, opts);
+  EXPECT_NO_THROW(c.validate());
+  const auto oracle = dense_minplus(a, a);
+  const auto m = static_cast<std::size_t>(a.ncols);
+  // Check every structural entry and that finite oracle entries all appear.
+  std::size_t finite = 0;
+  for (const double v : oracle) {
+    if (v != kInf) ++finite;
+  }
+  EXPECT_EQ(static_cast<std::size_t>(c.nnz()), finite);
+  for (I i = 0; i < c.nrows; ++i) {
+    for (Offset j = c.row_begin(i); j < c.row_end(i); ++j) {
+      const auto col = static_cast<std::size_t>(
+          c.cols[static_cast<std::size_t>(j)]);
+      ASSERT_DOUBLE_EQ(c.vals[static_cast<std::size_t>(j)],
+                       oracle[static_cast<std::size_t>(i) * m + col])
+          << algorithm_name(GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SemiringKernels, MinPlusKernelSweep,
+                         ::testing::Values(Algorithm::kHeap, Algorithm::kHash,
+                                           Algorithm::kHashVector,
+                                           Algorithm::kSpa,
+                                           Algorithm::kKkHash),
+                         [](const auto& info) {
+                           std::string name = algorithm_name(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(OrAndSemiring, ReachabilityMatchesStructureOfSquare) {
+  const auto a = rmat_matrix<I, double>(RmatParams::er(7, 4, 5));
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  const Matrix bool_sq = multiply_over<OrAnd>(a, a, opts);
+  const Matrix num_sq = multiply(a, a, opts);
+  // Same structure (values are positive so no numerical cancellation).
+  EXPECT_EQ(bool_sq.rpts, num_sq.rpts);
+  EXPECT_EQ(bool_sq.cols, num_sq.cols);
+  for (const double v : bool_sq.vals) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(MaxTimesSemiring, MostReliableTwoHopPath) {
+  // Reliability products: 0->1 (0.5), 1->2 (0.8), 0->2 (0.3 direct).
+  const auto a = csr_from_triplets<I, double>(
+      3, 3, Triplets{{0, 1, 0.5}, {1, 2, 0.8}, {0, 2, 0.3}});
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  const Matrix c = multiply_over<MaxTimes>(a, a, opts);
+  for (Offset j = c.row_begin(0); j < c.row_end(0); ++j) {
+    if (c.cols[static_cast<std::size_t>(j)] == 2) {
+      EXPECT_DOUBLE_EQ(c.vals[static_cast<std::size_t>(j)], 0.4);  // 0.5*0.8
+    }
+  }
+}
+
+TEST(SemiringDispatch, PlusTimesEqualsPlainMultiply) {
+  const auto a = rmat_matrix<I, double>(RmatParams::g500(7, 8, 9));
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHashVector;
+  const Matrix via_semiring = multiply_over<PlusTimes>(a, a, opts);
+  const Matrix plain = multiply(a, a, opts);
+  EXPECT_TRUE(approx_equal(via_semiring, plain, 1e-12));
+}
+
+TEST(SemiringDispatch, UnsupportedKernelsThrow) {
+  const auto a = csr_identity<I, double>(4);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kMerge;
+  EXPECT_THROW(multiply_over<MinPlus>(a, a, opts), std::invalid_argument);
+  opts.algorithm = Algorithm::kIkj;
+  EXPECT_THROW(multiply_over<MinPlus>(a, a, opts), std::invalid_argument);
+}
+
+TEST(SemiringDispatch, AutoPicksHash) {
+  const auto a = csr_identity<I, double>(8);
+  SpGemmOptions opts;  // kAuto
+  const Matrix c = multiply_over<MinPlus>(a, a, opts);
+  EXPECT_EQ(c.nnz(), 8);
+}
+
+TEST(SemiringDispatch, DimensionMismatchThrows) {
+  const auto a = csr_identity<I, double>(3);
+  const auto b = csr_identity<I, double>(4);
+  EXPECT_THROW(multiply_over<MinPlus>(a, b), std::invalid_argument);
+}
+
+TEST(SemiringDispatch, SortedInputContractEnforced) {
+  const auto a = rmat_matrix<I, double>(RmatParams::er(5, 3, 2));
+  const auto bad = permute_columns_randomly(a, 1);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHeap;
+  EXPECT_THROW(multiply_over<MinPlus>(bad, bad, opts),
+               std::invalid_argument);
+}
+
+TEST(SemiringConcept, CompileTimeChecks) {
+  static_assert(SemiringFor<PlusTimes, double>);
+  static_assert(SemiringFor<MinPlus, double>);
+  static_assert(SemiringFor<OrAnd, float>);
+  static_assert(SemiringFor<MaxTimes, double>);
+}
+
+}  // namespace
+}  // namespace spgemm

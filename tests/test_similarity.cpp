@@ -1,0 +1,108 @@
+// Tests for the cosine-similarity application.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "apps/similarity.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/rmat.hpp"
+
+namespace spgemm::apps {
+namespace {
+
+using I = std::int32_t;
+using Matrix = CsrMatrix<I, double>;
+using Triplets = std::vector<std::tuple<I, I, double>>;
+
+TEST(NormalizeRows, UnitNorms) {
+  const auto a = csr_from_triplets<I, double>(
+      2, 3, Triplets{{0, 0, 3.0}, {0, 2, 4.0}, {1, 1, -7.0}});
+  const Matrix n = normalize_rows(a);
+  EXPECT_DOUBLE_EQ(n.vals[0], 0.6);
+  EXPECT_DOUBLE_EQ(n.vals[1], 0.8);
+  EXPECT_DOUBLE_EQ(n.vals[2], -1.0);
+}
+
+TEST(NormalizeRows, ZeroRowUntouched) {
+  const auto a = csr_from_triplets<I, double>(2, 2, Triplets{{1, 0, 2.0}});
+  const Matrix n = normalize_rows(a);
+  EXPECT_EQ(n.row_nnz(0), 0);
+  EXPECT_DOUBLE_EQ(n.vals[0], 1.0);
+}
+
+TEST(Prune, ThresholdAndDiagonal) {
+  const auto a = csr_from_triplets<I, double>(
+      2, 2,
+      Triplets{{0, 0, 1.0}, {0, 1, 0.05}, {1, 0, 0.5}, {1, 1, 1.0}});
+  const Matrix kept = prune(a, 0.1, /*drop_diagonal=*/true);
+  ASSERT_EQ(kept.nnz(), 1);
+  EXPECT_DOUBLE_EQ(kept.vals[0], 0.5);
+}
+
+TEST(CosineSimilarity, IdenticalRowsScoreOne) {
+  // Rows 0 and 1 are identical, row 2 orthogonal to both.
+  const auto a = csr_from_triplets<I, double>(
+      3, 4,
+      Triplets{{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 1.0}, {1, 1, 2.0},
+               {2, 3, 5.0}});
+  const Matrix s = cosine_similarity(a);
+  // Only the (0,1) and (1,0) pairs survive.
+  ASSERT_EQ(s.nnz(), 2);
+  for (const double v : s.vals) EXPECT_NEAR(v, 1.0, 1e-12);
+  EXPECT_EQ(s.row_nnz(2), 0);
+}
+
+TEST(CosineSimilarity, HandComputedAngle) {
+  // Row 0 = (1,0), row 1 = (1,1): cosine = 1/sqrt(2).
+  const auto a = csr_from_triplets<I, double>(
+      2, 2, Triplets{{0, 0, 1.0}, {1, 0, 1.0}, {1, 1, 1.0}});
+  const Matrix s = cosine_similarity(a);
+  ASSERT_EQ(s.nnz(), 2);
+  for (const double v : s.vals) EXPECT_NEAR(v, 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(CosineSimilarity, ResultIsSymmetric) {
+  const auto a = uniform_random_matrix<I, double>(60, 40, 500, 11);
+  const Matrix s = cosine_similarity(a);
+  const Matrix st = transpose(s);
+  EXPECT_TRUE(approx_equal(s, st, 1e-10));
+}
+
+TEST(CosineSimilarity, ValuesBoundedByOne) {
+  const auto a = uniform_random_matrix<I, double>(80, 50, 700, 13);
+  const Matrix s = cosine_similarity(a);
+  for (const double v : s.vals) {
+    EXPECT_GE(v, 0.0);       // nonnegative features
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+TEST(CosineSimilarity, ThresholdMonotonicity) {
+  const auto a = uniform_random_matrix<I, double>(60, 30, 400, 17);
+  SimilarityParams loose;
+  loose.threshold = 0.05;
+  SimilarityParams tight;
+  tight.threshold = 0.5;
+  EXPECT_GE(cosine_similarity(a, loose).nnz(),
+            cosine_similarity(a, tight).nnz());
+}
+
+TEST(CosineSimilarity, KernelsAgree) {
+  const auto a = rmat_matrix<I, double>(RmatParams::g500(6, 6, 19));
+  SimilarityParams params;
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  const Matrix base = cosine_similarity(a, params, opts);
+  for (const Algorithm algo : {Algorithm::kHeap, Algorithm::kHashVector,
+                               Algorithm::kAdaptive}) {
+    opts.algorithm = algo;
+    EXPECT_TRUE(
+        approx_equal(cosine_similarity(a, params, opts), base, 1e-9))
+        << algorithm_name(algo);
+  }
+}
+
+}  // namespace
+}  // namespace spgemm::apps

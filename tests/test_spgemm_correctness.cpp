@@ -1,0 +1,303 @@
+// SpGEMM kernel correctness on hand-constructed and edge-case inputs.
+// Every kernel runs against the same cases and is checked against the
+// std::map reference and (where small enough) a dense matmul.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/multiply.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/rmat.hpp"
+
+namespace spgemm {
+namespace {
+
+using I = std::int32_t;
+using Triplets = std::vector<std::tuple<I, I, double>>;
+using Matrix = CsrMatrix<I, double>;
+
+const std::vector<Algorithm> kAllKernels = {
+    Algorithm::kHeap, Algorithm::kHash,   Algorithm::kHashVector,
+    Algorithm::kSpa,  Algorithm::kSpa1p,  Algorithm::kKkHash,
+    Algorithm::kMerge, Algorithm::kIkj,   Algorithm::kAdaptive,
+};
+
+/// Dense oracle for small matrices.
+std::vector<double> dense_matmul(const Matrix& a, const Matrix& b) {
+  const auto da = a.to_dense();
+  const auto db = b.to_dense();
+  std::vector<double> dc(static_cast<std::size_t>(a.nrows) *
+                             static_cast<std::size_t>(b.ncols),
+                         0.0);
+  for (I i = 0; i < a.nrows; ++i) {
+    for (I k = 0; k < a.ncols; ++k) {
+      const double av = da[static_cast<std::size_t>(i) *
+                               static_cast<std::size_t>(a.ncols) +
+                           static_cast<std::size_t>(k)];
+      if (av == 0.0) continue;
+      for (I j = 0; j < b.ncols; ++j) {
+        dc[static_cast<std::size_t>(i) * static_cast<std::size_t>(b.ncols) +
+           static_cast<std::size_t>(j)] +=
+            av * db[static_cast<std::size_t>(k) *
+                        static_cast<std::size_t>(b.ncols) +
+                    static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return dc;
+}
+
+void expect_dense_match(const Matrix& c, const std::vector<double>& dense,
+                        const char* label) {
+  const auto dc = c.to_dense();
+  ASSERT_EQ(dc.size(), dense.size()) << label;
+  for (std::size_t i = 0; i < dc.size(); ++i) {
+    EXPECT_NEAR(dc[i], dense[i], 1e-9) << label << " at " << i;
+  }
+}
+
+class KernelCase : public ::testing::TestWithParam<Algorithm> {
+ protected:
+  SpGemmOptions opts_for(SortOutput sort) const {
+    SpGemmOptions o;
+    o.algorithm = GetParam();
+    o.sort_output = sort;
+    o.threads = 3;  // odd count exercises partition boundaries
+    return o;
+  }
+
+  void check_against_reference(const Matrix& a, const Matrix& b) {
+    const Matrix expected = spgemm_reference(a, b);
+    const Matrix c = multiply(a, b, opts_for(SortOutput::kYes));
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_TRUE(approx_equal(c, expected))
+        << algorithm_name(GetParam());
+    if (c.claims_sorted()) {
+      EXPECT_TRUE(c.rows_are_ascending()) << algorithm_name(GetParam());
+    }
+  }
+};
+
+TEST_P(KernelCase, IdentityTimesIdentity) {
+  const auto eye = csr_identity<I, double>(16);
+  const Matrix c = multiply(eye, eye, opts_for(SortOutput::kYes));
+  EXPECT_TRUE(approx_equal(c, eye));
+}
+
+TEST_P(KernelCase, IdentityIsNeutral) {
+  const auto a = csr_from_triplets<I, double>(
+      4, 4,
+      Triplets{{0, 1, 2.0}, {1, 3, -1.0}, {2, 0, 0.5}, {3, 3, 7.0},
+               {0, 3, 1.0}});
+  const auto eye = csr_identity<I, double>(4);
+  EXPECT_TRUE(
+      approx_equal(multiply(a, eye, opts_for(SortOutput::kYes)), a));
+  EXPECT_TRUE(
+      approx_equal(multiply(eye, a, opts_for(SortOutput::kYes)), a));
+}
+
+TEST_P(KernelCase, EmptyTimesAnything) {
+  Matrix empty(5, 5);
+  const auto a = csr_identity<I, double>(5);
+  const Matrix c1 = multiply(empty, a, opts_for(SortOutput::kYes));
+  EXPECT_EQ(c1.nnz(), 0);
+  const Matrix c2 = multiply(a, empty, opts_for(SortOutput::kYes));
+  EXPECT_EQ(c2.nnz(), 0);
+  EXPECT_NO_THROW(c1.validate());
+  EXPECT_NO_THROW(c2.validate());
+}
+
+TEST_P(KernelCase, SingleEntryProduct) {
+  const auto a = csr_from_triplets<I, double>(1, 1, Triplets{{0, 0, 3.0}});
+  const Matrix c = multiply(a, a, opts_for(SortOutput::kYes));
+  ASSERT_EQ(c.nnz(), 1);
+  EXPECT_DOUBLE_EQ(c.vals[0], 9.0);
+}
+
+TEST_P(KernelCase, RectangularShapes) {
+  const auto a = csr_from_triplets<I, double>(
+      2, 5,
+      Triplets{{0, 0, 1.0}, {0, 4, 2.0}, {1, 2, 3.0}});
+  const auto b = csr_from_triplets<I, double>(
+      5, 3,
+      Triplets{{0, 1, 1.0}, {2, 0, 2.0}, {2, 2, 1.0}, {4, 1, -1.0}});
+  check_against_reference(a, b);
+  const Matrix c = multiply(a, b, opts_for(SortOutput::kYes));
+  expect_dense_match(c, dense_matmul(a, b), algorithm_name(GetParam()));
+}
+
+TEST_P(KernelCase, DimensionMismatchThrows) {
+  const auto a = csr_identity<I, double>(3);
+  const auto b = csr_identity<I, double>(4);
+  EXPECT_THROW(multiply(a, b, opts_for(SortOutput::kYes)),
+               std::invalid_argument);
+}
+
+TEST_P(KernelCase, EmptyRowsAndColumns) {
+  // Rows 1 and 3 of A empty; columns of B mostly empty.
+  const auto a = csr_from_triplets<I, double>(
+      4, 4, Triplets{{0, 2, 1.0}, {2, 0, 2.0}, {2, 3, 3.0}});
+  const auto b = csr_from_triplets<I, double>(
+      4, 4, Triplets{{0, 0, 5.0}, {2, 1, 1.0}, {3, 0, -2.0}});
+  check_against_reference(a, b);
+}
+
+TEST_P(KernelCase, NumericalCancellationKeepsExplicitZero) {
+  // c00 = 1*1 + 1*(-1) = 0: SpGEMM must keep the explicit zero (structure
+  // is decided by the symbolic pattern, not the numeric value).
+  const auto a = csr_from_triplets<I, double>(
+      1, 2, Triplets{{0, 0, 1.0}, {0, 1, 1.0}});
+  const auto b = csr_from_triplets<I, double>(
+      2, 1, Triplets{{0, 0, 1.0}, {1, 0, -1.0}});
+  const Matrix c = multiply(a, b, opts_for(SortOutput::kYes));
+  ASSERT_EQ(c.nnz(), 1);
+  EXPECT_DOUBLE_EQ(c.vals[0], 0.0);
+}
+
+TEST_P(KernelCase, DenseSmallBlock) {
+  // Fully dense 8x8: maximal duplicate merging.
+  Triplets t;
+  for (I i = 0; i < 8; ++i) {
+    for (I j = 0; j < 8; ++j) {
+      t.emplace_back(i, j, 0.25 * (i + 1) + 0.5 * j);
+    }
+  }
+  const auto a = csr_from_triplets<I, double>(8, 8, t);
+  check_against_reference(a, a);
+  const Matrix c = multiply(a, a, opts_for(SortOutput::kYes));
+  expect_dense_match(c, dense_matmul(a, a), algorithm_name(GetParam()));
+}
+
+TEST_P(KernelCase, OutputWiderThanInputs) {
+  // 3x2 times 2x40: output columns exceed every row flop.
+  Triplets ta{{0, 0, 1.0}, {1, 1, 2.0}, {2, 0, 1.0}, {2, 1, 1.0}};
+  Triplets tb;
+  for (I j = 0; j < 40; j += 3) tb.emplace_back(0, j, 1.0 + j);
+  for (I j = 1; j < 40; j += 3) tb.emplace_back(1, j, 2.0 + j);
+  const auto a = csr_from_triplets<I, double>(3, 2, ta);
+  const auto b = csr_from_triplets<I, double>(2, 40, tb);
+  check_against_reference(a, b);
+}
+
+TEST_P(KernelCase, SingleThreadMatchesMultiThread) {
+  const auto a = csr_from_triplets<I, double>(
+      6, 6,
+      Triplets{{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}, {3, 4, 4.0},
+               {4, 5, 5.0}, {5, 0, 6.0}, {0, 5, 7.0}, {3, 0, 8.0}});
+  SpGemmOptions one = opts_for(SortOutput::kYes);
+  one.threads = 1;
+  SpGemmOptions many = opts_for(SortOutput::kYes);
+  many.threads = 7;
+  EXPECT_TRUE(approx_equal(multiply(a, a, one), multiply(a, a, many)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelCase,
+                         ::testing::ValuesIn(kAllKernels),
+                         [](const auto& info) {
+                           std::string name = algorithm_name(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Unsorted-output contract for the kernels that support it.
+// ---------------------------------------------------------------------------
+
+class UnsortedKernelCase : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(UnsortedKernelCase, UnsortedEqualsSortedAfterSorting) {
+  const auto a = csr_from_triplets<I, double>(
+      5, 5,
+      Triplets{{0, 4, 1.0}, {0, 0, 2.0}, {1, 2, 3.0}, {2, 1, 4.0},
+               {2, 4, 5.0}, {3, 3, 6.0}, {4, 0, 7.0}, {4, 2, 8.0}});
+  SpGemmOptions opts;
+  opts.algorithm = GetParam();
+  opts.threads = 2;
+
+  opts.sort_output = SortOutput::kNo;
+  Matrix unsorted = multiply(a, a, opts);
+  EXPECT_EQ(unsorted.sortedness, Sortedness::kUnsorted);
+
+  opts.sort_output = SortOutput::kYes;
+  const Matrix sorted = multiply(a, a, opts);
+  EXPECT_TRUE(sorted.rows_are_ascending());
+
+  EXPECT_TRUE(approx_equal(unsorted, sorted));  // row-order-insensitive
+  unsorted.sort_rows();
+  EXPECT_EQ(unsorted.cols, sorted.cols);
+}
+
+TEST_P(UnsortedKernelCase, AcceptsUnsortedInputs) {
+  const auto a = rmat_matrix<I, double>(RmatParams::g500(6, 4, 3));
+  const auto a_unsorted = permute_columns_randomly(a, 5);
+  SpGemmOptions opts;
+  opts.algorithm = GetParam();
+  opts.sort_output = SortOutput::kYes;
+  const Matrix c = multiply(a_unsorted, a_unsorted, opts);
+  const Matrix expected = spgemm_reference(a_unsorted, a_unsorted);
+  EXPECT_TRUE(approx_equal(c, expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UnsortedCapable, UnsortedKernelCase,
+    ::testing::Values(Algorithm::kHash, Algorithm::kHashVector,
+                      Algorithm::kSpa, Algorithm::kSpa1p,
+                      Algorithm::kKkHash, Algorithm::kAdaptive),
+    [](const auto& info) {
+      std::string name = algorithm_name(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(SortedInputContract, HeapRejectsUnsortedInputs) {
+  const auto a = rmat_matrix<I, double>(RmatParams::er(5, 3, 9));
+  const auto bad = permute_columns_randomly(a, 1);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHeap;
+  EXPECT_THROW(multiply(bad, a, opts), std::invalid_argument);
+  EXPECT_THROW(multiply(a, bad, opts), std::invalid_argument);
+}
+
+TEST(SortedInputContract, MergeRejectsUnsortedInputs) {
+  const auto a = rmat_matrix<I, double>(RmatParams::er(5, 3, 9));
+  const auto bad = permute_columns_randomly(a, 1);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kMerge;
+  EXPECT_THROW(multiply(bad, a, opts), std::invalid_argument);
+}
+
+TEST(Int64Instantiation, HashKernelWorks) {
+  using Matrix64 = CsrMatrix<std::int64_t, double>;
+  const auto a = csr_from_triplets<std::int64_t, double>(
+      3, 3,
+      std::vector<std::tuple<std::int64_t, std::int64_t, double>>{
+          {0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 3.0}});
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  const Matrix64 c = multiply(a, a, opts);
+  const Matrix64 expected = spgemm_reference(a, a);
+  EXPECT_TRUE(approx_equal(c, expected));
+}
+
+TEST(FloatValueInstantiation, HeapKernelWorks) {
+  const auto a = csr_from_triplets<I, float>(
+      3, 3,
+      std::vector<std::tuple<I, I, float>>{
+          {0, 1, 1.0f}, {1, 2, 2.0f}, {2, 0, 3.0f}, {0, 0, 0.5f}});
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHeap;
+  const auto c = multiply(a, a, opts);
+  const auto expected = spgemm_reference(a, a);
+  EXPECT_TRUE(approx_equal(c, expected, 1e-5));
+}
+
+}  // namespace
+}  // namespace spgemm

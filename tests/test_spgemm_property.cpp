@@ -1,0 +1,290 @@
+// Property-based SpGEMM tests: parameterized sweeps over generator type,
+// scale, edge factor, algorithm and sortedness, checking algebraic
+// invariants rather than specific values.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <tuple>
+
+#include "core/multiply.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/rmat.hpp"
+#include "matrix/stats.hpp"
+
+namespace spgemm {
+namespace {
+
+using I = std::int32_t;
+using Matrix = CsrMatrix<I, double>;
+
+enum class Gen { kEr, kG500 };
+
+struct SweepParam {
+  Gen gen;
+  int scale;
+  int edge_factor;
+  Algorithm algo;
+  SortOutput sort;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  const SweepParam& p = info.param;
+  std::string name = p.gen == Gen::kEr ? "ER" : "G500";
+  name += "_s" + std::to_string(p.scale);
+  name += "_ef" + std::to_string(p.edge_factor);
+  name += "_";
+  name += algorithm_name(p.algo);
+  name += p.sort == SortOutput::kYes ? "_sorted" : "_unsorted";
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+Matrix make_input(Gen gen, int scale, int edge_factor, std::uint64_t seed) {
+  return rmat_matrix<I, double>(gen == Gen::kEr
+                                    ? RmatParams::er(scale, edge_factor, seed)
+                                    : RmatParams::g500(scale, edge_factor,
+                                                       seed));
+}
+
+class SpGemmSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SpGemmSweep, MatchesReferenceOnSquare) {
+  const SweepParam& p = GetParam();
+  const Matrix a = make_input(p.gen, p.scale, p.edge_factor, 1000 + p.scale);
+  SpGemmOptions opts;
+  opts.algorithm = p.algo;
+  opts.sort_output = p.sort;
+  opts.threads = 4;
+  SpGemmStats stats;
+  const Matrix c = multiply(a, a, opts, &stats);
+  EXPECT_NO_THROW(c.validate());
+
+  const Matrix expected = spgemm_reference(a, a);
+  ASSERT_TRUE(approx_equal(c, expected)) << sweep_name({GetParam(), 0});
+
+  // Stats invariants.
+  EXPECT_EQ(stats.nnz_out, c.nnz());
+  EXPECT_EQ(stats.flop, count_flops(a, a));
+  EXPECT_GE(stats.flop, stats.nnz_out);  // CR >= 1 always
+
+  // Sortedness contract.
+  if (p.sort == SortOutput::kYes) {
+    EXPECT_TRUE(c.rows_are_ascending());
+    EXPECT_TRUE(c.claims_sorted());
+  }
+}
+
+// The sweep is the cross product the paper's §5.4 explores, shrunk to test
+// scale: {ER, G500} x scale {5, 7} x edge factor {4, 16} for every kernel
+// in both sortedness modes (where supported).
+std::vector<SweepParam> build_sweep() {
+  std::vector<SweepParam> out;
+  for (const Gen gen : {Gen::kEr, Gen::kG500}) {
+    for (const int scale : {5, 7}) {
+      for (const int ef : {4, 16}) {
+        for (const Algorithm algo :
+             {Algorithm::kHeap, Algorithm::kHash, Algorithm::kHashVector,
+              Algorithm::kSpa, Algorithm::kSpa1p, Algorithm::kKkHash,
+              Algorithm::kMerge, Algorithm::kAdaptive}) {
+          out.push_back({gen, scale, ef, algo, SortOutput::kYes});
+          if (supports_unsorted(algo)) {
+            out.push_back({gen, scale, ef, algo, SortOutput::kNo});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(GeneratorSweep, SpGemmSweep,
+                         ::testing::ValuesIn(build_sweep()), sweep_name);
+
+// ---------------------------------------------------------------------------
+// Algebraic identities.
+// ---------------------------------------------------------------------------
+
+class AlgebraIdentity : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(AlgebraIdentity, MultiplyByIdentityIsNeutral) {
+  const Matrix a = make_input(Gen::kG500, 7, 8, 42);
+  const auto eye = csr_identity<I, double>(a.nrows);
+  SpGemmOptions opts;
+  opts.algorithm = GetParam();
+  EXPECT_TRUE(approx_equal(multiply(a, eye, opts), a));
+  EXPECT_TRUE(approx_equal(multiply(eye, a, opts), a));
+}
+
+TEST_P(AlgebraIdentity, TransposeOfProduct) {
+  // (A*B)^T == B^T * A^T
+  const Matrix a = make_input(Gen::kEr, 6, 6, 7);
+  const Matrix b = make_input(Gen::kG500, 6, 6, 8);
+  SpGemmOptions opts;
+  opts.algorithm = GetParam();
+  const Matrix ab_t = transpose(multiply(a, b, opts));
+  const Matrix bt_at = multiply(transpose(b), transpose(a), opts);
+  EXPECT_TRUE(approx_equal(ab_t, bt_at, 1e-9));
+}
+
+TEST_P(AlgebraIdentity, Associativity) {
+  // (A*A)*A == A*(A*A) on a small input.
+  const Matrix a = make_input(Gen::kG500, 5, 4, 11);
+  SpGemmOptions opts;
+  opts.algorithm = GetParam();
+  const Matrix left = multiply(multiply(a, a, opts), a, opts);
+  const Matrix right = multiply(a, multiply(a, a, opts), opts);
+  EXPECT_TRUE(approx_equal(left, right, 1e-8));
+}
+
+TEST_P(AlgebraIdentity, DiagonalScaling) {
+  // D*A scales rows; A*D scales columns.  D = diag(2).
+  const Matrix a = make_input(Gen::kEr, 5, 4, 13);
+  auto d = csr_identity<I, double>(a.nrows);
+  for (auto& v : d.vals) v = 2.0;
+  SpGemmOptions opts;
+  opts.algorithm = GetParam();
+  const Matrix da = multiply(d, a, opts);
+  ASSERT_EQ(da.nnz(), a.nnz());
+  auto scaled = a;
+  for (auto& v : scaled.vals) v *= 2.0;
+  EXPECT_TRUE(approx_equal(da, scaled));
+  const Matrix ad = multiply(a, d, opts);
+  EXPECT_TRUE(approx_equal(ad, scaled));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, AlgebraIdentity,
+    ::testing::Values(Algorithm::kHeap, Algorithm::kHash,
+                      Algorithm::kHashVector, Algorithm::kSpa,
+                      Algorithm::kSpa1p, Algorithm::kKkHash,
+                      Algorithm::kMerge),
+    [](const auto& info) {
+      std::string name = algorithm_name(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Cross-kernel agreement: all kernels must produce the same product.
+// ---------------------------------------------------------------------------
+
+TEST(CrossKernelAgreement, AllKernelsAgreeOnSkewedInput) {
+  const Matrix a = make_input(Gen::kG500, 8, 16, 99);
+  SpGemmOptions opts;
+  opts.sort_output = SortOutput::kYes;
+  opts.algorithm = Algorithm::kHash;
+  const Matrix baseline = multiply(a, a, opts);
+  for (const Algorithm algo :
+       {Algorithm::kHeap, Algorithm::kHashVector, Algorithm::kSpa,
+        Algorithm::kSpa1p, Algorithm::kKkHash, Algorithm::kMerge}) {
+    opts.algorithm = algo;
+    EXPECT_TRUE(approx_equal(multiply(a, a, opts), baseline, 1e-9))
+        << algorithm_name(algo);
+  }
+}
+
+TEST(CrossKernelAgreement, SymbolicCountsAgree) {
+  const Matrix a = make_input(Gen::kG500, 8, 8, 5);
+  SpGemmStats hash_stats;
+  SpGemmStats heap_stats;
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  multiply(a, a, opts, &hash_stats);
+  opts.algorithm = Algorithm::kHeap;
+  multiply(a, a, opts, &heap_stats);
+  EXPECT_EQ(hash_stats.nnz_out, heap_stats.nnz_out);
+  EXPECT_EQ(hash_stats.flop, heap_stats.flop);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling policies deliver identical results (paper Fig. 9 ablation).
+// ---------------------------------------------------------------------------
+
+class SchedulePolicySweep
+    : public ::testing::TestWithParam<parallel::SchedulePolicy> {};
+
+TEST_P(SchedulePolicySweep, HeapKernelSameResultUnderEveryPolicy) {
+  const Matrix a = make_input(Gen::kG500, 7, 8, 17);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHeap;
+  opts.threads = 4;
+  opts.schedule = GetParam();
+  const Matrix c = multiply(a, a, opts);
+  const Matrix expected = spgemm_reference(a, a);
+  EXPECT_TRUE(approx_equal(c, expected));
+}
+
+TEST_P(SchedulePolicySweep, HashKernelSameResultUnderEveryPolicy) {
+  const Matrix a = make_input(Gen::kEr, 7, 8, 19);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  opts.threads = 4;
+  opts.schedule = GetParam();
+  const Matrix c = multiply(a, a, opts);
+  const Matrix expected = spgemm_reference(a, a);
+  EXPECT_TRUE(approx_equal(c, expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SchedulePolicySweep,
+    ::testing::Values(parallel::SchedulePolicy::kStatic,
+                      parallel::SchedulePolicy::kDynamic,
+                      parallel::SchedulePolicy::kGuided,
+                      parallel::SchedulePolicy::kBalanced,
+                      parallel::SchedulePolicy::kBalancedParallel),
+    [](const auto& info) {
+      std::string name = parallel::schedule_policy_name(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// HashVector probe kinds agree end to end.
+// ---------------------------------------------------------------------------
+
+TEST(ProbeKinds, EndToEndAgreement) {
+  const Matrix a = make_input(Gen::kG500, 8, 8, 21);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHashVector;
+  opts.probe = ProbeKind::kScalar;
+  const Matrix scalar = multiply(a, a, opts);
+  for (const ProbeKind kind : {ProbeKind::kAvx2, ProbeKind::kAvx512,
+                               ProbeKind::kAuto}) {
+    opts.probe = kind;
+    EXPECT_TRUE(approx_equal(multiply(a, a, opts), scalar, 1e-12));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance: results identical from 1..8 threads.
+// ---------------------------------------------------------------------------
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, HashResultIndependentOfThreads) {
+  const Matrix a = make_input(Gen::kG500, 8, 8, 23);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  opts.threads = 1;
+  const Matrix baseline = multiply(a, a, opts);
+  opts.threads = GetParam();
+  const Matrix c = multiply(a, a, opts);
+  EXPECT_EQ(baseline.cols, c.cols);  // bitwise identical structure
+  EXPECT_EQ(baseline.rpts, c.rpts);
+  for (std::size_t i = 0; i < baseline.vals.size(); ++i) {
+    EXPECT_NEAR(baseline.vals[i], c.vals[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
+                         ::testing::Values(2, 3, 5, 8));
+
+}  // namespace
+}  // namespace spgemm

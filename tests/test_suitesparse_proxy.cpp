@@ -1,0 +1,111 @@
+// Tests for the Table 2 proxy registry: completeness, determinism, family
+// behaviour (CR regime, skew), and dimension scaling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/recipe.hpp"
+#include "matrix/stats.hpp"
+#include "matrix/suitesparse_proxy.hpp"
+
+namespace spgemm::proxy {
+namespace {
+
+TEST(Table2, HasAll26Matrices) {
+  EXPECT_EQ(table2().size(), 26u);
+  std::set<std::string> names;
+  for (const auto& e : table2()) names.insert(e.name);
+  EXPECT_EQ(names.size(), 26u);  // no duplicates
+}
+
+TEST(Table2, PaperStatisticsArePlausible) {
+  for (const auto& e : table2()) {
+    EXPECT_GT(e.n, 0) << e.name;
+    EXPECT_GT(e.nnz, e.n / 2) << e.name;
+    EXPECT_GT(e.flop_sq, static_cast<double>(e.nnz)) << e.name;
+    EXPECT_GT(e.nnz_sq, 0.0) << e.name;
+    // Paper CR range is ~1..32.
+    const double cr = e.flop_sq / e.nnz_sq;
+    EXPECT_GT(cr, 1.0) << e.name;
+    EXPECT_LT(cr, 32.0) << e.name;
+    EXPECT_GT(e.degree, 0) << e.name;
+  }
+}
+
+TEST(Table2, FindByName) {
+  EXPECT_EQ(find("cant").degree, 64);
+  EXPECT_EQ(find("webbase-1M").family, Family::kPowerLaw);
+  EXPECT_THROW(find("no-such-matrix"), std::out_of_range);
+}
+
+TEST(Proxy, EffectiveDimensionIsCapped) {
+  const auto& cage15 = find("cage15");
+  EXPECT_LE(effective_dimension(cage15, false), kScaledDimensionCap);
+  EXPECT_EQ(effective_dimension(cage15, true), cage15.n);
+  const auto& small = find("poisson3Da");
+  EXPECT_EQ(effective_dimension(small, false), small.n);
+}
+
+TEST(Proxy, PowerLawDimensionIsPowerOfTwo) {
+  const auto& web = find("webbase-1M");
+  const std::int64_t n = effective_dimension(web, false);
+  EXPECT_EQ(n & (n - 1), 0) << n;
+}
+
+TEST(Proxy, GenerationIsDeterministic) {
+  const auto& e = find("scircuit");
+  const auto a = generate(e, false, 7);
+  const auto b = generate(e, false, 7);
+  EXPECT_EQ(a.cols, b.cols);
+  EXPECT_EQ(a.vals, b.vals);
+}
+
+TEST(Proxy, DensityTracksEntry) {
+  for (const char* name : {"cant", "cage12", "scircuit"}) {
+    const auto& e = find(name);
+    const auto m = generate(e, false, 42);
+    const double realized_degree =
+        static_cast<double>(m.nnz()) / static_cast<double>(m.nrows);
+    // Within a factor of two of the registry degree (dedup, clipping).
+    EXPECT_GT(realized_degree, 0.4 * e.degree) << name;
+    EXPECT_LT(realized_degree, 2.0 * e.degree) << name;
+  }
+}
+
+TEST(Proxy, BandedFamilyLandsInHighCrRegime) {
+  const auto& e = find("cant");  // paper CR = 15.4
+  const auto m = generate(e, false, 42);
+  const Offset flop = count_flops(m, m);
+  // Banded^2 keeps nnz(A^2) <= 2*degree*n.
+  const double cr_lb = static_cast<double>(flop) /
+                       (2.0 * e.degree * static_cast<double>(m.nrows));
+  EXPECT_GT(cr_lb, recipe::kHighCompression);
+}
+
+TEST(Proxy, PowerLawFamilyIsSkewed) {
+  const auto m = generate(find("webbase-1M"), false, 42);
+  EXPECT_GT(degree_stats(m).skew(), recipe::kSkewThreshold);
+}
+
+TEST(Proxy, UniformFamilyIsNotSkewed) {
+  const auto m = generate(find("cage12"), false, 42);
+  EXPECT_LT(degree_stats(m).skew(), recipe::kSkewThreshold);
+}
+
+TEST(Proxy, AllEntriesGenerateValidMatricesScaled) {
+  for (const auto& e : table2()) {
+    const auto m = generate(e, false, 1);
+    EXPECT_NO_THROW(m.validate()) << e.name;
+    EXPECT_GT(m.nnz(), 0) << e.name;
+    EXPECT_EQ(m.nrows, m.ncols) << e.name;
+  }
+}
+
+TEST(Proxy, FamilyNames) {
+  EXPECT_STREQ(family_name(Family::kBanded), "banded");
+  EXPECT_STREQ(family_name(Family::kUniform), "uniform");
+  EXPECT_STREQ(family_name(Family::kPowerLaw), "power-law");
+}
+
+}  // namespace
+}  // namespace spgemm::proxy

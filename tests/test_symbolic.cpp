@@ -1,0 +1,63 @@
+// Tests for the stand-alone symbolic phase (structure without values).
+#include <gtest/gtest.h>
+
+#include "core/multiply.hpp"
+#include "core/symbolic.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/rmat.hpp"
+
+namespace spgemm {
+namespace {
+
+using I = std::int32_t;
+
+TEST(Symbolic, MatchesNumericStructure) {
+  const auto a = rmat_matrix<I, double>(RmatParams::g500(9, 8, 5));
+  const SymbolicResult sym = symbolic_nnz(a, a, /*threads=*/3);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+  SpGemmStats stats;
+  const auto c = multiply(a, a, opts, &stats);
+  EXPECT_EQ(sym.nnz, stats.nnz_out);
+  EXPECT_EQ(sym.flop, stats.flop);
+  ASSERT_EQ(sym.row_nnz.size(), static_cast<std::size_t>(a.nrows));
+  for (I i = 0; i < c.nrows; ++i) {
+    EXPECT_EQ(sym.row_nnz[static_cast<std::size_t>(i)], c.row_nnz(i)) << i;
+  }
+}
+
+TEST(Symbolic, CompressionRatioMatchesDefinition) {
+  const auto a = banded_matrix<I, double>(2048, 17, 3);
+  const SymbolicResult sym = symbolic_nnz(a, a);
+  EXPECT_GT(sym.compression_ratio(), 1.0);
+  EXPECT_NEAR(sym.compression_ratio(),
+              static_cast<double>(sym.flop) / static_cast<double>(sym.nnz),
+              1e-12);
+}
+
+TEST(Symbolic, EmptyProduct) {
+  CsrMatrix<I, double> a(4, 4);
+  const SymbolicResult sym = symbolic_nnz(a, a);
+  EXPECT_EQ(sym.nnz, 0);
+  EXPECT_EQ(sym.flop, 0);
+  EXPECT_EQ(sym.compression_ratio(), 0.0);
+}
+
+TEST(Symbolic, RectangularShapes) {
+  const auto a = uniform_random_matrix<I, double>(40, 90, 300, 1);
+  const auto b = uniform_random_matrix<I, double>(90, 20, 250, 2);
+  const SymbolicResult sym = symbolic_nnz(a, b);
+  const auto c = spgemm_reference(a, b);
+  EXPECT_EQ(sym.nnz, c.nnz());
+}
+
+TEST(Symbolic, ThreadCountInvariant) {
+  const auto a = rmat_matrix<I, double>(RmatParams::er(8, 6, 9));
+  const SymbolicResult one = symbolic_nnz(a, a, 1);
+  const SymbolicResult many = symbolic_nnz(a, a, 8);
+  EXPECT_EQ(one.nnz, many.nnz);
+  EXPECT_EQ(one.row_nnz, many.row_nnz);
+}
+
+}  // namespace
+}  // namespace spgemm
