@@ -1,8 +1,13 @@
 // Ablation: all SpGEMM kernels on one G500 input under google-benchmark,
-// with flop-rate counters.  Complements the figure benches with
-// statistically managed timing for apples-to-apples kernel comparison.
+// with flop-rate counters, plus the structure-reuse ablation of the tiled
+// two-phase driver (reuse on/off at RMAT scale 16, A*A): per-phase times,
+// probe totals and the reuse hit rate, emitted both as benchmark counters
+// and as machine-readable BENCH_abl_kernels.json.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench_util.hpp"
 #include "core/multiply.hpp"
 #include "matrix/rmat.hpp"
 #include "matrix/stats.hpp"
@@ -13,11 +18,24 @@ using spgemm::Algorithm;
 using spgemm::CsrMatrix;
 using spgemm::RmatParams;
 using spgemm::SortOutput;
+using spgemm::StructureReuse;
 
 const CsrMatrix<std::int32_t, double>& shared_input() {
   static const auto a = spgemm::rmat_matrix<std::int32_t, double>(
       RmatParams::g500(11, 16, 42));
   return a;
+}
+
+/// Reuse-ablation input per the acceptance bar: RMAT scale >= 16, A*A.
+const CsrMatrix<std::int32_t, double>& reuse_input() {
+  static const auto a = spgemm::rmat_matrix<std::int32_t, double>(
+      RmatParams::g500(16, 16, 42));
+  return a;
+}
+
+spgemm::bench::JsonReporter& json_reporter() {
+  static spgemm::bench::JsonReporter reporter("abl_kernels");
+  return reporter;
 }
 
 void run_kernel(benchmark::State& state, Algorithm algo, SortOutput sort) {
@@ -35,6 +53,33 @@ void run_kernel(benchmark::State& state, Algorithm algo, SortOutput sort) {
   state.counters["MFLOPS"] = benchmark::Counter(
       2.0 * static_cast<double>(stats.flop) * state.iterations() / 1e6,
       benchmark::Counter::kIsRate);
+}
+
+void run_reuse(benchmark::State& state, Algorithm algo, StructureReuse reuse,
+               const char* label) {
+  const auto& a = reuse_input();
+  spgemm::SpGemmOptions opts;
+  opts.algorithm = algo;
+  opts.sort_output = SortOutput::kNo;
+  opts.reuse = reuse;
+  spgemm::SpGemmStats stats;
+  for (auto _ : state) {
+    auto c = spgemm::multiply(a, a, opts, &stats);
+    benchmark::DoNotOptimize(c.vals.data());
+  }
+  state.counters["symbolic_ms"] = stats.symbolic_ms;
+  state.counters["numeric_ms"] = stats.numeric_ms;
+  state.counters["symbolic_probes"] =
+      static_cast<double>(stats.symbolic_probes);
+  state.counters["numeric_probes"] =
+      static_cast<double>(stats.numeric_probes);
+  state.counters["tiles"] = static_cast<double>(stats.tile_count);
+  state.counters["reuse_hit_rate"] = stats.reuse_hit_rate();
+  state.counters["MFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(stats.flop) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+  json_reporter().add(label, "g500_s16_ef16", spgemm::bench::bench_threads(),
+                      stats.mflops(), stats);
 }
 
 void BM_Heap(benchmark::State& s) {
@@ -71,6 +116,29 @@ void BM_Adaptive_Unsorted(benchmark::State& s) {
   run_kernel(s, Algorithm::kAdaptive, SortOutput::kNo);
 }
 
+void BM_Hash_s16_Reuse(benchmark::State& s) {
+  run_reuse(s, Algorithm::kHash, StructureReuse::kOn, "Hash s16 reuse-on");
+}
+void BM_Hash_s16_NoReuse(benchmark::State& s) {
+  run_reuse(s, Algorithm::kHash, StructureReuse::kOff, "Hash s16 reuse-off");
+}
+void BM_HashVec_s16_Reuse(benchmark::State& s) {
+  run_reuse(s, Algorithm::kHashVector, StructureReuse::kOn,
+            "HashVec s16 reuse-on");
+}
+void BM_HashVec_s16_NoReuse(benchmark::State& s) {
+  run_reuse(s, Algorithm::kHashVector, StructureReuse::kOff,
+            "HashVec s16 reuse-off");
+}
+void BM_KkHash_s16_Reuse(benchmark::State& s) {
+  run_reuse(s, Algorithm::kKkHash, StructureReuse::kOn,
+            "KkHash s16 reuse-on");
+}
+void BM_KkHash_s16_NoReuse(benchmark::State& s) {
+  run_reuse(s, Algorithm::kKkHash, StructureReuse::kOff,
+            "KkHash s16 reuse-off");
+}
+
 BENCHMARK(BM_Heap)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Hash_Sorted)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Hash_Unsorted)->Unit(benchmark::kMillisecond);
@@ -82,6 +150,13 @@ BENCHMARK(BM_KkHash_Unsorted)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Merge)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Adaptive_Sorted)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Adaptive_Unsorted)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Hash_s16_Reuse)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hash_s16_NoReuse)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HashVec_s16_Reuse)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HashVec_s16_NoReuse)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KkHash_s16_Reuse)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KkHash_s16_NoReuse)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

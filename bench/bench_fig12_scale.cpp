@@ -14,6 +14,7 @@ int main() {
   using namespace spgemm::bench;
 
   print_banner("Figure 12", "MFLOPS vs scale, edge factor 16, A^2");
+  JsonReporter json("fig12_scale");
 
   const int max_scale_er = full_scale() ? 20 : 14;
   const int max_scale_g500 = full_scale() ? 17 : 14;
@@ -27,17 +28,26 @@ int main() {
     }
     print_header("MFLOPS", headers, 12);
 
-    std::vector<CsrMatrix<std::int32_t, double>> inputs;
+    struct Input {
+      std::string matrix;  ///< JSON matrix label, scale encoded once here
+      CsrMatrix<std::int32_t, double> a;
+    };
+    std::vector<Input> inputs;
     for (int s = 8; s <= max_scale; s += 2) {
-      inputs.push_back(rmat_matrix<std::int32_t, double>(
-          g500 ? RmatParams::g500(s, 16, 200 + s)
-               : RmatParams::er(s, 16, 200 + s)));
+      inputs.push_back({std::string(g500 ? "g500" : "er") + "_s" +
+                            std::to_string(s) + "_ef16",
+                        rmat_matrix<std::int32_t, double>(
+                            g500 ? RmatParams::g500(s, 16, 200 + s)
+                                 : RmatParams::er(s, 16, 200 + s))});
     }
 
     for (const KernelSpec& spec : both_legends()) {
       std::vector<double> row;
-      for (const auto& a : inputs) {
-        row.push_back(time_multiply_mflops(a, a, spec));
+      for (const Input& in : inputs) {
+        SpGemmStats stats;
+        const double mflops = time_multiply_mflops(in.a, in.a, spec, &stats);
+        row.push_back(mflops);
+        json.add(spec.label, in.matrix, bench_threads(), mflops, stats);
       }
       print_row(spec.label, row, "%12.1f");
     }

@@ -21,6 +21,105 @@
 
 namespace spgemm::bench {
 
+/// One machine-readable measurement row of a bench binary.
+struct BenchRecord {
+  std::string kernel;   ///< legend label / kernel name
+  std::string matrix;   ///< input description (generator + scale or file)
+  int threads = 0;
+  double total_ms = 0.0;
+  double symbolic_ms = 0.0;
+  double numeric_ms = 0.0;
+  double mflops = 0.0;
+  double reuse_hit_rate = 0.0;
+  Offset flop = 0;
+  Offset nnz_out = 0;
+};
+
+/// Collects BenchRecords and writes `BENCH_<name>.json` (a JSON array) in
+/// the working directory when flushed or destroyed — the start of the
+/// machine-readable perf trajectory next to the human-readable tables.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+  ~JsonReporter() { flush(); }
+
+  /// Adds or replaces the record for (kernel, matrix, threads).  Replacing
+  /// matters under google-benchmark, which invokes each BM_ function
+  /// several times (iteration estimation, then the measured run): only the
+  /// final measurement survives.
+  void add(BenchRecord rec) {
+    for (BenchRecord& r : records_) {
+      if (r.kernel == rec.kernel && r.matrix == rec.matrix &&
+          r.threads == rec.threads) {
+        r = std::move(rec);
+        return;
+      }
+    }
+    records_.push_back(std::move(rec));
+  }
+
+  /// Record a measured multiply directly from its stats.
+  void add(const std::string& kernel, const std::string& matrix, int threads,
+           double mflops, const SpGemmStats& stats) {
+    BenchRecord rec;
+    rec.kernel = kernel;
+    rec.matrix = matrix;
+    rec.threads = threads;
+    rec.total_ms = stats.total_ms();
+    rec.symbolic_ms = stats.symbolic_ms;
+    rec.numeric_ms = stats.numeric_ms;
+    rec.mflops = mflops;
+    rec.reuse_hit_rate = stats.reuse_hit_rate();
+    rec.flop = stats.flop;
+    rec.nnz_out = stats.nnz_out;
+    add(std::move(rec));
+  }
+
+  void flush() {
+    if (records_.empty() || flushed_) return;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(
+          f,
+          "  {\"kernel\": \"%s\", \"matrix\": \"%s\", \"threads\": %d, "
+          "\"total_ms\": %.4f, \"symbolic_ms\": %.4f, \"numeric_ms\": %.4f, "
+          "\"mflops\": %.2f, \"reuse_hit_rate\": %.4f, \"flop\": %lld, "
+          "\"nnz_out\": %lld}%s\n",
+          json_escape(r.kernel).c_str(), json_escape(r.matrix).c_str(),
+          r.threads, r.total_ms, r.symbolic_ms, r.numeric_ms, r.mflops,
+          r.reuse_hit_rate, static_cast<long long>(r.flop),
+          static_cast<long long>(r.nnz_out),
+          i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+    flushed_ = true;
+  }
+
+ private:
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<BenchRecord> records_;
+  bool flushed_ = false;
+};
+
 inline bool full_scale() {
   return env::get_bool("SPGEMM_BENCH_FULL", false);
 }

@@ -75,6 +75,36 @@ class HashAccumulator {
     }
   }
 
+  /// Capture variant of insert() for the structure-reusing driver: returns
+  /// the resolved slot s (>= 0) when `key` was newly inserted, or ~s when
+  /// the key already lives at slot s.  The driver records the tagged slot
+  /// per flop so the numeric phase can replay values without re-probing.
+  IT insert_tagged(IT key) {
+    std::size_t pos = slot_of(key);
+    while (true) {
+      ++probes_;
+      if (keys_[pos] == key) return static_cast<IT>(~pos);
+      if (keys_[pos] == kEmpty) {
+        keys_[pos] = key;
+        touched_[count_++] = static_cast<IT>(pos);
+        return static_cast<IT>(pos);
+      }
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+  /// Dense slot -> value storage the replay pass scatters into and the
+  /// gather list reads from.  Valid between prepare() calls.
+  [[nodiscard]] VT* slot_values() { return vals_; }
+
+  /// Slot of the i-th inserted key (i < count()), insertion order.
+  [[nodiscard]] IT touched_slot(std::size_t i) const { return touched_[i]; }
+
+  /// Key stored at a slot returned by insert_tagged / touched_slot.
+  [[nodiscard]] IT key_at_slot(IT slot) const {
+    return keys_[static_cast<std::size_t>(slot)];
+  }
+
   /// Numeric-phase upsert with a custom fold: fold(acc, value) combines a
   /// new contribution into an existing entry (semiring "add"); the first
   /// contribution for a key is stored directly.

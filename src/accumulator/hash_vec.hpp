@@ -75,6 +75,22 @@ class HashVecAccumulator {
     return true;
   }
 
+  /// Capture variant of insert(): slot s (>= 0) when newly inserted, ~s
+  /// when already present (find_or_claim's -(s+1) encoding is exactly ~s).
+  IT insert_tagged(IT key) {
+    std::int64_t slot = find_or_claim(key);
+    if (slot >= 0) touched_[count_++] = static_cast<IT>(slot);
+    return static_cast<IT>(slot);
+  }
+
+  [[nodiscard]] VT* slot_values() { return vals_; }
+
+  [[nodiscard]] IT touched_slot(std::size_t i) const { return touched_[i]; }
+
+  [[nodiscard]] IT key_at_slot(IT slot) const {
+    return keys_[static_cast<std::size_t>(slot)];
+  }
+
   template <typename Fold>
   void accumulate(IT key, VT value, Fold fold) {
     std::int64_t slot = find_or_claim(key);

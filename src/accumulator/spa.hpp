@@ -41,6 +41,22 @@ class SpaAccumulator {
     return true;
   }
 
+  /// Capture variant of insert(): the SPA's slot IS the column index, so
+  /// this returns key (new) or ~key (already present).
+  IT insert_tagged(IT key) {
+    const auto k = static_cast<std::size_t>(key);
+    if (flags_[k] != 0) return static_cast<IT>(~key);
+    flags_[k] = 1;
+    touched_[count_++] = key;
+    return key;
+  }
+
+  [[nodiscard]] VT* slot_values() { return vals_; }
+
+  [[nodiscard]] IT touched_slot(std::size_t i) const { return touched_[i]; }
+
+  [[nodiscard]] IT key_at_slot(IT slot) const { return slot; }
+
   template <typename Fold>
   void accumulate(IT key, VT value, Fold fold) {
     const auto k = static_cast<std::size_t>(key);

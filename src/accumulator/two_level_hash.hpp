@@ -57,6 +57,32 @@ class TwoLevelHashAccumulator {
     return true;
   }
 
+  /// Capture variant of insert(): the slot is the node's pool index
+  /// (== insertion order).  Returns node (new) or ~node (already present).
+  IT insert_tagged(IT key) {
+    const std::size_t b = bucket_of(key);
+    for (std::int32_t node = heads_[b]; node != kNil;
+         node = next_[static_cast<std::size_t>(node)]) {
+      ++probes_;
+      if (keys_[static_cast<std::size_t>(node)] == key) {
+        return static_cast<IT>(~static_cast<IT>(node));
+      }
+    }
+    link(b, key, VT{0});
+    return static_cast<IT>(count_ - 1);
+  }
+
+  [[nodiscard]] VT* slot_values() { return vals_; }
+
+  /// Nodes are bump-allocated, so the i-th inserted key lives at node i.
+  [[nodiscard]] IT touched_slot(std::size_t i) const {
+    return static_cast<IT>(i);
+  }
+
+  [[nodiscard]] IT key_at_slot(IT slot) const {
+    return keys_[static_cast<std::size_t>(slot)];
+  }
+
   template <typename Fold>
   void accumulate(IT key, VT value, Fold fold) {
     const std::size_t b = bucket_of(key);

@@ -1,7 +1,9 @@
 // User-facing knobs of the multiply() dispatcher, mirroring the paper's
-// algorithm menu (Table 1) plus the scheduling/allocation ablations.
+// algorithm menu (Table 1) plus the scheduling/allocation ablations and the
+// tiled structure-reuse pipeline of the two-phase driver.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "accumulator/hash_vec.hpp"
@@ -51,6 +53,16 @@ constexpr bool requires_sorted_input(Algorithm algo) {
          algo == Algorithm::kIkj;
 }
 
+/// Whether the two-phase driver may capture the symbolic structure (per-row
+/// accumulator slots) and replay it in the numeric phase instead of
+/// re-probing.  kAuto defers to the cost model (on whenever a per-thread
+/// staging budget is available).
+enum class StructureReuse : std::uint8_t {
+  kAuto,
+  kOn,
+  kOff,
+};
+
 struct SpGemmOptions {
   Algorithm algorithm = Algorithm::kAuto;
   SortOutput sort_output = SortOutput::kYes;
@@ -60,6 +72,21 @@ struct SpGemmOptions {
       parallel::SchedulePolicy::kBalancedParallel;
   /// SIMD probing override for HashVector (tests/ablation).
   ProbeKind probe = ProbeKind::kAuto;
+
+  // ---- Tiled two-phase driver (core/spgemm_twophase.hpp) -----------------
+  /// Rows per tile processed symbolic-then-numeric back to back.
+  /// 0 = let the cost model pick a cache-resident tile size.
+  std::size_t tile_rows = 0;
+  /// How tiles are assigned to threads: static keeps the flop-balanced
+  /// per-thread row ranges of Fig. 6; dynamic feeds flop-balanced tiles to
+  /// whichever thread is free (skewed matrices).
+  parallel::TileSchedule tile_schedule = parallel::TileSchedule::kStatic;
+  /// Symbolic-structure capture toggle (see StructureReuse).
+  StructureReuse reuse = StructureReuse::kAuto;
+  /// Per-thread byte budget for the captured slot streams.  Rows whose
+  /// capture would overflow the budget fall back to classic re-probing.
+  /// 0 = default (model::kDefaultReuseBudgetBytes).
+  std::size_t reuse_budget_bytes = 0;
 };
 
 /// Optional per-multiply measurements filled by multiply().
@@ -69,7 +96,24 @@ struct SpGemmStats {
   double numeric_ms = 0.0;
   Offset flop = 0;           ///< scalar multiplications
   Offset nnz_out = 0;
-  std::uint64_t probes = 0;  ///< accumulator probe count (hash kernels)
+  std::uint64_t probes = 0;  ///< total accumulator probes, both phases
+  /// Per-phase probe split: the collision factor c of the cost model
+  /// (§4.2.4, Eq. 2) is probes per insertion *per phase*; summing only one
+  /// phase understates it by roughly half.
+  std::uint64_t symbolic_probes = 0;
+  std::uint64_t numeric_probes = 0;
+  /// Tiled-driver observability: tiles processed, and how many rows had
+  /// their symbolic structure captured and replayed (vs re-probed).
+  std::uint64_t tile_count = 0;
+  std::uint64_t reuse_rows_captured = 0;
+  std::uint64_t reuse_rows_total = 0;
+
+  [[nodiscard]] double reuse_hit_rate() const {
+    return reuse_rows_total > 0
+               ? static_cast<double>(reuse_rows_captured) /
+                     static_cast<double>(reuse_rows_total)
+               : 0.0;
+  }
 
   [[nodiscard]] double total_ms() const {
     return setup_ms + symbolic_ms + numeric_ms;

@@ -16,6 +16,8 @@
 
 #include <omp.h>
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 
@@ -25,7 +27,9 @@
 #include "core/semiring.hpp"
 #include "core/spgemm_options.hpp"
 #include "matrix/csr.hpp"
+#include "model/cost_model.hpp"
 #include "parallel/omp_utils.hpp"
+#include "parallel/prefix_sum.hpp"
 #include "parallel/rows_to_threads.hpp"
 
 namespace spgemm {
@@ -33,9 +37,12 @@ namespace spgemm {
 template <IndexType IT, ValueType VT>
 class SpGemmPlan {
  public:
-  /// Inspect: symbolic phase + partition + output skeleton.
+  /// Inspect: symbolic phase + partition + output skeleton.  When `stats`
+  /// is given, the inspection's symbolic time and probe count are recorded
+  /// (the probe count yields the measured collision factor the cost model
+  /// wants, instead of its assumed default).
   SpGemmPlan(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
-             SpGemmOptions opts = {})
+             SpGemmOptions opts = {}, SpGemmStats* stats = nullptr)
       : opts_(opts),
         nrows_a_(a.nrows),
         ncols_b_(b.ncols),
@@ -48,11 +55,15 @@ class SpGemmPlan {
                    (structure_fingerprint(b) * 0x9e3779b97f4a7c15ULL);
     const int nthreads = parallel::resolve_threads(opts_.threads);
     parallel::ScopedNumThreads scoped(opts_.threads);
+    Timer timer;
     part_ = parallel::rows_to_threads(static_cast<std::size_t>(a.nrows),
                                       a.rpts.data(), a.cols.data(),
                                       b.rpts.data(), nthreads);
+    if (stats != nullptr) stats->setup_ms = timer.millis();
+    timer.reset();
 
     skeleton_ = CsrMatrix<IT, VT>(a.nrows, b.ncols);
+    std::atomic<std::uint64_t> probes{0};
 #pragma omp parallel num_threads(nthreads)
     {
       const int tid = omp_get_thread_num();
@@ -70,18 +81,56 @@ class SpGemmPlan {
               acc.insert(b.cols[static_cast<std::size_t>(l)]);
             }
           }
-          skeleton_.rpts[i + 1] = static_cast<Offset>(acc.count());
+          // Counts land at rpts[i]; the exclusive scan turns them in place
+          // into final row offsets (rpts[nrows] stays 0 until then).
+          skeleton_.rpts[i] = static_cast<Offset>(acc.count());
           acc.reset();
         }
+        probes.fetch_add(acc.probes(), std::memory_order_relaxed);
       }
     }
-    for (std::size_t i = 0; i < static_cast<std::size_t>(a.nrows); ++i) {
-      skeleton_.rpts[i + 1] += skeleton_.rpts[i];
+    parallel::exclusive_scan_inplace(skeleton_.rpts.data(),
+                                     static_cast<std::size_t>(a.nrows) + 1);
+    symbolic_probes_ = probes.load(std::memory_order_relaxed);
+    if (stats != nullptr) {
+      stats->symbolic_ms = timer.millis();
+      stats->symbolic_probes = symbolic_probes_;
+      stats->probes = symbolic_probes_;
+      stats->flop = part_.total_flop();
+      stats->nnz_out = skeleton_.nnz();
     }
   }
 
   [[nodiscard]] Offset nnz_out() const { return skeleton_.nnz(); }
   [[nodiscard]] Offset flop() const { return part_.total_flop(); }
+  [[nodiscard]] std::uint64_t symbolic_probes() const {
+    return symbolic_probes_;
+  }
+
+  /// Measured hash collision factor of the inspected product (probes per
+  /// scalar multiplication) — the c of the cost model's Eq. 2.
+  [[nodiscard]] double collision_factor() const {
+    const auto f = static_cast<double>(part_.total_flop());
+    return f > 0.0 ? static_cast<double>(symbolic_probes_) / f : 1.0;
+  }
+
+  /// Tile size the tiled driver would pick for this product, and whether
+  /// capturing the symbolic structure pays at the measured collision factor.
+  [[nodiscard]] std::size_t planned_tile_rows() const {
+    const std::size_t budget = opts_.reuse_budget_bytes > 0
+                                   ? opts_.reuse_budget_bytes
+                                   : model::kDefaultReuseBudgetBytes;
+    return model::choose_tile_rows(part_.total_flop(),
+                                   static_cast<std::size_t>(nrows_a_),
+                                   budget, sizeof(IT));
+  }
+  [[nodiscard]] bool reuse_pays() const {
+    const std::size_t budget = opts_.reuse_budget_bytes > 0
+                                   ? opts_.reuse_budget_bytes
+                                   : model::kDefaultReuseBudgetBytes;
+    return opts_.reuse != StructureReuse::kOff &&
+           model::reuse_pays(collision_factor(), budget);
+  }
 
   /// Execute the numeric phase for inputs with the planned structure.
   template <typename SR = PlusTimes>
@@ -161,6 +210,7 @@ class SpGemmPlan {
   Offset nnz_a_;
   Offset nnz_b_;
   std::uint64_t fingerprint_ = 0;
+  std::uint64_t symbolic_probes_ = 0;
   parallel::RowPartition part_;
   CsrMatrix<IT, VT> skeleton_;  ///< rpts of the product
 };

@@ -1,37 +1,95 @@
-// Generic two-phase (symbolic + numeric) row-wise SpGEMM driver.
+// Tiled, structure-reusing two-phase (symbolic + numeric) SpGEMM driver.
 //
 // This is Gustavson's algorithm (paper Fig. 1) parallelized over rows with
 // the paper's architecture-specific structure:
-//   * flop-balanced static row partition (Fig. 6) by default,
+//   * flop-balanced static row partition (Fig. 6) by default, or a
+//     flop-balanced dynamic tile pool for skewed matrices,
 //   * one accumulator per thread, allocated inside the owning thread
 //     ("parallel" memory scheme, §3.2) and reinitialized per row,
-//   * symbolic phase counts nnz per output row, an exclusive scan sizes the
-//     output exactly, the numeric phase fills it in place (§2, two-phase
-//     strategy).
+//   * symbolic phase counts nnz per output row, a parallel exclusive scan
+//     sizes the output exactly, the numeric phase fills it in place
+//     (§2, two-phase strategy).
 // The accumulator type is a template parameter: Hash, HashVector, SPA and
 // the two-level hash map all flow through this one driver, so the kernels
 // differ only in their accumulation data structure — exactly the framing
 // of the paper.
+//
+// ---- Tile / reuse state machine -------------------------------------------
+//
+// Rows are processed in contiguous row *tiles* (size from SpGemmOptions::
+// tile_rows or the cost model).  For each tile the owning thread runs the
+// symbolic and numeric passes back to back, while the A rows, B rows and the
+// accumulator state for those rows are still cache-hot:
+//
+//   SYMBOLIC(tile):  for each row
+//     capture?  flop*2 slots still fit the per-thread budget
+//       yes -> insert_tagged() per product, recording slot s (new) or ~s
+//              (duplicate); then record the per-output-entry gather slots
+//              (sorted by column when sorted output is requested) and write
+//              the row's column indices straight into the staging buffer
+//       no  -> classic insert() per product (count only)            [FALLBACK]
+//     rpts[row] = count; accumulator reset (keys only; O(row nnz))
+//
+//   NUMERIC(tile):   for each row
+//     captured -> replay: one sequential read of the tagged slot stream,
+//                 value scattered to slot_values()[s] (store when s >= 0,
+//                 fold when tagged ~s) — zero hash probing — then gather
+//                 staged values through the recorded slots
+//     fallback -> classic accumulate() per product (re-probe), extract into
+//                 the staging buffer
+//
+// Because global row offsets are unknown until every row is counted, the
+// numeric pass writes into per-thread staging buffers; after a parallel
+// exclusive scan over the per-row counts, a bulk copy places each tile's
+// rows at their final offsets.  Peak memory is therefore nnz(C) staged +
+// nnz(C) final, traded for fusing the two passes (the staged copy is a
+// streaming memcpy, far cheaper than re-probing the accumulator).
+//
+// The replayed value stream folds contributions in exactly the traversal
+// order of the classic numeric pass, so reuse-on and reuse-off products are
+// bit-identical, sorted or unsorted.
 #pragma once
 
 #include <omp.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <utility>
+#include <vector>
 
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "core/semiring.hpp"
 #include "core/spgemm_options.hpp"
 #include "matrix/csr.hpp"
+#include "mem/workspace.hpp"
+#include "model/cost_model.hpp"
 #include "parallel/omp_utils.hpp"
 #include "parallel/prefix_sum.hpp"
 #include "parallel/rows_to_threads.hpp"
+#include "parallel/tiles.hpp"
 
 namespace spgemm::detail {
 
+/// Per-row capture record within the current tile.
+template <IndexType IT>
+struct RowCapture {
+  std::size_t stage_off = 0;  ///< row start in the thread staging buffers
+  std::size_t cap_off = 0;    ///< slot-stream start in the capture buffer
+  IT nnz = 0;
+  bool captured = false;
+};
+
+/// One processed tile, remembered for the final placement copy.
+struct TileRecord {
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;
+  std::size_t stage_begin = 0;
+};
+
 /// PrepareFn: void(Acc&, Offset max_row_flop, IT ncols) — sizes the
-/// accumulator for a thread's row block before symbolic and numeric loops.
+/// accumulator for a thread's row block before the tile loop.
 /// MakeAcc: Acc() — constructs a thread-local accumulator (lets kernels
 /// inject configuration such as the SIMD probe kind).
 /// SR: the semiring policy (core/semiring.hpp); PlusTimes is ordinary
@@ -55,85 +113,340 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
                                       b.rpts.data(), nthreads)
           : parallel::rows_equal(nrows, a.rpts.data(), a.cols.data(),
                                  b.rpts.data(), nthreads);
+
+  // ---- Resolve the tiling/reuse configuration. ---------------------------
+  const std::size_t budget_bytes =
+      opts.reuse_budget_bytes > 0 ? opts.reuse_budget_bytes
+                                  : model::kDefaultReuseBudgetBytes;
+  // kAuto decides before any symbolic pass has run, so it uses the model's
+  // a-priori collision factor; plan-driven callers (SpGemmPlan::reuse_pays)
+  // substitute the measured value instead.
+  const bool reuse_enabled =
+      opts.reuse == StructureReuse::kOn ||
+      (opts.reuse == StructureReuse::kAuto &&
+       model::reuse_pays(model::kDefaultCollisionFactor, budget_bytes));
+  const std::size_t budget_entries = budget_bytes / sizeof(IT);
+  const std::size_t tile_rows =
+      opts.tile_rows > 0
+          ? opts.tile_rows
+          : model::choose_tile_rows(part.total_flop(), nrows, budget_bytes,
+                                    sizeof(IT));
+  const bool dynamic_tiles =
+      opts.tile_schedule == parallel::TileSchedule::kDynamic;
+
+  // Dynamic tiles roam across the whole matrix: pre-cut flop-balanced tile
+  // bounds and size every accumulator for the global worst-case row.
+  std::vector<std::size_t> tile_bounds;
+  Offset global_max_row_flop = 0;
+  if (dynamic_tiles) {
+    const double avg_row_flop =
+        nrows > 0 ? static_cast<double>(part.total_flop()) /
+                        static_cast<double>(nrows)
+                  : 0.0;
+    const auto target_flop = static_cast<Offset>(
+        std::max(1.0, avg_row_flop * static_cast<double>(tile_rows)));
+    tile_bounds =
+        parallel::flop_balanced_tiles(part.flop_prefix.data(), nrows,
+                                      target_flop);
+    for (std::size_t i = 0; i < nrows; ++i) {
+      global_max_row_flop = std::max(
+          global_max_row_flop, part.flop_prefix[i + 1] - part.flop_prefix[i]);
+    }
+  }
+  parallel::TileClaimer claimer(
+      tile_bounds.empty() ? 0 : tile_bounds.size() - 1);
+
   if (stats != nullptr) {
     stats->setup_ms = timer.millis();
     stats->flop = part.total_flop();
   }
 
   CsrMatrix<IT, VT> c(a.nrows, b.ncols);
-  std::atomic<std::uint64_t> total_probes{0};
 
-  // ---- Symbolic phase: count nnz of every output row. ------------------
+  // Per-thread staging (cols/vals in processing order) and tile records for
+  // the placement copy; inner vectors grow inside the owning thread.
+  std::vector<std::vector<IT>> staged_cols(
+      static_cast<std::size_t>(nthreads));
+  std::vector<std::vector<VT>> staged_vals(
+      static_cast<std::size_t>(nthreads));
+  std::vector<std::vector<TileRecord>> records(
+      static_cast<std::size_t>(nthreads));
+  std::vector<double> sym_seconds(static_cast<std::size_t>(nthreads), 0.0);
+  std::vector<double> num_seconds(static_cast<std::size_t>(nthreads), 0.0);
+
+  std::atomic<std::uint64_t> total_sym_probes{0};
+  std::atomic<std::uint64_t> total_num_probes{0};
+  std::atomic<std::uint64_t> total_tiles{0};
+  std::atomic<std::uint64_t> total_rows_captured{0};
+
   timer.reset();
 #pragma omp parallel num_threads(nthreads)
   {
     const int tid = omp_get_thread_num();
     if (tid < part.threads()) {
+      const auto utid = static_cast<std::size_t>(tid);
       auto acc = make_acc();
-      prepare(acc, part.max_row_flop(tid), b.ncols);
-      const std::size_t row_begin = part.offsets[static_cast<std::size_t>(tid)];
-      const std::size_t row_end =
-          part.offsets[static_cast<std::size_t>(tid) + 1];
-      for (std::size_t i = row_begin; i < row_end; ++i) {
-        for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
-          const auto k = static_cast<std::size_t>(
-              a.cols[static_cast<std::size_t>(j)]);
-          for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
-            acc.insert(b.cols[static_cast<std::size_t>(l)]);
+      prepare(acc,
+              dynamic_tiles ? global_max_row_flop : part.max_row_flop(tid),
+              b.ncols);
+
+      auto& scols = staged_cols[utid];
+      auto& svals = staged_vals[utid];
+      auto& recs = records[utid];
+      if (!dynamic_tiles) {
+        // Reserve at an optimistic compression ratio to limit regrowth.
+        const std::size_t thread_flop = static_cast<std::size_t>(
+            part.flop_prefix[part.offsets[utid + 1]] -
+            part.flop_prefix[part.offsets[utid]]);
+        scols.reserve(thread_flop / 4 + 64);
+        svals.reserve(thread_flop / 4 + 64);
+      }
+
+      // A tile never records more than 2 * its flop in slots, so small
+      // products need far less scratch than the full budget.  Static tiles
+      // are bounded by the thread's flop share; dynamic tiles can claim any
+      // tile, so only the total flop bounds them.
+      const auto capture_flop_bound = static_cast<std::size_t>(
+          dynamic_tiles ? part.total_flop()
+                        : part.flop_prefix[part.offsets[utid + 1]] -
+                              part.flop_prefix[part.offsets[utid]]);
+      const std::size_t capture_entries =
+          std::min(budget_entries, 2 * capture_flop_bound + 16);
+      mem::ThreadScratch<IT> capture_scratch;
+      IT* cap =
+          reuse_enabled ? capture_scratch.ensure(capture_entries) : nullptr;
+      std::vector<RowCapture<IT>> meta;
+      std::vector<std::pair<IT, IT>> sort_buf;  // (col, slot) for sorted rows
+
+      std::uint64_t last_probes = acc.probes();
+      std::uint64_t sym_probes = 0;
+      std::uint64_t num_probes = 0;
+      std::uint64_t tiles_done = 0;
+      std::uint64_t rows_captured = 0;
+      Timer tile_timer;
+
+      const auto process_tile = [&](std::size_t r0, std::size_t r1) {
+        meta.assign(r1 - r0, RowCapture<IT>{});
+        const std::size_t stage_begin = scols.size();
+        std::size_t cap_used = 0;
+        std::size_t stage_off = stage_begin;
+
+        // ---- Symbolic over the tile. ---------------------------------
+        tile_timer.reset();
+        for (std::size_t i = r0; i < r1; ++i) {
+          RowCapture<IT>& row = meta[i - r0];
+          const Offset row_flop =
+              part.flop_prefix[i + 1] - part.flop_prefix[i];
+          row.captured =
+              reuse_enabled &&
+              cap_used + 2 * static_cast<std::size_t>(row_flop) <=
+                  capture_entries;
+          row.stage_off = stage_off;
+          row.cap_off = cap_used;
+          if (row.captured) {
+            IT* slot_stream = cap + cap_used;
+            std::size_t ns = 0;
+            for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+              const auto k = static_cast<std::size_t>(
+                  a.cols[static_cast<std::size_t>(j)]);
+              for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
+                slot_stream[ns++] =
+                    acc.insert_tagged(b.cols[static_cast<std::size_t>(l)]);
+              }
+            }
+            const std::size_t nnz = acc.count();
+            row.nnz = static_cast<IT>(nnz);
+            // Gather slots (and final column order) are fixed now, while
+            // the accumulator still holds the row.
+            IT* gather = cap + cap_used + ns;
+            scols.resize(stage_off + nnz);
+            IT* out_cols = scols.data() + stage_off;
+            if (opts.sort_output == SortOutput::kYes) {
+              sort_buf.resize(nnz);
+              for (std::size_t t = 0; t < nnz; ++t) {
+                const IT slot = acc.touched_slot(t);
+                sort_buf[t] = {acc.key_at_slot(slot), slot};
+              }
+              std::sort(sort_buf.begin(), sort_buf.end(),
+                        [](const auto& x, const auto& y) {
+                          return x.first < y.first;
+                        });
+              for (std::size_t t = 0; t < nnz; ++t) {
+                out_cols[t] = sort_buf[t].first;
+                gather[t] = sort_buf[t].second;
+              }
+            } else {
+              for (std::size_t t = 0; t < nnz; ++t) {
+                const IT slot = acc.touched_slot(t);
+                out_cols[t] = acc.key_at_slot(slot);
+                gather[t] = slot;
+              }
+            }
+            cap_used += ns + nnz;
+            ++rows_captured;
+          } else {
+            for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+              const auto k = static_cast<std::size_t>(
+                  a.cols[static_cast<std::size_t>(j)]);
+              for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
+                acc.insert(b.cols[static_cast<std::size_t>(l)]);
+              }
+            }
+            row.nnz = static_cast<IT>(acc.count());
+            scols.resize(stage_off + static_cast<std::size_t>(row.nnz));
+          }
+          c.rpts[i] = static_cast<Offset>(row.nnz);
+          stage_off += static_cast<std::size_t>(row.nnz);
+          acc.reset();
+        }
+        sym_seconds[utid] += tile_timer.seconds();
+        {
+          const std::uint64_t cur = acc.probes();
+          sym_probes += cur - last_probes;
+          last_probes = cur;
+        }
+
+        // ---- Numeric over the tile (A/B rows still cache-hot). -------
+        tile_timer.reset();
+        svals.resize(scols.size());
+        for (std::size_t i = r0; i < r1; ++i) {
+          const RowCapture<IT>& row = meta[i - r0];
+          if (row.captured) {
+            VT* slot_vals = acc.slot_values();
+            const IT* slot_stream = cap + row.cap_off;
+            std::size_t ns = 0;
+            for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+              const auto k = static_cast<std::size_t>(
+                  a.cols[static_cast<std::size_t>(j)]);
+              const VT av = a.vals[static_cast<std::size_t>(j)];
+              for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
+                const VT v =
+                    SR::mul(av, b.vals[static_cast<std::size_t>(l)]);
+                const IT e = slot_stream[ns++];
+                if (e >= 0) {
+                  slot_vals[static_cast<std::size_t>(e)] = v;
+                } else {
+                  SR::add_into(slot_vals[static_cast<std::size_t>(~e)], v);
+                }
+              }
+            }
+            const IT* gather = slot_stream + ns;
+            VT* out_vals = svals.data() + row.stage_off;
+            for (std::size_t t = 0;
+                 t < static_cast<std::size_t>(row.nnz); ++t) {
+              out_vals[t] =
+                  slot_vals[static_cast<std::size_t>(gather[t])];
+            }
+          } else {
+            for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+              const auto k = static_cast<std::size_t>(
+                  a.cols[static_cast<std::size_t>(j)]);
+              const VT av = a.vals[static_cast<std::size_t>(j)];
+              for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
+                acc.accumulate(
+                    b.cols[static_cast<std::size_t>(l)],
+                    SR::mul(av, b.vals[static_cast<std::size_t>(l)]),
+                    [](VT& fold_acc, VT v) { SR::add_into(fold_acc, v); });
+              }
+            }
+            IT* out_cols = scols.data() + row.stage_off;
+            VT* out_vals = svals.data() + row.stage_off;
+            if (opts.sort_output == SortOutput::kYes) {
+              acc.extract_sorted(out_cols, out_vals);
+            } else {
+              acc.extract_unsorted(out_cols, out_vals);
+            }
+            acc.reset();
           }
         }
-        c.rpts[i + 1] = static_cast<Offset>(acc.count());
-        acc.reset();
+        num_seconds[utid] += tile_timer.seconds();
+        {
+          const std::uint64_t cur = acc.probes();
+          num_probes += cur - last_probes;
+          last_probes = cur;
+        }
+
+        recs.push_back({r0, r1, stage_begin});
+        ++tiles_done;
+      };
+
+      if (dynamic_tiles) {
+        for (std::size_t t = claimer.claim(); t < claimer.count();
+             t = claimer.claim()) {
+          process_tile(tile_bounds[t], tile_bounds[t + 1]);
+        }
+      } else {
+        const std::size_t row_begin = part.offsets[utid];
+        const std::size_t row_end = part.offsets[utid + 1];
+        for (std::size_t r0 = row_begin; r0 < row_end; r0 += tile_rows) {
+          process_tile(r0, std::min(row_end, r0 + tile_rows));
+        }
       }
+
+      total_sym_probes.fetch_add(sym_probes, std::memory_order_relaxed);
+      total_num_probes.fetch_add(num_probes, std::memory_order_relaxed);
+      total_tiles.fetch_add(tiles_done, std::memory_order_relaxed);
+      total_rows_captured.fetch_add(rows_captured,
+                                    std::memory_order_relaxed);
     }
   }
-  // Exclusive scan over the per-row counts stored at rpts[1..nrows].
-  for (std::size_t i = 0; i < nrows; ++i) c.rpts[i + 1] += c.rpts[i];
-  if (stats != nullptr) stats->symbolic_ms = timer.millis();
 
-  const auto nnz_c = static_cast<std::size_t>(c.rpts[nrows]);
-  c.cols.resize(nnz_c);
-  c.vals.resize(nnz_c);
+  // ---- Size the output: parallel exclusive scan over per-row counts. -----
+  Timer place_timer;
+  c.rpts[nrows] = 0;
+  parallel::exclusive_scan_inplace(c.rpts.data(), nrows + 1);
 
-  // ---- Numeric phase: fill cols/vals in place. --------------------------
-  timer.reset();
+  if (nthreads == 1) {
+    // One thread processes every tile in row order, so its staging buffers
+    // ARE the final cols/vals: adopt them and skip the zero-initializing
+    // resize plus the placement copy entirely.
+    c.cols = std::move(staged_cols[0]);
+    c.vals = std::move(staged_vals[0]);
+  } else {
+    const auto nnz_c = static_cast<std::size_t>(c.rpts[nrows]);
+    c.cols.resize(nnz_c);
+    c.vals.resize(nnz_c);
+
+    // ---- Place every staged tile at its final offset (bulk copies). ------
 #pragma omp parallel num_threads(nthreads)
-  {
-    const int tid = omp_get_thread_num();
-    if (tid < part.threads()) {
-      auto acc = make_acc();
-      prepare(acc, part.max_row_flop(tid), b.ncols);
-      const std::size_t row_begin = part.offsets[static_cast<std::size_t>(tid)];
-      const std::size_t row_end =
-          part.offsets[static_cast<std::size_t>(tid) + 1];
-      for (std::size_t i = row_begin; i < row_end; ++i) {
-        for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
-          const auto k = static_cast<std::size_t>(
-              a.cols[static_cast<std::size_t>(j)]);
-          const VT av = a.vals[static_cast<std::size_t>(j)];
-          for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
-            acc.accumulate(
-                b.cols[static_cast<std::size_t>(l)],
-                SR::mul(av, b.vals[static_cast<std::size_t>(l)]),
-                [](VT& fold_acc, VT v) { SR::add_into(fold_acc, v); });
-          }
+    {
+      const int tid = omp_get_thread_num();
+      if (tid < part.threads()) {
+        const auto utid = static_cast<std::size_t>(tid);
+        for (const TileRecord& rec : records[utid]) {
+          const auto dst = static_cast<std::size_t>(c.rpts[rec.row_begin]);
+          const auto len =
+              static_cast<std::size_t>(c.rpts[rec.row_end]) - dst;
+          std::copy_n(staged_cols[utid].data() + rec.stage_begin, len,
+                      c.cols.data() + dst);
+          std::copy_n(staged_vals[utid].data() + rec.stage_begin, len,
+                      c.vals.data() + dst);
         }
-        IT* out_cols = c.cols.data() + c.rpts[i];
-        VT* out_vals = c.vals.data() + c.rpts[i];
-        if (opts.sort_output == SortOutput::kYes) {
-          acc.extract_sorted(out_cols, out_vals);
-        } else {
-          acc.extract_unsorted(out_cols, out_vals);
-        }
-        acc.reset();
       }
-      total_probes.fetch_add(acc.probes(), std::memory_order_relaxed);
     }
   }
+  const double place_ms = place_timer.millis();
+
   if (stats != nullptr) {
-    stats->numeric_ms = timer.millis();
+    double sym_ms = 0.0;
+    double num_ms = 0.0;
+    for (int t = 0; t < nthreads; ++t) {
+      sym_ms = std::max(sym_ms, sym_seconds[static_cast<std::size_t>(t)]);
+      num_ms = std::max(num_ms, num_seconds[static_cast<std::size_t>(t)]);
+    }
+    // Phases interleave per tile; report the slowest thread's share of each
+    // and fold the scan + placement copy into the numeric side.
+    stats->symbolic_ms = sym_ms * 1e3;
+    stats->numeric_ms = num_ms * 1e3 + place_ms;
     stats->nnz_out = c.rpts[nrows];
-    stats->probes = total_probes.load(std::memory_order_relaxed);
+    stats->symbolic_probes =
+        total_sym_probes.load(std::memory_order_relaxed);
+    stats->numeric_probes = total_num_probes.load(std::memory_order_relaxed);
+    stats->probes = stats->symbolic_probes + stats->numeric_probes;
+    stats->tile_count = total_tiles.load(std::memory_order_relaxed);
+    stats->reuse_rows_captured =
+        total_rows_captured.load(std::memory_order_relaxed);
+    stats->reuse_rows_total = nrows;
   }
 
   c.sortedness = opts.sort_output == SortOutput::kYes

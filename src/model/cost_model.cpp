@@ -19,4 +19,34 @@ double hash_cost(const CostInputs& in, bool sorted) {
   return cost;
 }
 
+std::size_t choose_tile_rows(Offset total_flop, std::size_t nrows,
+                             std::size_t reuse_budget_bytes,
+                             std::size_t bytes_per_slot) {
+  if (nrows == 0) return 1;
+  if (bytes_per_slot == 0) bytes_per_slot = sizeof(std::int32_t);
+  const double avg_row_flop =
+      std::max(1.0, static_cast<double>(total_flop) /
+                        static_cast<double>(nrows));
+  // A captured row needs ~(flop + nnz) slots <= 2*flop slots; target the
+  // tile's capture footprint, never exceeding half the budget so at least
+  // one full tile can always be captured.
+  double target_bytes = static_cast<double>(kTileCaptureTargetBytes);
+  if (reuse_budget_bytes > 0) {
+    target_bytes =
+        std::min(target_bytes, static_cast<double>(reuse_budget_bytes) / 2.0);
+  }
+  const double rows =
+      target_bytes / (2.0 * avg_row_flop * static_cast<double>(bytes_per_slot));
+  return static_cast<std::size_t>(
+      std::clamp(rows, 16.0, 65536.0));
+}
+
+bool reuse_pays(double collision_factor, std::size_t reuse_budget_bytes) {
+  if (reuse_budget_bytes == 0) return false;
+  // One saved probe per flop already beats the slot-stream traffic; only a
+  // collision factor below ~0.5 (impossible for probing accumulators, and
+  // the SPA's direct indexing still skips its flag branch) would lose.
+  return collision_factor >= 0.5;
+}
+
 }  // namespace spgemm::model

@@ -9,6 +9,7 @@
 // sparse, low-CR products.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/types.hpp"
@@ -17,13 +18,19 @@
 
 namespace spgemm::model {
 
+/// A-priori hash collision factor (probes per scalar multiplication) used
+/// wherever no measurement exists yet — the tiled driver's kAuto decision
+/// and the CostInputs default.  SpGemmPlan::collision_factor() supplies the
+/// measured value once a symbolic pass has run.
+inline constexpr double kDefaultCollisionFactor = 1.2;
+
 /// Inputs the closed-form estimates need; obtainable from a symbolic pass
 /// or an actual product.
 struct CostInputs {
   Offset flop = 0;                ///< total scalar multiplications
   double sum_flop_log_nnz_a = 0;  ///< sum_i flop(c_i*) * log2 max(2,nnz(a_i*))
   double sum_nnz_log_nnz_c = 0;   ///< sum_i nnz(c_i*) * log2 max(2,nnz(c_i*))
-  double collision_factor = 1.2;  ///< measured or assumed average probes
+  double collision_factor = kDefaultCollisionFactor;  ///< measured or assumed
 };
 
 /// Estimated abstract cost of Heap SpGEMM (Eq. 1).
@@ -37,12 +44,37 @@ double hash_cost(const CostInputs& in, bool sorted);
 /// vanish entirely for singleton rows.
 double log2_at_least2(double x);
 
+// ---- Tiled-driver planning (core/spgemm_twophase.hpp) ---------------------
+
+/// Default per-thread byte budget for captured slot streams (structure
+/// reuse).  Sized so a whole tile's capture plus the accumulator stays well
+/// inside a typical last-level-cache share.
+inline constexpr std::size_t kDefaultReuseBudgetBytes = std::size_t{8} << 20;
+
+/// Capture-stream bytes a tile targets: small enough to stay cache-resident
+/// between the symbolic and numeric passes of the same tile.
+inline constexpr std::size_t kTileCaptureTargetBytes = std::size_t{256} << 10;
+
+/// Pick the rows-per-tile for the tiled two-phase driver: the expected
+/// capture footprint of one tile (~avg row flop * bytes_per_slot rows) is
+/// held near kTileCaptureTargetBytes, clamped to [16, 65536] rows.
+std::size_t choose_tile_rows(Offset total_flop, std::size_t nrows,
+                             std::size_t reuse_budget_bytes,
+                             std::size_t bytes_per_slot);
+
+/// Whether capturing the symbolic structure pays for a product with the
+/// given collision factor: replay saves ~c probes per flop in the numeric
+/// phase at the price of streaming one slot per flop through memory.  With
+/// any realistic collision factor (>= 1) and a non-zero budget it pays; the
+/// function exists so the planner's decision is explicit and testable.
+bool reuse_pays(double collision_factor, std::size_t reuse_budget_bytes);
+
 /// Gather CostInputs from concrete A, B and the (already computed) C.
 template <IndexType IT, ValueType VT>
 CostInputs gather_cost_inputs(const CsrMatrix<IT, VT>& a,
                               const CsrMatrix<IT, VT>& b,
                               const CsrMatrix<IT, VT>& c,
-                              double collision_factor = 1.2) {
+                              double collision_factor = kDefaultCollisionFactor) {
   CostInputs in;
   in.collision_factor = collision_factor;
   for (IT i = 0; i < a.nrows; ++i) {

@@ -23,6 +23,16 @@ enum class SchedulePolicy {
   kBalancedParallel,  ///< RowsToThreads partition, "parallel" temp allocation
 };
 
+/// How the tiled two-phase driver hands row tiles to threads.
+enum class TileSchedule {
+  kStatic,   ///< tiles stay inside each thread's flop-balanced row range
+  kDynamic,  ///< flop-balanced global tile pool, claimed atomically
+};
+
+inline const char* tile_schedule_name(TileSchedule s) {
+  return s == TileSchedule::kStatic ? "static-tiles" : "dynamic-tiles";
+}
+
 inline const char* schedule_policy_name(SchedulePolicy p) {
   switch (p) {
     case SchedulePolicy::kStatic:

@@ -1,0 +1,63 @@
+// Row-tile construction for the tiled two-phase SpGEMM driver.
+//
+// A tile is a contiguous row range processed symbolic-then-numeric back to
+// back by one thread.  Two shapes exist:
+//   * static tiles: each thread chops its own flop-balanced row range
+//     (Fig. 6 partition) into tiles of a fixed row count — no coordination,
+//     best cache behaviour on uniform matrices;
+//   * dynamic tiles: the whole row space is pre-cut into tiles of roughly
+//     equal FLOP (so one dense row cannot stall a tile's owner for long)
+//     and threads claim tiles off a shared atomic counter — better tail
+//     behaviour on skewed matrices.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "parallel/lowbnd.hpp"
+
+namespace spgemm::parallel {
+
+/// Cut [0, nrows) into tiles of ~`target_flop` scalar multiplications each,
+/// using the exclusive flop prefix of the partition (size nrows+1).  Every
+/// tile holds at least one row, so a row whose flop exceeds the target gets
+/// a tile of its own.  Returns tile boundaries: bounds[k]..bounds[k+1] is
+/// tile k; bounds.front() == 0, bounds.back() == nrows.
+inline std::vector<std::size_t> flop_balanced_tiles(
+    const Offset* flop_prefix, std::size_t nrows, Offset target_flop) {
+  std::vector<std::size_t> bounds;
+  bounds.push_back(0);
+  if (nrows == 0) return bounds;
+  if (target_flop < 1) target_flop = 1;
+  std::size_t row = 0;
+  while (row < nrows) {
+    const Offset target = flop_prefix[row] + target_flop;
+    std::size_t next = lowbnd(flop_prefix, nrows + 1, target);
+    if (next <= row) next = row + 1;  // always advance: >= 1 row per tile
+    if (next > nrows) next = nrows;
+    bounds.push_back(next);
+    row = next;
+  }
+  return bounds;
+}
+
+/// Shared work queue over a pre-built tile list: threads claim tiles in
+/// order with a single fetch_add.  Cheap enough to sit in the row loop —
+/// one atomic per tile, not per row.
+class TileClaimer {
+ public:
+  explicit TileClaimer(std::size_t tile_count) : count_(tile_count) {}
+
+  /// Claim the next unprocessed tile index, or tile_count when drained.
+  std::size_t claim() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  std::atomic<std::size_t> next_{0};
+  std::size_t count_;
+};
+
+}  // namespace spgemm::parallel
