@@ -1,15 +1,17 @@
-// Ablation (extension): inspector-executor amortization.
+// Ablation (extension): inspector-executor amortization (google-benchmark
+// harness; see bench_abl_plan_execute.cpp for the JSON-emitting variant).
 //
 // When the same structure is multiplied repeatedly with changing values
-// (AMG time stepping, MCL iterations), SpGemmPlan pays the symbolic phase
-// and partition once.  This bench compares one full two-phase multiply per
-// iteration against plan.execute() per iteration — the speedup is the
-// symbolic share of the total, which the paper's Table 1 phase taxonomy
+// (AMG time stepping, MCL iterations), SpGemmHandle pays the symbolic
+// phase, partition, capture and output allocation once.  This bench
+// compares one full two-phase multiply per iteration against
+// handle.execute() per iteration — the speedup is the symbolic + capture +
+// allocation share of the total, which the paper's Table 1 phase taxonomy
 // (1-phase vs 2-phase codes) revolves around.
 #include <benchmark/benchmark.h>
 
 #include "core/multiply.hpp"
-#include "core/spgemm_plan.hpp"
+#include "core/spgemm_handle.hpp"
 #include "matrix/rmat.hpp"
 
 namespace {
@@ -38,10 +40,11 @@ void BM_FullMultiplyEachIteration(benchmark::State& state) {
 void BM_PlanThenExecuteEachIteration(benchmark::State& state) {
   const auto& a = shared_input();
   spgemm::SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
   opts.sort_output = spgemm::SortOutput::kNo;
-  const spgemm::SpGemmPlan<I, double> plan(a, a, opts);
+  spgemm::SpGemmHandle<I, double> handle(a, a, opts);
   for (auto _ : state) {
-    auto c = plan.execute(a, a);
+    const auto& c = handle.execute(a, a);
     benchmark::DoNotOptimize(c.vals.data());
   }
 }

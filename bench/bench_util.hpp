@@ -33,6 +33,12 @@ struct BenchRecord {
   double reuse_hit_rate = 0.0;
   Offset flop = 0;
   Offset nnz_out = 0;
+  /// Inspector-executor amortization (bench_abl_plan_execute): one-time
+  /// plan cost, per-execute cost, and how many executes were averaged.
+  /// Zero for one-shot rows.
+  double plan_ms = 0.0;
+  double execute_ms = 0.0;
+  long long executions = 0;
 };
 
 /// Collects BenchRecords and writes `BENCH_<name>.json` (a JSON array) in
@@ -91,12 +97,13 @@ class JsonReporter {
           "  {\"kernel\": \"%s\", \"matrix\": \"%s\", \"threads\": %d, "
           "\"total_ms\": %.4f, \"symbolic_ms\": %.4f, \"numeric_ms\": %.4f, "
           "\"mflops\": %.2f, \"reuse_hit_rate\": %.4f, \"flop\": %lld, "
-          "\"nnz_out\": %lld}%s\n",
+          "\"nnz_out\": %lld, \"plan_ms\": %.4f, \"execute_ms\": %.4f, "
+          "\"executions\": %lld}%s\n",
           json_escape(r.kernel).c_str(), json_escape(r.matrix).c_str(),
           r.threads, r.total_ms, r.symbolic_ms, r.numeric_ms, r.mflops,
           r.reuse_hit_rate, static_cast<long long>(r.flop),
-          static_cast<long long>(r.nnz_out),
-          i + 1 < records_.size() ? "," : "");
+          static_cast<long long>(r.nnz_out), r.plan_ms, r.execute_ms,
+          r.executions, i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);

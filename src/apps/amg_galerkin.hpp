@@ -8,8 +8,10 @@
 #pragma once
 
 #include <stdexcept>
+#include <utility>
 
 #include "core/multiply.hpp"
+#include "core/spgemm_handle.hpp"
 #include "matrix/ops.hpp"
 
 namespace spgemm::apps {
@@ -86,5 +88,61 @@ GalerkinResult<IT, VT> galerkin_product(const CsrMatrix<IT, VT>& a,
   out.coarse = multiply(r, ap, opts, &out.rap_stats);
   return out;
 }
+
+/// Handle-based Galerkin re-assembly for time stepping: R = P^T and the
+/// sparsity of A are fixed across steps while A's values change, so both
+/// SpGEMMs (A*P and R*(AP)) are planned once and every later step runs
+/// numeric-only replay — no symbolic phase, no allocation.
+///
+///   apps::GalerkinReassembler<int, double> rap(a, p);
+///   for (step : steps) {
+///     update_stiffness_values(a);          // structure unchanged
+///     const auto& coarse = rap.reassemble(a);
+///   }
+///
+/// The intermediate AP lives in the A*P handle's pooled output; because its
+/// buffers never move after the first execute, the R*(AP) handle's O(1)
+/// structure check stays on the pointer-identity fast path every step.
+template <IndexType IT, ValueType VT>
+class GalerkinReassembler {
+ public:
+  GalerkinReassembler(const CsrMatrix<IT, VT>& a, CsrMatrix<IT, VT> p,
+                      SpGemmOptions opts = {})
+      : p_(std::move(p)), r_(transpose(p_)) {
+    // kAuto flows through to plan()'s recipe resolution; only genuinely
+    // non-plannable one-phase kernels are mapped to Hash.
+    if (opts.algorithm != Algorithm::kAuto &&
+        !is_two_phase(opts.algorithm)) {
+      opts.algorithm = Algorithm::kHash;
+    }
+    ap_handle_.plan(a, p_, opts);
+    const CsrMatrix<IT, VT>& ap = ap_handle_.execute(a, p_);
+    rap_handle_.plan(r_, ap, opts);
+  }
+
+  /// Recompute A_c = R * (A * P) for new values of A (same structure as the
+  /// A the reassembler was built from; drift throws std::invalid_argument).
+  /// The returned reference stays valid until the next reassemble() call.
+  const CsrMatrix<IT, VT>& reassemble(const CsrMatrix<IT, VT>& a,
+                                      SpGemmStats* ap_stats = nullptr,
+                                      SpGemmStats* rap_stats = nullptr) {
+    const CsrMatrix<IT, VT>& ap =
+        ap_handle_.execute(a, p_, PlusTimes{}, ap_stats);
+    return rap_handle_.execute(r_, ap, PlusTimes{}, rap_stats);
+  }
+
+  [[nodiscard]] const CsrMatrix<IT, VT>& prolongator() const { return p_; }
+  [[nodiscard]] const CsrMatrix<IT, VT>& restriction() const { return r_; }
+  /// Coarse-operator products served so far (excludes the plan-time one).
+  [[nodiscard]] std::uint64_t reassemblies() const {
+    return rap_handle_.executions();
+  }
+
+ private:
+  CsrMatrix<IT, VT> p_;
+  CsrMatrix<IT, VT> r_;
+  SpGemmHandle<IT, VT> ap_handle_;
+  SpGemmHandle<IT, VT> rap_handle_;
+};
 
 }  // namespace spgemm::apps

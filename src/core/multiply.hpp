@@ -1,15 +1,19 @@
-// multiply(): the public SpGEMM entry point.
+// multiply(): the public one-shot SpGEMM entry point.
 //
-// Dispatches to the requested kernel (or the Table 4 recipe when kAuto),
-// enforces input-sortedness preconditions, and post-sorts for kernels that
-// cannot natively honor a sorted-output request (preserving the fairness
-// rule of §1: a kernel that requires sorted inputs must emit sorted output).
+// Dispatches to the requested kernel (or the Table 4 recipe when kAuto) and
+// enforces input-sortedness preconditions.  Every TWO-PHASE kernel (hash,
+// hashvec, SPA, kkhash, adaptive) runs as a thin plan + execute-once over
+// SpGemmHandle — the same inspector-executor code path that serves repeated
+// multiplies — so one-shot and planned products are bit-identical by
+// construction.  One-phase kernels (heap, merge, ikj, spa1p) and the
+// reference oracle keep their direct implementations.
 #pragma once
 
 #include <stdexcept>
 
 #include "core/recipe.hpp"
 #include "core/spgemm_adaptive.hpp"
+#include "core/spgemm_handle.hpp"
 #include "core/spgemm_hash.hpp"
 #include "core/spgemm_hashvector.hpp"
 #include "core/spgemm_heap.hpp"
@@ -22,10 +26,36 @@
 #include "core/spgemm_spa1p.hpp"
 
 namespace spgemm {
+namespace detail {
+
+/// Kernels whose accumulators fold values through the semiring policy.
+constexpr bool supports_semiring(Algorithm algo) {
+  return algo == Algorithm::kHeap || is_two_phase(algo);
+}
+
+/// One-shot plan + execute through the handle.  The capture budget defaults
+/// to the one-shot (cache-resident) reuse budget rather than the large
+/// persistent plan budget: the capture only lives for this call.
+template <typename SR, IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> multiply_via_handle(const CsrMatrix<IT, VT>& a,
+                                      const CsrMatrix<IT, VT>& b,
+                                      SpGemmOptions opts,
+                                      SpGemmStats* stats) {
+  if (opts.reuse_budget_bytes == 0) {
+    opts.reuse_budget_bytes = model::kDefaultReuseBudgetBytes;
+  }
+  SpGemmHandle<IT, VT> handle;
+  handle.plan(a, b, opts, stats);
+  CsrMatrix<IT, VT> c;
+  handle.execute_into(a, b, c, SR{}, stats);
+  return c;
+}
+
+}  // namespace detail
 
 /// SpGEMM over an arbitrary semiring (core/semiring.hpp).  Supported by the
-/// hash-family, SPA and heap kernels — the ones whose accumulators fold
-/// values; the remaining baselines are (+,*)-only and throw.
+/// hash-family, SPA, adaptive and heap kernels — the ones whose accumulators
+/// fold values; the remaining baselines are (+,*)-only and throw.
 template <typename SR, IndexType IT, ValueType VT>
   requires SemiringFor<SR, VT>
 CsrMatrix<IT, VT> multiply_over(const CsrMatrix<IT, VT>& a,
@@ -35,29 +65,29 @@ CsrMatrix<IT, VT> multiply_over(const CsrMatrix<IT, VT>& a,
   if (a.ncols != b.nrows) {
     throw std::invalid_argument("multiply_over: inner dimensions disagree");
   }
-  if (opts.algorithm == Algorithm::kAuto) opts.algorithm = Algorithm::kHash;
+  if (opts.algorithm == Algorithm::kAuto) {
+    // Same recipe as multiply(); kernels that cannot fold through a custom
+    // semiring (merge, ikj, spa1p, reference) fall back to Hash.
+    opts.algorithm = recipe::select_for(
+        a, b, recipe::Operation::kSquare, opts.sort_output,
+        recipe::DataOrigin::kReal);
+    if (!detail::supports_semiring(opts.algorithm)) {
+      opts.algorithm = Algorithm::kHash;
+    }
+  }
   if (requires_sorted_input(opts.algorithm) &&
       (!a.claims_sorted() || !b.claims_sorted())) {
     throw std::invalid_argument(
         "multiply_over: kernel requires sorted inputs");
   }
-  switch (opts.algorithm) {
-    case Algorithm::kHeap:
-      return spgemm_heap(a, b, opts, stats, SR{});
-    case Algorithm::kHash:
-      return spgemm_hash(a, b, opts, stats, SR{});
-    case Algorithm::kHashVector:
-      return spgemm_hashvector(a, b, opts, stats, SR{});
-    case Algorithm::kSpa:
-      return spgemm_spa(a, b, opts, stats, SR{});
-    case Algorithm::kKkHash:
-      return spgemm_kkhash(a, b, opts, stats, SR{});
-    case Algorithm::kAdaptive:
-      return spgemm_adaptive(a, b, opts, stats, AdaptiveThresholds{}, SR{});
-    default:
-      throw std::invalid_argument(
-          "multiply_over: kernel does not support custom semirings");
+  if (is_two_phase(opts.algorithm)) {
+    return detail::multiply_via_handle<SR>(a, b, opts, stats);
   }
+  if (opts.algorithm == Algorithm::kHeap) {
+    return spgemm_heap(a, b, opts, stats, SR{});
+  }
+  throw std::invalid_argument(
+      "multiply_over: kernel does not support custom semirings");
 }
 
 template <IndexType IT, ValueType VT>
@@ -83,25 +113,18 @@ CsrMatrix<IT, VT> multiply(const CsrMatrix<IT, VT>& a,
         "multiply: kernel requires sorted inputs but B is unsorted");
   }
 
+  if (is_two_phase(opts.algorithm)) {
+    return detail::multiply_via_handle<PlusTimes>(a, b, opts, stats);
+  }
   switch (opts.algorithm) {
     case Algorithm::kHeap:
       return spgemm_heap(a, b, opts, stats);
-    case Algorithm::kHash:
-      return spgemm_hash(a, b, opts, stats);
-    case Algorithm::kHashVector:
-      return spgemm_hashvector(a, b, opts, stats);
-    case Algorithm::kSpa:
-      return spgemm_spa(a, b, opts, stats);
     case Algorithm::kSpa1p:
       return spgemm_spa1p(a, b, opts, stats);
-    case Algorithm::kKkHash:
-      return spgemm_kkhash(a, b, opts, stats);
     case Algorithm::kMerge:
       return spgemm_merge(a, b, opts, stats);
     case Algorithm::kIkj:
       return spgemm_ikj(a, b, opts, stats);
-    case Algorithm::kAdaptive:
-      return spgemm_adaptive(a, b, opts, stats);
     case Algorithm::kReference: {
       CsrMatrix<IT, VT> c = spgemm_reference(a, b);
       if (stats != nullptr) {
@@ -110,8 +133,8 @@ CsrMatrix<IT, VT> multiply(const CsrMatrix<IT, VT>& a,
       }
       return c;
     }
-    case Algorithm::kAuto:
-      break;  // unreachable: resolved above
+    default:
+      break;
   }
   throw std::logic_error("multiply: unhandled algorithm");
 }

@@ -1,0 +1,920 @@
+// SpGemmHandle — the inspector-executor surface of the library.
+//
+// The paper's strongest repeated-multiply baseline is MKL's inspector-
+// executor, and KokkosKernels structures its whole SpGEMM API as a
+// symbolic/numeric handle (Deveci et al.).  This handle is that model for
+// every two-phase kernel of this library:
+//
+//   SpGemmHandle<int, double> h;
+//   h.plan(a, b, opts);          // symbolic + partition + tiles + capture
+//   for (step : steps) {
+//     update_values(a);          // structure fixed, values free to change
+//     const auto& c = h.execute(a, b);   // numeric-only replay
+//   }
+//
+// plan() runs the symbolic phase once and PERSISTS everything the numeric
+// phase needs: the flop-balanced row partition and tile plan, the per-thread
+// accumulators and captured slot streams (the PR-1 capture/replay protocol
+// of core/spgemm_twophase.hpp — the row-level code is literally shared), and
+// the output skeleton (row pointers + column indices).  execute() then runs
+// the numeric phase only: captured rows replay their slot stream with zero
+// hash probing, budget-overflow rows re-probe, and every value lands
+// directly at its final offset — no staging copy, no allocation, no
+// zero-initializing resize.  The pooled output and all workspaces are
+// grow-only across plan() calls, so one handle can serve a stream of
+// differently-sized products without churning the allocator.
+//
+// Kernels: Hash, HashVector, SPA, KKHash and Adaptive (per-row tiny/hash/
+// SPA regimes) all plan and execute through this one surface; kAuto defers
+// to the Table 4 recipe and falls back to Hash when the recipe picks a
+// kernel without a symbolic phase.  Any semiring may be passed to execute()
+// — the captured structure is algebra-independent.
+//
+// Structure contract: execute() inputs must have exactly the structure
+// (rpts, cols) the plan was built from; values are free to change.  The
+// full O(nnz) FNV fingerprint is taken at plan time; each execute() first
+// tries an O(1) identity check (array addresses + dimensions + nnz) and
+// only re-fingerprints when the caller hands in different objects.  A
+// caller that mutates column indices IN PLACE defeats the O(1) check —
+// call verify_structure() to force the full comparison.
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "accumulator/hash_table.hpp"
+#include "accumulator/hash_vec.hpp"
+#include "accumulator/spa.hpp"
+#include "accumulator/two_level_hash.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "core/recipe.hpp"
+#include "core/semiring.hpp"
+#include "core/spgemm_adaptive.hpp"
+#include "core/spgemm_options.hpp"
+#include "core/spgemm_twophase.hpp"
+#include "matrix/csr.hpp"
+#include "mem/default_init.hpp"
+#include "mem/workspace.hpp"
+#include "model/cost_model.hpp"
+#include "parallel/omp_utils.hpp"
+#include "parallel/prefix_sum.hpp"
+#include "parallel/rows_to_threads.hpp"
+#include "parallel/tiles.hpp"
+
+namespace spgemm {
+
+/// True for kernels that run the two-phase (symbolic + numeric) pipeline
+/// and can therefore be planned and re-executed through SpGemmHandle.
+constexpr bool is_two_phase(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kHash:
+    case Algorithm::kHashVector:
+    case Algorithm::kSpa:
+    case Algorithm::kKkHash:
+    case Algorithm::kAdaptive:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace detail {
+
+/// Pairs the Hash and SPA accumulators behind one accumulator interface so
+/// the Adaptive kernel's per-row regimes (tiny/hash/dense, see
+/// core/spgemm_adaptive.hpp) flow through the generic plan/execute loops.
+/// The active sub-accumulator is chosen per row via set_dense(); slot
+/// streams recorded against one regime replay against the same regime
+/// because the regime is a pure function of the row's flop.
+template <IndexType IT, ValueType VT>
+class AdaptiveDualAccumulator {
+ public:
+  void prepare_hash(std::size_t size) { hash_.prepare(size); }
+  void ensure_spa(std::size_t ncols) {
+    if (spa_cols_ < ncols) {
+      spa_.prepare(ncols);
+      spa_cols_ = ncols;
+    }
+  }
+  void set_dense(bool dense) { dense_ = dense; }
+
+  bool insert(IT key) {
+    return dense_ ? spa_.insert(key) : hash_.insert(key);
+  }
+  IT insert_tagged(IT key) {
+    return dense_ ? spa_.insert_tagged(key) : hash_.insert_tagged(key);
+  }
+  [[nodiscard]] VT* slot_values() {
+    return dense_ ? spa_.slot_values() : hash_.slot_values();
+  }
+  [[nodiscard]] IT touched_slot(std::size_t i) const {
+    return dense_ ? spa_.touched_slot(i) : hash_.touched_slot(i);
+  }
+  [[nodiscard]] IT key_at_slot(IT slot) const {
+    return dense_ ? spa_.key_at_slot(slot) : hash_.key_at_slot(slot);
+  }
+  template <typename Fold>
+  void accumulate(IT key, VT value, Fold fold) {
+    if (dense_) {
+      spa_.accumulate(key, value, fold);
+    } else {
+      hash_.accumulate(key, value, fold);
+    }
+  }
+  [[nodiscard]] std::size_t count() const {
+    return dense_ ? spa_.count() : hash_.count();
+  }
+  void extract_keys(IT* out_cols) const {
+    if (dense_) {
+      spa_.extract_keys(out_cols);
+    } else {
+      hash_.extract_keys(out_cols);
+    }
+  }
+  void extract_unsorted(IT* out_cols, VT* out_vals) const {
+    if (dense_) {
+      spa_.extract_unsorted(out_cols, out_vals);
+    } else {
+      hash_.extract_unsorted(out_cols, out_vals);
+    }
+  }
+  void extract_sorted(IT* out_cols, VT* out_vals) {
+    if (dense_) {
+      spa_.extract_sorted(out_cols, out_vals);
+    } else {
+      hash_.extract_sorted(out_cols, out_vals);
+    }
+  }
+  void reset() {
+    if (dense_) {
+      spa_.reset();
+    } else {
+      hash_.reset();
+    }
+  }
+  [[nodiscard]] std::uint64_t probes() const {
+    return hash_.probes() + spa_.probes();
+  }
+
+ private:
+  HashAccumulator<IT, VT> hash_;
+  SpaAccumulator<IT, VT> spa_;
+  bool dense_ = false;
+  std::size_t spa_cols_ = 0;
+};
+
+// ---- Per-kernel planning policies -----------------------------------------
+//
+// A policy supplies the accumulator type, its construction/sizing, and the
+// per-row hook begin_row() which may switch regimes and force sorted
+// emission (Adaptive's tiny rows).  All other kernels compile the hook away.
+
+template <IndexType IT, ValueType VT>
+struct HashPlanPolicy {
+  using Acc = HashAccumulator<IT, VT>;
+  Acc make() const { return {}; }
+  void prepare(Acc& acc, Offset max_row_flop, IT ncols) const {
+    acc.prepare(
+        hash_table_size_for(max_row_flop, static_cast<std::size_t>(ncols)));
+  }
+  bool begin_row(Acc& /*acc*/, Offset /*row_flop*/) const { return false; }
+};
+
+template <IndexType IT, ValueType VT>
+struct HashVecPlanPolicy {
+  using Acc = HashVecAccumulator<IT, VT>;
+  ProbeKind probe = ProbeKind::kAuto;
+  Acc make() const { return Acc{probe}; }
+  void prepare(Acc& acc, Offset max_row_flop, IT ncols) const {
+    // Accumulators persist across plan() calls; re-assert the probe kind in
+    // case this plan's options changed it.
+    acc.set_probe_kind(probe);
+    acc.prepare(
+        hash_table_size_for(max_row_flop, static_cast<std::size_t>(ncols)));
+  }
+  bool begin_row(Acc& /*acc*/, Offset /*row_flop*/) const { return false; }
+};
+
+template <IndexType IT, ValueType VT>
+struct SpaPlanPolicy {
+  using Acc = SpaAccumulator<IT, VT>;
+  Acc make() const { return {}; }
+  void prepare(Acc& acc, Offset /*max_row_flop*/, IT ncols) const {
+    acc.prepare(static_cast<std::size_t>(ncols));
+  }
+  bool begin_row(Acc& /*acc*/, Offset /*row_flop*/) const { return false; }
+};
+
+template <IndexType IT, ValueType VT>
+struct KkHashPlanPolicy {
+  using Acc = TwoLevelHashAccumulator<IT, VT>;
+  Acc make() const { return {}; }
+  void prepare(Acc& acc, Offset max_row_flop, IT ncols) const {
+    const auto bound = static_cast<std::size_t>(
+        std::min<Offset>(max_row_flop, static_cast<Offset>(ncols)));
+    acc.prepare(bound + 1);
+  }
+  bool begin_row(Acc& /*acc*/, Offset /*row_flop*/) const { return false; }
+};
+
+template <IndexType IT, ValueType VT>
+struct AdaptivePlanPolicy {
+  using Acc = AdaptiveDualAccumulator<IT, VT>;
+  Offset tiny_cut = 0;
+  Offset dense_cut = 0;
+  IT ncols = 0;
+  Acc make() const { return {}; }
+  void prepare(Acc& acc, Offset max_row_flop, IT nc) const {
+    acc.prepare_hash(hash_table_size_for(
+        std::min<Offset>(max_row_flop, dense_cut),
+        static_cast<std::size_t>(nc)));
+  }
+  /// Dense rows switch the accumulator to the SPA regime; tiny rows stay on
+  /// the hash regime but force sorted emission (the tiny-row buffer of the
+  /// one-shot Adaptive kernel always emits sorted).
+  bool begin_row(Acc& acc, Offset row_flop) const {
+    const bool dense = row_flop >= dense_cut;
+    if (dense) acc.ensure_spa(static_cast<std::size_t>(ncols));
+    acc.set_dense(dense);
+    return row_flop <= tiny_cut;
+  }
+};
+
+// ---- Persisted plan state -------------------------------------------------
+
+/// One planned row: where its slot stream lives and how to emit it.
+template <IndexType IT>
+struct PlannedRow {
+  std::size_t cap_off = 0;  ///< slot-stream start in the capture buffer
+  IT nnz = 0;
+  bool captured = false;  ///< replayable; otherwise execute re-probes
+  bool sorted = false;    ///< columns recorded in ascending order
+};
+
+/// A row-range tile owned by one thread, with its offset into the thread's
+/// staged skeleton columns.
+struct PlannedTile {
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;
+  std::size_t stage_begin = 0;
+};
+
+/// Everything one thread persists between plan() and execute() calls: its
+/// accumulator (prepared, keys clean), its captured slot streams, its tile
+/// list and per-row records, and the skeleton columns it produced.
+template <IndexType IT, ValueType VT, typename Acc>
+struct ThreadPlan {
+  explicit ThreadPlan(Acc a) : acc(std::move(a)) {}
+  Acc acc;
+  mem::ThreadScratch<IT> capture;
+  std::size_t capture_entries = 0;
+  std::vector<PlannedTile> tiles;
+  std::vector<PlannedRow<IT>> rows;  ///< tile processing order
+  mem::Buffer<IT> staged_cols;       ///< skeleton cols, processing order
+};
+
+/// O(1) identity of a CSR structure: array addresses and dimensions prove
+/// "same object, not reallocated", and a handful of sampled structure words
+/// harden the check against an allocator returning a freed block at the
+/// same address for a different matrix of equal size (iterative workloads
+/// free/realloc same-sized matrices constantly).
+template <IndexType IT, ValueType VT>
+struct StructureId {
+  const void* rpts = nullptr;
+  const void* cols = nullptr;
+  Offset nnz = 0;
+  IT nrows = 0;
+  IT ncols = 0;
+  Offset rpts_mid = 0;
+  IT col_first = 0;
+  IT col_mid = 0;
+  IT col_last = 0;
+
+  static StructureId of(const CsrMatrix<IT, VT>& m) {
+    StructureId id{m.rpts.data(), m.cols.data(), m.nnz(), m.nrows, m.ncols};
+    if (!m.rpts.empty()) id.rpts_mid = m.rpts[m.rpts.size() / 2];
+    const auto n = static_cast<std::size_t>(id.nnz);
+    if (n > 0) {
+      id.col_first = m.cols[0];
+      id.col_mid = m.cols[n / 2];
+      id.col_last = m.cols[n - 1];
+    }
+    return id;
+  }
+  bool operator==(const StructureId&) const = default;
+};
+
+/// FNV-1a over the structure arrays (rpts + cols), values excluded.
+template <IndexType IT, ValueType VT>
+std::uint64_t structure_fingerprint(const CsrMatrix<IT, VT>& m) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t word) {
+    h ^= word;
+    h *= 1099511628211ULL;
+  };
+  for (const Offset r : m.rpts) mix(static_cast<std::uint64_t>(r));
+  for (const IT c : m.cols) mix(static_cast<std::uint64_t>(c));
+  return h;
+}
+
+template <IndexType IT, ValueType VT>
+std::uint64_t pair_fingerprint(const CsrMatrix<IT, VT>& a,
+                               const CsrMatrix<IT, VT>& b) {
+  return structure_fingerprint(a) ^
+         (structure_fingerprint(b) * 0x9e3779b97f4a7c15ULL);
+}
+
+/// Kernel-independent plan state.
+template <IndexType IT, ValueType VT>
+struct PlanCore {
+  SpGemmOptions opts;  ///< resolved: algorithm is a concrete two-phase one
+  int nthreads = 1;
+  IT nrows = 0;
+  IT ncols = 0;
+  parallel::RowPartition part;
+  std::vector<std::size_t> tile_bounds;  ///< dynamic schedule only
+  Offset global_max_row_flop = 0;        ///< dynamic schedule only
+  std::size_t tile_rows = 0;
+  bool capture_enabled = false;
+  std::size_t budget_entries = 0;
+  std::uint64_t fingerprint = 0;
+  StructureId<IT, VT> id_a;
+  StructureId<IT, VT> id_b;
+  mem::Buffer<Offset> rpts;  ///< output skeleton row pointers (scanned)
+  std::uint64_t symbolic_probes = 0;
+  std::uint64_t tile_count = 0;
+  std::uint64_t rows_captured = 0;
+};
+
+/// Kernel-specific plan state + the plan/execute passes.  The row-level
+/// work delegates to the shared primitives of core/spgemm_twophase.hpp.
+template <IndexType IT, ValueType VT, typename Policy>
+struct KernelPlan {
+  using Acc = typename Policy::Acc;
+
+  Policy policy;
+  std::vector<ThreadPlan<IT, VT, Acc>> threads;
+
+  explicit KernelPlan(Policy p) : policy(std::move(p)) {}
+
+  /// Symbolic phase over all rows: capture slot streams, stage skeleton
+  /// columns, record per-row counts into core.rpts (unscanned).
+  void build(PlanCore<IT, VT>& core, const CsrMatrix<IT, VT>& a,
+             const CsrMatrix<IT, VT>& b) {
+    const auto nrows = static_cast<std::size_t>(a.nrows);
+    const bool dynamic =
+        core.opts.tile_schedule == parallel::TileSchedule::kDynamic;
+    parallel::TileClaimer claimer(
+        core.tile_bounds.empty() ? 0 : core.tile_bounds.size() - 1);
+
+    // Re-planning on a live handle recycles the per-thread state grow-only:
+    // accumulators and capture scratch keep their (pool-backed) storage, and
+    // the tile/row/staged vectors keep their capacity.
+    if (threads.size() != static_cast<std::size_t>(core.nthreads)) {
+      threads.clear();
+      threads.reserve(static_cast<std::size_t>(core.nthreads));
+      for (int t = 0; t < core.nthreads; ++t) {
+        threads.emplace_back(policy.make());
+      }
+    }
+
+    core.rpts.resize(nrows + 1);
+
+    std::atomic<std::uint64_t> total_probes{0};
+    std::atomic<std::uint64_t> total_tiles{0};
+    std::atomic<std::uint64_t> total_captured{0};
+
+#pragma omp parallel num_threads(core.nthreads)
+    {
+      const int tid = omp_get_thread_num();
+      if (tid < core.part.threads()) {
+        const auto utid = static_cast<std::size_t>(tid);
+        ThreadPlan<IT, VT, Acc>& tp = threads[utid];
+        Acc& acc = tp.acc;
+        policy.prepare(acc,
+                       dynamic ? core.global_max_row_flop
+                               : core.part.max_row_flop(tid),
+                       b.ncols);
+
+        const auto capture_flop_bound = static_cast<std::size_t>(
+            dynamic ? core.part.total_flop()
+                    : core.part.flop_prefix[core.part.offsets[utid + 1]] -
+                          core.part.flop_prefix[core.part.offsets[utid]]);
+        tp.capture_entries =
+            core.capture_enabled
+                ? std::min(core.budget_entries, 2 * capture_flop_bound + 16)
+                : 0;
+        IT* cap = core.capture_enabled ? tp.capture.ensure(tp.capture_entries)
+                                       : nullptr;
+
+        tp.tiles.clear();
+        tp.rows.clear();
+        tp.staged_cols.clear();
+        std::vector<std::pair<IT, IT>> sort_buf;
+        std::size_t cap_used = 0;
+        std::size_t stage_off = 0;
+        std::uint64_t captured_count = 0;
+        std::uint64_t tiles_done = 0;
+        const std::uint64_t probes_before = acc.probes();
+
+        const auto process_tile = [&](std::size_t r0, std::size_t r1) {
+          tp.tiles.push_back({r0, r1, stage_off});
+          for (std::size_t i = r0; i < r1; ++i) {
+            const Offset row_flop =
+                core.part.flop_prefix[i + 1] - core.part.flop_prefix[i];
+            const bool force_sorted = policy.begin_row(acc, row_flop);
+            PlannedRow<IT> row;
+            row.sorted =
+                core.opts.sort_output == SortOutput::kYes || force_sorted;
+            row.cap_off = cap_used;
+            row.captured =
+                cap != nullptr &&
+                cap_used + 2 * static_cast<std::size_t>(row_flop) <=
+                    tp.capture_entries;
+            if (row.captured) {
+              const std::size_t ns =
+                  capture_row(acc, a, b, i, cap + cap_used);
+              const std::size_t nnz = acc.count();
+              row.nnz = static_cast<IT>(nnz);
+              tp.staged_cols.resize(stage_off + nnz);
+              record_gather<IT, VT>(acc, nnz, row.sorted,
+                                    cap + cap_used + ns,
+                                    tp.staged_cols.data() + stage_off,
+                                    sort_buf);
+              cap_used += ns + nnz;
+              ++captured_count;
+            } else {
+              count_row(acc, a, b, i);
+              const std::size_t nnz = acc.count();
+              row.nnz = static_cast<IT>(nnz);
+              tp.staged_cols.resize(stage_off + nnz);
+              IT* out_cols = tp.staged_cols.data() + stage_off;
+              acc.extract_keys(out_cols);
+              if (row.sorted) std::sort(out_cols, out_cols + nnz);
+            }
+            tp.rows.push_back(row);
+            core.rpts[i] = static_cast<Offset>(row.nnz);
+            stage_off += static_cast<std::size_t>(row.nnz);
+            acc.reset();
+          }
+          ++tiles_done;
+        };
+
+        if (dynamic) {
+          for (std::size_t t = claimer.claim(); t < claimer.count();
+               t = claimer.claim()) {
+            process_tile(core.tile_bounds[t], core.tile_bounds[t + 1]);
+          }
+        } else {
+          const std::size_t row_begin = core.part.offsets[utid];
+          const std::size_t row_end = core.part.offsets[utid + 1];
+          for (std::size_t r0 = row_begin; r0 < row_end;
+               r0 += core.tile_rows) {
+            process_tile(r0, std::min(row_end, r0 + core.tile_rows));
+          }
+        }
+
+        total_probes.fetch_add(acc.probes() - probes_before,
+                               std::memory_order_relaxed);
+        total_tiles.fetch_add(tiles_done, std::memory_order_relaxed);
+        total_captured.fetch_add(captured_count, std::memory_order_relaxed);
+      }
+    }
+
+    core.rpts[nrows] = 0;
+    parallel::exclusive_scan_inplace(core.rpts.data(), nrows + 1);
+    core.symbolic_probes = total_probes.load(std::memory_order_relaxed);
+    core.tile_count = total_tiles.load(std::memory_order_relaxed);
+    core.rows_captured = total_captured.load(std::memory_order_relaxed);
+  }
+
+  /// Copy the staged skeleton columns to their final offsets in `c.cols`
+  /// (parallel, first touch by the owning thread).
+  void place_cols(const PlanCore<IT, VT>& core, CsrMatrix<IT, VT>& c) const {
+    c.cols.resize(static_cast<std::size_t>(core.rpts.back()));
+#pragma omp parallel num_threads(core.nthreads)
+    {
+      const int tid = omp_get_thread_num();
+      if (tid < core.part.threads()) {
+        const ThreadPlan<IT, VT, Acc>& tp =
+            threads[static_cast<std::size_t>(tid)];
+        for (const PlannedTile& tile : tp.tiles) {
+          const auto dst = static_cast<std::size_t>(core.rpts[tile.row_begin]);
+          const auto len =
+              static_cast<std::size_t>(core.rpts[tile.row_end]) - dst;
+          std::copy_n(tp.staged_cols.data() + tile.stage_begin, len,
+                      c.cols.data() + dst);
+        }
+      }
+    }
+  }
+
+  /// Numeric-only pass: replay captured rows, re-probe fallback rows,
+  /// values written directly at their final offsets.
+  template <typename SR>
+  std::uint64_t numeric(const PlanCore<IT, VT>& core,
+                        const CsrMatrix<IT, VT>& a,
+                        const CsrMatrix<IT, VT>& b, CsrMatrix<IT, VT>& c) {
+    std::atomic<std::uint64_t> total_probes{0};
+#pragma omp parallel num_threads(core.nthreads)
+    {
+      const int tid = omp_get_thread_num();
+      if (tid < core.part.threads()) {
+        ThreadPlan<IT, VT, Acc>& tp = threads[static_cast<std::size_t>(tid)];
+        Acc& acc = tp.acc;
+        const IT* cap = tp.capture.data();
+        const std::uint64_t probes_before = acc.probes();
+        std::size_t cursor = 0;
+        for (const PlannedTile& tile : tp.tiles) {
+          for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
+            const PlannedRow<IT>& row = tp.rows[cursor++];
+            const Offset row_flop =
+                core.part.flop_prefix[i + 1] - core.part.flop_prefix[i];
+            policy.begin_row(acc, row_flop);
+            const auto off = static_cast<std::size_t>(core.rpts[i]);
+            VT* out_vals = c.vals.data() + off;
+            if (row.captured) {
+              const IT* slot_stream = cap + row.cap_off;
+              const std::size_t ns = replay_row<SR>(acc, a, b, i, slot_stream);
+              gather_values(static_cast<const VT*>(acc.slot_values()),
+                            slot_stream + ns,
+                            static_cast<std::size_t>(row.nnz), out_vals);
+            } else {
+              probe_row<SR>(acc, a, b, i);
+              IT* out_cols = c.cols.data() + off;
+              if (row.sorted) {
+                acc.extract_sorted(out_cols, out_vals);
+              } else {
+                acc.extract_unsorted(out_cols, out_vals);
+              }
+              acc.reset();
+            }
+          }
+        }
+        total_probes.fetch_add(acc.probes() - probes_before,
+                               std::memory_order_relaxed);
+      }
+    }
+    return total_probes.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace detail
+
+template <IndexType IT, ValueType VT>
+class SpGemmHandle {
+ public:
+  SpGemmHandle() = default;
+
+  /// Convenience: construct and plan in one step (the old SpGemmPlan
+  /// constructor shape).
+  SpGemmHandle(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+               SpGemmOptions opts = {}, SpGemmStats* stats = nullptr) {
+    plan(a, b, opts, stats);
+  }
+
+  SpGemmHandle(const SpGemmHandle&) = delete;
+  SpGemmHandle& operator=(const SpGemmHandle&) = delete;
+  SpGemmHandle(SpGemmHandle&&) = default;
+  SpGemmHandle& operator=(SpGemmHandle&&) = default;
+
+  /// Inspect: symbolic phase + flop-balanced partition + tile plan + slot-
+  /// stream capture + output skeleton, all persisted in the handle.  May be
+  /// called again with a different product; workspaces and the pooled
+  /// output are recycled grow-only.
+  void plan(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+            SpGemmOptions opts = {}, SpGemmStats* stats = nullptr) {
+    if (a.ncols != b.nrows) {
+      throw std::invalid_argument(
+          "SpGemmHandle::plan: inner dimensions disagree");
+    }
+    Timer plan_timer;
+    requested_opts_ = opts;  // pre-resolution, for ensure_planned()
+    stats_ = SpGemmStats{};
+    executions_ = 0;
+    pooled_cols_ready_ = false;
+    planned_ = false;
+
+    if (opts.algorithm == Algorithm::kAuto) {
+      opts.algorithm = recipe::select_for(
+          a, b, recipe::Operation::kSquare, opts.sort_output,
+          recipe::DataOrigin::kReal);
+      if (!is_two_phase(opts.algorithm)) opts.algorithm = Algorithm::kHash;
+    }
+    if (!is_two_phase(opts.algorithm)) {
+      throw std::invalid_argument(
+          "SpGemmHandle::plan: kernel has no symbolic phase to plan "
+          "(two-phase kernels only)");
+    }
+
+    core_.opts = opts;
+    core_.nrows = a.nrows;
+    core_.ncols = b.ncols;
+    core_.nthreads = parallel::resolve_threads(opts.threads);
+    parallel::ScopedNumThreads scoped(opts.threads);
+
+    Timer timer;
+    const auto nrows = static_cast<std::size_t>(a.nrows);
+    core_.part =
+        parallel::is_balanced(opts.schedule)
+            ? parallel::rows_to_threads(nrows, a.rpts.data(), a.cols.data(),
+                                        b.rpts.data(), core_.nthreads)
+            : parallel::rows_equal(nrows, a.rpts.data(), a.cols.data(),
+                                   b.rpts.data(), core_.nthreads);
+    core_.fingerprint = detail::pair_fingerprint(a, b);
+    core_.id_a = detail::StructureId<IT, VT>::of(a);
+    core_.id_b = detail::StructureId<IT, VT>::of(b);
+    stats_.setup_ms = timer.millis();
+
+    // A persistent plan trades memory for repeated numeric time, so its
+    // default capture budget is the large plan budget; an explicit
+    // reuse_budget_bytes (or the one-shot wrapper) overrides it.  The
+    // resolution itself is shared with the fused one-shot driver.
+    detail::TileConfig cfg = detail::resolve_tile_config(
+        core_.part, opts, nrows, model::kDefaultPlanBudgetBytes, sizeof(IT));
+    core_.budget_entries = cfg.budget_entries;
+    core_.capture_enabled = cfg.capture_enabled;
+    core_.tile_rows = cfg.tile_rows;
+    core_.tile_bounds = std::move(cfg.tile_bounds);
+    core_.global_max_row_flop = cfg.global_max_row_flop;
+
+    timer.reset();
+    emplace_kernel(b.ncols);
+    std::visit(
+        [&](auto& kernel) {
+          if constexpr (!std::is_same_v<std::decay_t<decltype(kernel)>,
+                                        std::monostate>) {
+            kernel.build(core_, a, b);
+          }
+        },
+        kernel_);
+    stats_.symbolic_ms = timer.millis();
+
+    planned_ = true;
+    stats_.flop = core_.part.total_flop();
+    stats_.nnz_out = core_.rpts.back();
+    stats_.symbolic_probes = core_.symbolic_probes;
+    stats_.probes = core_.symbolic_probes;
+    stats_.tile_count = core_.tile_count;
+    stats_.reuse_rows_captured = core_.rows_captured;
+    stats_.reuse_rows_total = nrows;
+    stats_.plan_ms = plan_timer.millis();
+    if (stats != nullptr) *stats = stats_;
+  }
+
+  /// Plan-or-adopt for callers whose structures drift occasionally (MCL:
+  /// pruning changes the pattern early, then it freezes): replan only when
+  /// the inputs' structure — or the requested options — differ from the
+  /// current plan.  On a match the O(1) identity fast path is transferred
+  /// to the new objects, so the following execute() skips the fingerprint
+  /// entirely.  Returns true when a new plan was built.
+  bool ensure_planned(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+                      SpGemmOptions opts = {}, SpGemmStats* stats = nullptr) {
+    if (opts == requested_opts_ && structure_matches(a, b)) {
+      core_.id_a = detail::StructureId<IT, VT>::of(a);
+      core_.id_b = detail::StructureId<IT, VT>::of(b);
+      if (stats != nullptr) *stats = stats_;
+      return false;
+    }
+    plan(a, b, opts, stats);
+    return true;
+  }
+
+  /// Numeric-only execute into the handle-pooled output.  The returned
+  /// reference stays valid (and its buffers stay in place) until the next
+  /// plan()/execute() call on this handle.
+  template <typename SR = PlusTimes>
+    requires SemiringFor<SR, VT>
+  const CsrMatrix<IT, VT>& execute(const CsrMatrix<IT, VT>& a,
+                                   const CsrMatrix<IT, VT>& b, SR sr = {},
+                                   SpGemmStats* stats = nullptr) {
+    execute_impl(a, b, pooled_, !pooled_cols_ready_, sr, stats);
+    pooled_cols_ready_ = true;
+    return pooled_;
+  }
+
+  /// Numeric-only execute into a caller-provided matrix (grow-only resize;
+  /// the skeleton is copied in, values are computed fresh).
+  template <typename SR = PlusTimes>
+    requires SemiringFor<SR, VT>
+  void execute_into(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+                    CsrMatrix<IT, VT>& c, SR sr = {},
+                    SpGemmStats* stats = nullptr) {
+    execute_impl(a, b, c, /*fill_skeleton=*/true, sr, stats);
+  }
+
+  // ---- Plan introspection -------------------------------------------------
+
+  [[nodiscard]] bool planned() const { return planned_; }
+  [[nodiscard]] Algorithm algorithm() const { return core_.opts.algorithm; }
+  [[nodiscard]] Offset nnz_out() const {
+    return planned_ ? core_.rpts.back() : 0;
+  }
+  [[nodiscard]] Offset flop() const {
+    return planned_ ? core_.part.total_flop() : 0;
+  }
+  [[nodiscard]] std::uint64_t symbolic_probes() const {
+    return core_.symbolic_probes;
+  }
+  [[nodiscard]] std::uint64_t executions() const { return executions_; }
+  [[nodiscard]] const SpGemmStats& stats() const { return stats_; }
+
+  /// Measured hash collision factor of the inspected product (probes per
+  /// scalar multiplication) — the c of the cost model's Eq. 2.
+  [[nodiscard]] double collision_factor() const {
+    const auto f = static_cast<double>(flop());
+    return f > 0.0 ? static_cast<double>(core_.symbolic_probes) / f : 1.0;
+  }
+
+  /// Tile size the plan settled on.
+  [[nodiscard]] std::size_t planned_tile_rows() const {
+    return core_.tile_rows;
+  }
+
+  /// Fraction of rows whose slot stream was captured (replayable).
+  [[nodiscard]] double capture_rate() const {
+    const auto n = static_cast<double>(stats_.reuse_rows_total);
+    return n > 0.0 ? static_cast<double>(core_.rows_captured) / n : 0.0;
+  }
+
+  /// Whether capture pays at the measured collision factor (cost model).
+  [[nodiscard]] bool reuse_pays() const {
+    const std::size_t budget = core_.opts.reuse_budget_bytes > 0
+                                   ? core_.opts.reuse_budget_bytes
+                                   : model::kDefaultPlanBudgetBytes;
+    return core_.opts.reuse != StructureReuse::kOff &&
+           model::reuse_pays(collision_factor(), budget);
+  }
+
+  /// Full O(nnz) structure comparison against the plan; never throws.
+  [[nodiscard]] bool structure_matches(const CsrMatrix<IT, VT>& a,
+                                       const CsrMatrix<IT, VT>& b) const {
+    return planned_ && a.nrows == core_.nrows && b.ncols == core_.ncols &&
+           a.ncols == b.nrows &&
+           detail::pair_fingerprint(a, b) == core_.fingerprint;
+  }
+
+  /// On-demand full verification (for callers that mutate column arrays in
+  /// place, which the O(1) per-execute check cannot see).
+  void verify_structure(const CsrMatrix<IT, VT>& a,
+                        const CsrMatrix<IT, VT>& b) const {
+    if (!structure_matches(a, b)) {
+      throw std::invalid_argument(
+          "SpGemmHandle: input structure differs from the plan");
+    }
+  }
+
+ private:
+  using AnyKernel =
+      std::variant<std::monostate,
+                   detail::KernelPlan<IT, VT, detail::HashPlanPolicy<IT, VT>>,
+                   detail::KernelPlan<IT, VT,
+                                      detail::HashVecPlanPolicy<IT, VT>>,
+                   detail::KernelPlan<IT, VT, detail::SpaPlanPolicy<IT, VT>>,
+                   detail::KernelPlan<IT, VT,
+                                      detail::KkHashPlanPolicy<IT, VT>>,
+                   detail::KernelPlan<IT, VT,
+                                      detail::AdaptivePlanPolicy<IT, VT>>>;
+
+  /// Make kernel_ hold the right alternative for the planned algorithm.
+  /// When it already does (replanning the same kernel), only the policy is
+  /// refreshed, so the per-thread accumulators, capture scratch and staged
+  /// buffers are recycled grow-only instead of being torn down.
+  template <typename Policy>
+  void set_kernel(Policy policy) {
+    using Plan = detail::KernelPlan<IT, VT, Policy>;
+    if (Plan* live = std::get_if<Plan>(&kernel_)) {
+      live->policy = std::move(policy);
+    } else {
+      kernel_.template emplace<Plan>(std::move(policy));
+    }
+  }
+
+  void emplace_kernel(IT ncols_b) {
+    switch (core_.opts.algorithm) {
+      case Algorithm::kHash:
+        set_kernel(detail::HashPlanPolicy<IT, VT>{});
+        break;
+      case Algorithm::kHashVector:
+        set_kernel(detail::HashVecPlanPolicy<IT, VT>{core_.opts.probe});
+        break;
+      case Algorithm::kSpa:
+        set_kernel(detail::SpaPlanPolicy<IT, VT>{});
+        break;
+      case Algorithm::kKkHash:
+        set_kernel(detail::KkHashPlanPolicy<IT, VT>{});
+        break;
+      case Algorithm::kAdaptive: {
+        const AdaptiveThresholds thresholds{};
+        detail::AdaptivePlanPolicy<IT, VT> policy;
+        policy.dense_cut =
+            static_cast<Offset>(core_.ncols) / thresholds.dense_divisor;
+        policy.tiny_cut = std::min<Offset>(
+            thresholds.tiny_flop,
+            static_cast<Offset>(
+                detail::TinyRowAccumulator<IT, VT, PlusTimes>::kCapacity));
+        policy.ncols = ncols_b;
+        set_kernel(policy);
+        break;
+      }
+      default:
+        throw std::logic_error("SpGemmHandle: unhandled kernel");
+    }
+  }
+
+  /// O(1) per-execute structure check; falls back to the full fingerprint
+  /// when the caller hands in different objects than last time.
+  void check_structure(const CsrMatrix<IT, VT>& a,
+                       const CsrMatrix<IT, VT>& b) {
+    const auto id_a = detail::StructureId<IT, VT>::of(a);
+    const auto id_b = detail::StructureId<IT, VT>::of(b);
+    if (id_a == core_.id_a && id_b == core_.id_b) return;
+    verify_structure(a, b);
+    core_.id_a = id_a;
+    core_.id_b = id_b;
+  }
+
+  template <typename SR>
+  void execute_impl(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+                    CsrMatrix<IT, VT>& c, bool fill_skeleton, SR /*sr*/,
+                    SpGemmStats* stats) {
+    if (!planned_) {
+      throw std::logic_error("SpGemmHandle::execute: no plan — call plan()");
+    }
+    check_structure(a, b);
+    Timer exec_timer;
+    parallel::ScopedNumThreads scoped(core_.opts.threads);
+
+    const auto nnz = static_cast<std::size_t>(core_.rpts.back());
+    c.nrows = core_.nrows;
+    c.ncols = core_.ncols;
+    if (fill_skeleton) {
+      c.rpts = core_.rpts;
+      std::visit(
+          [&](auto& kernel) {
+            if constexpr (!std::is_same_v<std::decay_t<decltype(kernel)>,
+                                          std::monostate>) {
+              kernel.place_cols(core_, c);
+            }
+          },
+          kernel_);
+      // Default-init resize: vals pages are first touched by the numeric
+      // pass below, inside the thread that owns each row range.
+      c.vals.resize(nnz);
+    }
+
+    std::uint64_t num_probes = 0;
+    std::visit(
+        [&](auto& kernel) {
+          if constexpr (!std::is_same_v<std::decay_t<decltype(kernel)>,
+                                        std::monostate>) {
+            num_probes = kernel.template numeric<SR>(core_, a, b, c);
+          }
+        },
+        kernel_);
+
+    c.sortedness = core_.opts.sort_output == SortOutput::kYes
+                       ? Sortedness::kSorted
+                       : Sortedness::kUnsorted;
+
+    ++executions_;
+    stats_.execute_ms = exec_timer.millis();
+    stats_.numeric_ms = stats_.execute_ms;
+    stats_.numeric_probes = num_probes;
+    stats_.probes = stats_.symbolic_probes + num_probes;
+    stats_.executions = executions_;
+    if (stats != nullptr) *stats = stats_;
+  }
+
+  detail::PlanCore<IT, VT> core_;
+  AnyKernel kernel_;
+  CsrMatrix<IT, VT> pooled_;
+  SpGemmOptions requested_opts_;  ///< as passed to plan(), pre-resolution
+  bool pooled_cols_ready_ = false;
+  bool planned_ = false;
+  std::uint64_t executions_ = 0;
+  SpGemmStats stats_;
+};
+
+/// The pre-handle inspector-executor name, kept as an alias so existing
+/// call sites keep compiling; new code should say SpGemmHandle.  Two
+/// deliberate semantic changes from the legacy class: execute() returns a
+/// reference into handle-POOLED storage (overwritten by the next execute()
+/// or plan(); copy it, or use execute_into(), to keep a result), and the
+/// per-execute structure check is O(1) identity instead of a full
+/// re-fingerprint — in-place column mutation requires an explicit
+/// verify_structure() call to detect.
+template <IndexType IT, ValueType VT>
+using SpGemmPlan = SpGemmHandle<IT, VT>;
+
+}  // namespace spgemm

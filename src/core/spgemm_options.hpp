@@ -85,15 +85,26 @@ struct SpGemmOptions {
   StructureReuse reuse = StructureReuse::kAuto;
   /// Per-thread byte budget for the captured slot streams.  Rows whose
   /// capture would overflow the budget fall back to classic re-probing.
-  /// 0 = default (model::kDefaultReuseBudgetBytes).
+  /// 0 = default (model::kDefaultReuseBudgetBytes for one-shot multiplies,
+  /// model::kDefaultPlanBudgetBytes for persistent SpGemmHandle plans).
   std::size_t reuse_budget_bytes = 0;
+
+  bool operator==(const SpGemmOptions&) const = default;
 };
 
-/// Optional per-multiply measurements filled by multiply().
+/// Optional per-multiply measurements filled by multiply() and the
+/// inspector-executor handle (core/spgemm_handle.hpp).
 struct SpGemmStats {
   double setup_ms = 0.0;     ///< flop count + partition
   double symbolic_ms = 0.0;  ///< 0 for one-phase kernels
   double numeric_ms = 0.0;
+  /// Inspector-executor amortization probes: wall time of the last plan()
+  /// (symbolic + partition + capture + skeleton) and of the last execute()
+  /// (numeric-only), plus how many executes the plan has served.  For a
+  /// one-shot multiply executions == 1 and plan_ms + execute_ms ~ total_ms.
+  double plan_ms = 0.0;
+  double execute_ms = 0.0;
+  std::uint64_t executions = 0;
   Offset flop = 0;           ///< scalar multiplications
   Offset nnz_out = 0;
   std::uint64_t probes = 0;  ///< total accumulator probes, both phases

@@ -1,53 +1,59 @@
-// Tiled, structure-reusing two-phase (symbolic + numeric) SpGEMM driver.
+// Tiled, structure-reusing two-phase (symbolic + numeric) SpGEMM machinery.
 //
-// This is Gustavson's algorithm (paper Fig. 1) parallelized over rows with
-// the paper's architecture-specific structure:
-//   * flop-balanced static row partition (Fig. 6) by default, or a
-//     flop-balanced dynamic tile pool for skewed matrices,
-//   * one accumulator per thread, allocated inside the owning thread
-//     ("parallel" memory scheme, §3.2) and reinitialized per row,
-//   * symbolic phase counts nnz per output row, a parallel exclusive scan
-//     sizes the output exactly, the numeric phase fills it in place
-//     (§2, two-phase strategy).
-// The accumulator type is a template parameter: Hash, HashVector, SPA and
-// the two-level hash map all flow through this one driver, so the kernels
-// differ only in their accumulation data structure — exactly the framing
-// of the paper.
+// This header holds two things:
 //
-// ---- Tile / reuse state machine -------------------------------------------
+//   1. The ROW-LEVEL capture/replay primitives (capture_row, count_row,
+//      record_gather, replay_row, gather_values, probe_row).  They are the
+//      single implementation of the slot-stream protocol shared by the fused
+//      one-shot driver below AND by the persistent inspector-executor handle
+//      (core/spgemm_handle.hpp) — plan/execute and one-shot multiplies run
+//      the exact same per-row code, so their outputs are bit-identical.
+//
+//   2. The fused one-shot driver spgemm_two_phase(): Gustavson's algorithm
+//      (paper Fig. 1) parallelized over rows with the paper's
+//      architecture-specific structure:
+//        * flop-balanced static row partition (Fig. 6) by default, or a
+//          flop-balanced dynamic tile pool for skewed matrices,
+//        * one accumulator per thread, allocated inside the owning thread
+//          ("parallel" memory scheme, §3.2) and reinitialized per row,
+//        * symbolic phase counts nnz per output row, a parallel exclusive
+//          scan sizes the output exactly, the numeric phase fills it in
+//          place (§2, two-phase strategy).
+//      The accumulator type is a template parameter: Hash, HashVector, SPA
+//      and the two-level hash map all flow through this one driver, so the
+//      kernels differ only in their accumulation data structure — exactly
+//      the framing of the paper.
+//
+// ---- Slot-stream capture protocol -----------------------------------------
+//
+// capture_row() runs the symbolic insertion loop with insert_tagged(),
+// recording slot s (new key) or ~s (duplicate) per scalar product into a
+// caller-provided stream.  record_gather() then freezes the per-output-entry
+// gather slots (sorted by column when requested) while the accumulator still
+// holds the row, and emits the row's column indices.  replay_row() re-reads
+// the stream in the numeric phase: one sequential pass, value scattered to
+// slot_values()[s] (store when s >= 0, fold when tagged ~s) — zero hash
+// probing — and gather_values() pulls the folded row out through the
+// recorded slots.  Rows that do not fit the capture budget use count_row()/
+// probe_row(): the classic re-probing symbolic/numeric passes.
+//
+// The replayed value stream folds contributions in exactly the traversal
+// order of the classic numeric pass, so captured and re-probed products are
+// bit-identical, sorted or unsorted.
+//
+// ---- Fused tile loop of the one-shot driver -------------------------------
 //
 // Rows are processed in contiguous row *tiles* (size from SpGemmOptions::
 // tile_rows or the cost model).  For each tile the owning thread runs the
 // symbolic and numeric passes back to back, while the A rows, B rows and the
-// accumulator state for those rows are still cache-hot:
-//
-//   SYMBOLIC(tile):  for each row
-//     capture?  flop*2 slots still fit the per-thread budget
-//       yes -> insert_tagged() per product, recording slot s (new) or ~s
-//              (duplicate); then record the per-output-entry gather slots
-//              (sorted by column when sorted output is requested) and write
-//              the row's column indices straight into the staging buffer
-//       no  -> classic insert() per product (count only)            [FALLBACK]
-//     rpts[row] = count; accumulator reset (keys only; O(row nnz))
-//
-//   NUMERIC(tile):   for each row
-//     captured -> replay: one sequential read of the tagged slot stream,
-//                 value scattered to slot_values()[s] (store when s >= 0,
-//                 fold when tagged ~s) — zero hash probing — then gather
-//                 staged values through the recorded slots
-//     fallback -> classic accumulate() per product (re-probe), extract into
-//                 the staging buffer
-//
-// Because global row offsets are unknown until every row is counted, the
-// numeric pass writes into per-thread staging buffers; after a parallel
-// exclusive scan over the per-row counts, a bulk copy places each tile's
-// rows at their final offsets.  Peak memory is therefore nnz(C) staged +
-// nnz(C) final, traded for fusing the two passes (the staged copy is a
-// streaming memcpy, far cheaper than re-probing the accumulator).
-//
-// The replayed value stream folds contributions in exactly the traversal
-// order of the classic numeric pass, so reuse-on and reuse-off products are
-// bit-identical, sorted or unsorted.
+// accumulator state for those rows are still cache-hot.  Because global row
+// offsets are unknown until every row is counted, the numeric pass writes
+// into per-thread staging buffers; after a parallel exclusive scan over the
+// per-row counts, a bulk copy places each tile's rows at their final
+// offsets.  The staging and final arrays are mem::Buffer (default-init), so
+// sizing C costs no zeroing pass and each thread's placement copy is the
+// first touch of its pages — the multi-thread placement now writes nnz(C)
+// once instead of zero-fill + copy.
 #pragma once
 
 #include <omp.h>
@@ -71,6 +77,179 @@
 #include "parallel/tiles.hpp"
 
 namespace spgemm::detail {
+
+// ---- Shared row-level primitives ------------------------------------------
+
+/// Symbolic capture pass over row i: one tagged slot per scalar product.
+/// Returns the stream length (== row flop).
+template <IndexType IT, ValueType VT, typename Acc>
+inline std::size_t capture_row(Acc& acc, const CsrMatrix<IT, VT>& a,
+                               const CsrMatrix<IT, VT>& b, std::size_t i,
+                               IT* slot_stream) {
+  std::size_t ns = 0;
+  for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+    const auto k =
+        static_cast<std::size_t>(a.cols[static_cast<std::size_t>(j)]);
+    for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
+      slot_stream[ns++] =
+          acc.insert_tagged(b.cols[static_cast<std::size_t>(l)]);
+    }
+  }
+  return ns;
+}
+
+/// Classic symbolic pass over row i (count only, no capture).
+template <IndexType IT, ValueType VT, typename Acc>
+inline void count_row(Acc& acc, const CsrMatrix<IT, VT>& a,
+                      const CsrMatrix<IT, VT>& b, std::size_t i) {
+  for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+    const auto k =
+        static_cast<std::size_t>(a.cols[static_cast<std::size_t>(j)]);
+    for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
+      acc.insert(b.cols[static_cast<std::size_t>(l)]);
+    }
+  }
+}
+
+/// Freeze the gather order of a captured row while the accumulator still
+/// holds it: writes `nnz` gather slots and the matching column indices
+/// (ascending by column when `sorted`).  `sort_buf` is caller scratch.
+template <IndexType IT, ValueType VT, typename Acc>
+inline void record_gather(Acc& acc, std::size_t nnz, bool sorted, IT* gather,
+                          IT* out_cols,
+                          std::vector<std::pair<IT, IT>>& sort_buf) {
+  if (sorted) {
+    sort_buf.resize(nnz);
+    for (std::size_t t = 0; t < nnz; ++t) {
+      const IT slot = acc.touched_slot(t);
+      sort_buf[t] = {acc.key_at_slot(slot), slot};
+    }
+    std::sort(sort_buf.begin(), sort_buf.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (std::size_t t = 0; t < nnz; ++t) {
+      out_cols[t] = sort_buf[t].first;
+      gather[t] = sort_buf[t].second;
+    }
+  } else {
+    for (std::size_t t = 0; t < nnz; ++t) {
+      const IT slot = acc.touched_slot(t);
+      out_cols[t] = acc.key_at_slot(slot);
+      gather[t] = slot;
+    }
+  }
+}
+
+/// Numeric replay of a captured row: one sequential read of the tagged slot
+/// stream, values scattered into the accumulator's slot array with zero
+/// probing.  Returns the stream length consumed.
+template <typename SR, IndexType IT, ValueType VT, typename Acc>
+inline std::size_t replay_row(Acc& acc, const CsrMatrix<IT, VT>& a,
+                              const CsrMatrix<IT, VT>& b, std::size_t i,
+                              const IT* slot_stream) {
+  VT* slot_vals = acc.slot_values();
+  std::size_t ns = 0;
+  for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+    const auto k =
+        static_cast<std::size_t>(a.cols[static_cast<std::size_t>(j)]);
+    const VT av = a.vals[static_cast<std::size_t>(j)];
+    for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
+      const VT v = SR::mul(av, b.vals[static_cast<std::size_t>(l)]);
+      const IT e = slot_stream[ns++];
+      if (e >= 0) {
+        slot_vals[static_cast<std::size_t>(e)] = v;
+      } else {
+        SR::add_into(slot_vals[static_cast<std::size_t>(~e)], v);
+      }
+    }
+  }
+  return ns;
+}
+
+/// Pull a replayed row out of the slot array through its gather list.
+template <IndexType IT, ValueType VT>
+inline void gather_values(const VT* slot_vals, const IT* gather,
+                          std::size_t nnz, VT* out_vals) {
+  for (std::size_t t = 0; t < nnz; ++t) {
+    out_vals[t] = slot_vals[static_cast<std::size_t>(gather[t])];
+  }
+}
+
+/// Classic re-probing numeric pass over row i (capture fallback).
+template <typename SR, IndexType IT, ValueType VT, typename Acc>
+inline void probe_row(Acc& acc, const CsrMatrix<IT, VT>& a,
+                      const CsrMatrix<IT, VT>& b, std::size_t i) {
+  for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+    const auto k =
+        static_cast<std::size_t>(a.cols[static_cast<std::size_t>(j)]);
+    const VT av = a.vals[static_cast<std::size_t>(j)];
+    for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
+      acc.accumulate(b.cols[static_cast<std::size_t>(l)],
+                     SR::mul(av, b.vals[static_cast<std::size_t>(l)]),
+                     [](VT& fold_acc, VT v) { SR::add_into(fold_acc, v); });
+    }
+  }
+}
+
+// ---- Shared tiling/capture configuration ----------------------------------
+
+/// Resolved tiling and capture-budget configuration.  One resolution serves
+/// both the fused one-shot driver below and SpGemmHandle::plan(), so the
+/// two paths can never disagree on tile cuts or capture gating.
+struct TileConfig {
+  std::size_t budget_entries = 0;  ///< capture slots per thread
+  bool capture_enabled = false;
+  std::size_t tile_rows = 0;
+  std::vector<std::size_t> tile_bounds;  ///< dynamic schedule only
+  Offset global_max_row_flop = 0;        ///< dynamic schedule only
+};
+
+/// `default_budget_bytes` distinguishes the one-shot (cache-resident) from
+/// the persistent-plan capture economics; an explicit
+/// opts.reuse_budget_bytes overrides either.
+inline TileConfig resolve_tile_config(const parallel::RowPartition& part,
+                                      const SpGemmOptions& opts,
+                                      std::size_t nrows,
+                                      std::size_t default_budget_bytes,
+                                      std::size_t bytes_per_slot) {
+  TileConfig cfg;
+  const std::size_t budget_bytes = opts.reuse_budget_bytes > 0
+                                       ? opts.reuse_budget_bytes
+                                       : default_budget_bytes;
+  // kAuto decides before any symbolic pass has run, so it uses the model's
+  // a-priori collision factor; plan-driven callers (SpGemmHandle::
+  // reuse_pays) substitute the measured value instead.
+  cfg.capture_enabled =
+      opts.reuse == StructureReuse::kOn ||
+      (opts.reuse == StructureReuse::kAuto &&
+       model::reuse_pays(model::kDefaultCollisionFactor, budget_bytes));
+  cfg.budget_entries = budget_bytes / bytes_per_slot;
+  cfg.tile_rows =
+      opts.tile_rows > 0
+          ? opts.tile_rows
+          : model::choose_tile_rows(part.total_flop(), nrows, budget_bytes,
+                                    bytes_per_slot);
+  // Dynamic tiles roam across the whole matrix: pre-cut flop-balanced tile
+  // bounds and report the global worst-case row so every accumulator can be
+  // sized for any tile.
+  if (opts.tile_schedule == parallel::TileSchedule::kDynamic) {
+    const double avg_row_flop =
+        nrows > 0 ? static_cast<double>(part.total_flop()) /
+                        static_cast<double>(nrows)
+                  : 0.0;
+    const auto target_flop = static_cast<Offset>(
+        std::max(1.0, avg_row_flop * static_cast<double>(cfg.tile_rows)));
+    cfg.tile_bounds = parallel::flop_balanced_tiles(part.flop_prefix.data(),
+                                                    nrows, target_flop);
+    for (std::size_t i = 0; i < nrows; ++i) {
+      cfg.global_max_row_flop =
+          std::max(cfg.global_max_row_flop,
+                   part.flop_prefix[i + 1] - part.flop_prefix[i]);
+    }
+  }
+  return cfg;
+}
+
+// ---- Fused one-shot driver ------------------------------------------------
 
 /// Per-row capture record within the current tile.
 template <IndexType IT>
@@ -115,44 +294,15 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
                                  b.rpts.data(), nthreads);
 
   // ---- Resolve the tiling/reuse configuration. ---------------------------
-  const std::size_t budget_bytes =
-      opts.reuse_budget_bytes > 0 ? opts.reuse_budget_bytes
-                                  : model::kDefaultReuseBudgetBytes;
-  // kAuto decides before any symbolic pass has run, so it uses the model's
-  // a-priori collision factor; plan-driven callers (SpGemmPlan::reuse_pays)
-  // substitute the measured value instead.
-  const bool reuse_enabled =
-      opts.reuse == StructureReuse::kOn ||
-      (opts.reuse == StructureReuse::kAuto &&
-       model::reuse_pays(model::kDefaultCollisionFactor, budget_bytes));
-  const std::size_t budget_entries = budget_bytes / sizeof(IT);
-  const std::size_t tile_rows =
-      opts.tile_rows > 0
-          ? opts.tile_rows
-          : model::choose_tile_rows(part.total_flop(), nrows, budget_bytes,
-                                    sizeof(IT));
+  const TileConfig cfg = resolve_tile_config(
+      part, opts, nrows, model::kDefaultReuseBudgetBytes, sizeof(IT));
+  const bool reuse_enabled = cfg.capture_enabled;
+  const std::size_t budget_entries = cfg.budget_entries;
+  const std::size_t tile_rows = cfg.tile_rows;
+  const std::vector<std::size_t>& tile_bounds = cfg.tile_bounds;
+  const Offset global_max_row_flop = cfg.global_max_row_flop;
   const bool dynamic_tiles =
       opts.tile_schedule == parallel::TileSchedule::kDynamic;
-
-  // Dynamic tiles roam across the whole matrix: pre-cut flop-balanced tile
-  // bounds and size every accumulator for the global worst-case row.
-  std::vector<std::size_t> tile_bounds;
-  Offset global_max_row_flop = 0;
-  if (dynamic_tiles) {
-    const double avg_row_flop =
-        nrows > 0 ? static_cast<double>(part.total_flop()) /
-                        static_cast<double>(nrows)
-                  : 0.0;
-    const auto target_flop = static_cast<Offset>(
-        std::max(1.0, avg_row_flop * static_cast<double>(tile_rows)));
-    tile_bounds =
-        parallel::flop_balanced_tiles(part.flop_prefix.data(), nrows,
-                                      target_flop);
-    for (std::size_t i = 0; i < nrows; ++i) {
-      global_max_row_flop = std::max(
-          global_max_row_flop, part.flop_prefix[i + 1] - part.flop_prefix[i]);
-    }
-  }
   parallel::TileClaimer claimer(
       tile_bounds.empty() ? 0 : tile_bounds.size() - 1);
 
@@ -164,10 +314,10 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
   CsrMatrix<IT, VT> c(a.nrows, b.ncols);
 
   // Per-thread staging (cols/vals in processing order) and tile records for
-  // the placement copy; inner vectors grow inside the owning thread.
-  std::vector<std::vector<IT>> staged_cols(
+  // the placement copy; inner buffers grow inside the owning thread.
+  std::vector<mem::Buffer<IT>> staged_cols(
       static_cast<std::size_t>(nthreads));
-  std::vector<std::vector<VT>> staged_vals(
+  std::vector<mem::Buffer<VT>> staged_vals(
       static_cast<std::size_t>(nthreads));
   std::vector<std::vector<TileRecord>> records(
       static_cast<std::size_t>(nthreads));
@@ -244,54 +394,20 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
           row.stage_off = stage_off;
           row.cap_off = cap_used;
           if (row.captured) {
-            IT* slot_stream = cap + cap_used;
-            std::size_t ns = 0;
-            for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
-              const auto k = static_cast<std::size_t>(
-                  a.cols[static_cast<std::size_t>(j)]);
-              for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
-                slot_stream[ns++] =
-                    acc.insert_tagged(b.cols[static_cast<std::size_t>(l)]);
-              }
-            }
+            const std::size_t ns = capture_row(acc, a, b, i, cap + cap_used);
             const std::size_t nnz = acc.count();
             row.nnz = static_cast<IT>(nnz);
             // Gather slots (and final column order) are fixed now, while
             // the accumulator still holds the row.
-            IT* gather = cap + cap_used + ns;
             scols.resize(stage_off + nnz);
-            IT* out_cols = scols.data() + stage_off;
-            if (opts.sort_output == SortOutput::kYes) {
-              sort_buf.resize(nnz);
-              for (std::size_t t = 0; t < nnz; ++t) {
-                const IT slot = acc.touched_slot(t);
-                sort_buf[t] = {acc.key_at_slot(slot), slot};
-              }
-              std::sort(sort_buf.begin(), sort_buf.end(),
-                        [](const auto& x, const auto& y) {
-                          return x.first < y.first;
-                        });
-              for (std::size_t t = 0; t < nnz; ++t) {
-                out_cols[t] = sort_buf[t].first;
-                gather[t] = sort_buf[t].second;
-              }
-            } else {
-              for (std::size_t t = 0; t < nnz; ++t) {
-                const IT slot = acc.touched_slot(t);
-                out_cols[t] = acc.key_at_slot(slot);
-                gather[t] = slot;
-              }
-            }
+            record_gather<IT, VT>(acc, nnz,
+                                  opts.sort_output == SortOutput::kYes,
+                                  cap + cap_used + ns,
+                                  scols.data() + stage_off, sort_buf);
             cap_used += ns + nnz;
             ++rows_captured;
           } else {
-            for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
-              const auto k = static_cast<std::size_t>(
-                  a.cols[static_cast<std::size_t>(j)]);
-              for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
-                acc.insert(b.cols[static_cast<std::size_t>(l)]);
-              }
-            }
+            count_row(acc, a, b, i);
             row.nnz = static_cast<IT>(acc.count());
             scols.resize(stage_off + static_cast<std::size_t>(row.nnz));
           }
@@ -312,43 +428,15 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
         for (std::size_t i = r0; i < r1; ++i) {
           const RowCapture<IT>& row = meta[i - r0];
           if (row.captured) {
-            VT* slot_vals = acc.slot_values();
             const IT* slot_stream = cap + row.cap_off;
-            std::size_t ns = 0;
-            for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
-              const auto k = static_cast<std::size_t>(
-                  a.cols[static_cast<std::size_t>(j)]);
-              const VT av = a.vals[static_cast<std::size_t>(j)];
-              for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
-                const VT v =
-                    SR::mul(av, b.vals[static_cast<std::size_t>(l)]);
-                const IT e = slot_stream[ns++];
-                if (e >= 0) {
-                  slot_vals[static_cast<std::size_t>(e)] = v;
-                } else {
-                  SR::add_into(slot_vals[static_cast<std::size_t>(~e)], v);
-                }
-              }
-            }
-            const IT* gather = slot_stream + ns;
-            VT* out_vals = svals.data() + row.stage_off;
-            for (std::size_t t = 0;
-                 t < static_cast<std::size_t>(row.nnz); ++t) {
-              out_vals[t] =
-                  slot_vals[static_cast<std::size_t>(gather[t])];
-            }
+            const std::size_t ns =
+                replay_row<SR>(acc, a, b, i, slot_stream);
+            gather_values(static_cast<const VT*>(acc.slot_values()),
+                          slot_stream + ns,
+                          static_cast<std::size_t>(row.nnz),
+                          svals.data() + row.stage_off);
           } else {
-            for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
-              const auto k = static_cast<std::size_t>(
-                  a.cols[static_cast<std::size_t>(j)]);
-              const VT av = a.vals[static_cast<std::size_t>(j)];
-              for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
-                acc.accumulate(
-                    b.cols[static_cast<std::size_t>(l)],
-                    SR::mul(av, b.vals[static_cast<std::size_t>(l)]),
-                    [](VT& fold_acc, VT v) { SR::add_into(fold_acc, v); });
-              }
-            }
+            probe_row<SR>(acc, a, b, i);
             IT* out_cols = scols.data() + row.stage_off;
             VT* out_vals = svals.data() + row.stage_off;
             if (opts.sort_output == SortOutput::kYes) {
@@ -398,12 +486,14 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
 
   if (nthreads == 1) {
     // One thread processes every tile in row order, so its staging buffers
-    // ARE the final cols/vals: adopt them and skip the zero-initializing
-    // resize plus the placement copy entirely.
+    // ARE the final cols/vals: adopt them and skip the placement copy
+    // entirely.
     c.cols = std::move(staged_cols[0]);
     c.vals = std::move(staged_vals[0]);
   } else {
     const auto nnz_c = static_cast<std::size_t>(c.rpts[nrows]);
+    // Default-init resize: no zeroing pass; the placement copies below are
+    // the first touch of every page, in the thread that owns the tile.
     c.cols.resize(nnz_c);
     c.vals.resize(nnz_c);
 

@@ -14,6 +14,7 @@
 
 #include "common/types.hpp"
 #include "matrix/coo.hpp"
+#include "mem/default_init.hpp"
 
 namespace spgemm {
 
@@ -24,9 +25,12 @@ struct CsrMatrix {
 
   IT nrows = 0;
   IT ncols = 0;
-  std::vector<Offset> rpts;  ///< length nrows+1
-  std::vector<IT> cols;      ///< length nnz
-  std::vector<VT> vals;      ///< length nnz
+  /// Body arrays use mem::Buffer: resize leaves new elements uninitialized,
+  /// so sizing the output costs no zeroing pass and the writing thread gets
+  /// the first touch (NUMA placement follows the flop partition).
+  mem::Buffer<Offset> rpts;  ///< length nrows+1
+  mem::Buffer<IT> cols;      ///< length nnz
+  mem::Buffer<VT> vals;      ///< length nnz
   Sortedness sortedness = Sortedness::kSorted;
 
   CsrMatrix() : rpts(1, 0) {}

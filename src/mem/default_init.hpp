@@ -1,0 +1,64 @@
+// Default-initializing allocator and the Buffer vector alias built on it.
+//
+// std::vector<T>::resize value-initializes new elements — for the matrix
+// body arrays (cols/vals) that is a full zeroing memset immediately
+// overwritten by the kernel, and it pins every page to the resizing thread
+// (wrong NUMA placement for multi-threaded fills).  Buffer<T> keeps the
+// full std::vector interface but leaves trivially-constructible elements
+// uninitialized on resize, so the first touch happens in the thread that
+// writes the data (the paper's "parallel" placement scheme, §3.2).
+//
+// Explicit-value forms (resize(n, v), assign(n, v), vector(n, v)) still
+// initialize as written; only the no-argument growth path changes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace spgemm::mem {
+
+template <typename T, typename BaseAlloc = std::allocator<T>>
+class DefaultInitAllocator : public BaseAlloc {
+ public:
+  using value_type = T;
+
+  DefaultInitAllocator() = default;
+
+  template <typename U, typename A>
+  explicit DefaultInitAllocator(
+      const DefaultInitAllocator<U, A>& other) noexcept
+      : BaseAlloc(other) {}
+
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<
+        U, typename std::allocator_traits<BaseAlloc>::template rebind_alloc<U>>;
+  };
+
+  /// The no-argument construct: default-init (no-op for trivial T) instead
+  /// of the value-init (zeroing) std::allocator_traits would fall back to.
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    ::new (static_cast<void*>(ptr)) U(std::forward<Args>(args)...);
+  }
+
+  template <typename U, typename A>
+  bool operator==(const DefaultInitAllocator<U, A>&) const noexcept {
+    return true;
+  }
+};
+
+/// Growable array with vector semantics but uninitialized growth; the
+/// storage type of the CsrMatrix body arrays.
+template <typename T>
+using Buffer = std::vector<T, DefaultInitAllocator<T>>;
+
+}  // namespace spgemm::mem

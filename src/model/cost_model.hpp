@@ -20,7 +20,7 @@ namespace spgemm::model {
 
 /// A-priori hash collision factor (probes per scalar multiplication) used
 /// wherever no measurement exists yet — the tiled driver's kAuto decision
-/// and the CostInputs default.  SpGemmPlan::collision_factor() supplies the
+/// and the CostInputs default.  SpGemmHandle::collision_factor() supplies the
 /// measured value once a symbolic pass has run.
 inline constexpr double kDefaultCollisionFactor = 1.2;
 
@@ -50,6 +50,14 @@ double log2_at_least2(double x);
 /// reuse).  Sized so a whole tile's capture plus the accumulator stays well
 /// inside a typical last-level-cache share.
 inline constexpr std::size_t kDefaultReuseBudgetBytes = std::size_t{8} << 20;
+
+/// Default per-thread capture budget for a PERSISTENT plan
+/// (core/spgemm_handle.hpp).  A handle's slot streams live across many
+/// execute() calls, so the budget trades memory for repeated numeric-phase
+/// time rather than cache residency within one multiply — it is therefore
+/// much larger than the one-shot reuse budget.  The actual allocation is
+/// still bounded by 2x the planned flop, so small products never pay it.
+inline constexpr std::size_t kDefaultPlanBudgetBytes = std::size_t{64} << 20;
 
 /// Capture-stream bytes a tile targets: small enough to stay cache-resident
 /// between the symbolic and numeric passes of the same tile.

@@ -2,8 +2,29 @@
 //
 //   #include "spgemm/spgemm.hpp"
 //
-// pulls in the matrix types, generators, every SpGEMM kernel, the
-// multiply() dispatcher, the Table 4 recipe, and the analytic models.
+// The library is organized as three tiers, all running the same two-phase
+// kernel machinery underneath:
+//
+//   1. One-shot: multiply(a, b, opts) / multiply_over<SR>(a, b, opts).
+//      Pick a kernel (or let the Table 4 recipe decide) and get C = A*B.
+//      Internally this is a plan + single execute on tier 2's handle for
+//      every two-phase kernel, so one-shot and planned products are
+//      bit-identical.
+//
+//   2. Inspector-executor: SpGemmHandle<IT, VT> (core/spgemm_handle.hpp).
+//      plan(a, b) pays the symbolic phase, flop-balanced partition, tile
+//      plan and slot-stream capture ONCE; execute(a, b) then serves every
+//      later multiply of the same structures with changing values as a
+//      numeric-only replay — no symbolic probes, no allocation, values
+//      written straight to their final offsets.  This is the MKL
+//      inspector-executor / KokkosKernels-handle model the paper
+//      benchmarks, applied to all two-phase kernels and any semiring.
+//
+//   3. Applications (apps/): AMG Galerkin products with handle-based
+//      re-assembly (GalerkinReassembler), Markov clustering with
+//      replan-on-drift, triangle counting, multi-source BFS, similarity
+//      joins — each built on tiers 1-2.
+//
 // Individual headers remain includable on their own for faster builds.
 #pragma once
 
@@ -14,8 +35,8 @@
 #include "core/recipe.hpp"
 #include "core/semiring.hpp"
 #include "core/spadd.hpp"
+#include "core/spgemm_handle.hpp"
 #include "core/spgemm_masked.hpp"
-#include "core/spgemm_plan.hpp"
 #include "core/symbolic.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/generators.hpp"

@@ -130,7 +130,7 @@ TEST(Csr, SortRowsRestoresOrder) {
   m.sort_rows();
   EXPECT_TRUE(m.rows_are_ascending());
   EXPECT_TRUE(m.claims_sorted());
-  EXPECT_EQ(m.cols, (std::vector<I>{0, 2, 4}));
+  EXPECT_EQ(m.cols, (mem::Buffer<I>{0, 2, 4}));
   EXPECT_DOUBLE_EQ(m.vals[1], 2.0);
 }
 

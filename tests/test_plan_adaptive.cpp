@@ -1,5 +1,6 @@
-// Tests for the inspector-executor SpGemmPlan and the row-adaptive
-// poly-algorithm kernel.
+// Tests for the inspector-executor SpGemmHandle (legacy SpGemmPlan shape)
+// and the row-adaptive poly-algorithm kernel.  Deeper handle coverage lives
+// in test_handle.cpp.
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -7,7 +8,7 @@
 
 #include "core/multiply.hpp"
 #include "core/spgemm_adaptive.hpp"
-#include "core/spgemm_plan.hpp"
+#include "core/spgemm_handle.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/ops.hpp"
 #include "matrix/rmat.hpp"
@@ -19,13 +20,13 @@ using I = std::int32_t;
 using Matrix = CsrMatrix<I, double>;
 using Triplets = std::vector<std::tuple<I, I, double>>;
 
-// --- SpGemmPlan ---------------------------------------------------------------
+// --- SpGemmHandle as inspector-executor plan ---------------------------------------------------------------
 
-TEST(SpGemmPlan, ExecuteMatchesDirectMultiply) {
+TEST(HandleAsPlan, ExecuteMatchesDirectMultiply) {
   const Matrix a = rmat_matrix<I, double>(RmatParams::g500(8, 8, 3));
   SpGemmOptions opts;
   opts.threads = 3;
-  const SpGemmPlan<I, double> plan(a, a, opts);
+  SpGemmHandle<I, double> plan(a, a, opts);
   const Matrix via_plan = plan.execute(a, a);
   opts.algorithm = Algorithm::kHash;
   const Matrix direct = multiply(a, a, opts);
@@ -34,9 +35,9 @@ TEST(SpGemmPlan, ExecuteMatchesDirectMultiply) {
   EXPECT_TRUE(approx_equal(via_plan, direct, 1e-12));
 }
 
-TEST(SpGemmPlan, ReportsSymbolicQuantities) {
+TEST(HandleAsPlan, ReportsSymbolicQuantities) {
   const Matrix a = rmat_matrix<I, double>(RmatParams::er(8, 6, 5));
-  const SpGemmPlan<I, double> plan(a, a);
+  SpGemmHandle<I, double> plan(a, a);
   SpGemmOptions opts;
   opts.algorithm = Algorithm::kHash;
   SpGemmStats stats;
@@ -45,10 +46,10 @@ TEST(SpGemmPlan, ReportsSymbolicQuantities) {
   EXPECT_EQ(plan.flop(), stats.flop);
 }
 
-TEST(SpGemmPlan, ReexecutesWithNewValues) {
+TEST(HandleAsPlan, ReexecutesWithNewValues) {
   // The inspector-executor use case: same structure, changing values.
   Matrix a = rmat_matrix<I, double>(RmatParams::g500(7, 6, 9));
-  const SpGemmPlan<I, double> plan(a, a);
+  SpGemmHandle<I, double> plan(a, a);
   const Matrix c1 = plan.execute(a, a);
 
   Matrix a2 = a;
@@ -60,18 +61,18 @@ TEST(SpGemmPlan, ReexecutesWithNewValues) {
   }
 }
 
-TEST(SpGemmPlan, RepeatedExecutionIsDeterministic) {
+TEST(HandleAsPlan, RepeatedExecutionIsDeterministic) {
   const Matrix a = rmat_matrix<I, double>(RmatParams::er(7, 4, 2));
-  const SpGemmPlan<I, double> plan(a, a);
+  SpGemmHandle<I, double> plan(a, a);
   const Matrix c1 = plan.execute(a, a);
   const Matrix c2 = plan.execute(a, a);
   EXPECT_EQ(c1.cols, c2.cols);
   EXPECT_EQ(c1.vals, c2.vals);
 }
 
-TEST(SpGemmPlan, RejectsStructureDrift) {
+TEST(HandleAsPlan, RejectsStructureDrift) {
   const Matrix a = rmat_matrix<I, double>(RmatParams::er(6, 4, 7));
-  const SpGemmPlan<I, double> plan(a, a);
+  SpGemmHandle<I, double> plan(a, a);
   const Matrix other = rmat_matrix<I, double>(RmatParams::er(6, 4, 8));
   if (other.nnz() != a.nnz()) {
     EXPECT_THROW(plan.execute(other, other), std::invalid_argument);
@@ -80,27 +81,27 @@ TEST(SpGemmPlan, RejectsStructureDrift) {
   EXPECT_THROW(plan.execute(wrong_dims, wrong_dims), std::invalid_argument);
 }
 
-TEST(SpGemmPlan, FingerprintCatchesEqualNnzStructureDrift) {
+TEST(HandleAsPlan, FingerprintCatchesEqualNnzStructureDrift) {
   // Same dimensions AND same nnz, different column structure: the weak
   // dimension/nnz check cannot see this, the fingerprint must.
   const auto a = csr_from_triplets<I, double>(
       4, 4, Triplets{{0, 0, 1.0}, {0, 1, 1.0}, {1, 2, 1.0}});
   const auto drifted = csr_from_triplets<I, double>(
       4, 4, Triplets{{0, 0, 1.0}, {0, 3, 1.0}, {1, 2, 1.0}});
-  const SpGemmPlan<I, double> plan(a, a);
+  SpGemmHandle<I, double> plan(a, a);
   EXPECT_THROW(plan.execute(drifted, drifted), std::invalid_argument);
   EXPECT_NO_THROW(plan.execute(a, a));
 }
 
-TEST(SpGemmPlan, RejectsDimensionMismatchAtBuild) {
+TEST(HandleAsPlan, RejectsDimensionMismatchAtBuild) {
   const auto a = csr_identity<I, double>(3);
   const auto b = csr_identity<I, double>(4);
-  EXPECT_THROW((SpGemmPlan<I, double>(a, b)), std::invalid_argument);
+  EXPECT_THROW((SpGemmHandle<I, double>(a, b)), std::invalid_argument);
 }
 
-TEST(SpGemmPlan, ExecuteOverSemiring) {
+TEST(HandleAsPlan, ExecuteOverSemiring) {
   const Matrix a = rmat_matrix<I, double>(RmatParams::g500(6, 4, 4));
-  const SpGemmPlan<I, double> plan(a, a);
+  SpGemmHandle<I, double> plan(a, a);
   const Matrix boolean = plan.execute(a, a, OrAnd{});
   for (const double v : boolean.vals) EXPECT_DOUBLE_EQ(v, 1.0);
   SpGemmOptions opts;
@@ -109,15 +110,15 @@ TEST(SpGemmPlan, ExecuteOverSemiring) {
   EXPECT_EQ(boolean.cols, plain.cols);  // same structure
 }
 
-TEST(SpGemmPlan, UnsortedOutputOption) {
+TEST(HandleAsPlan, UnsortedOutputOption) {
   const Matrix a = rmat_matrix<I, double>(RmatParams::er(6, 6, 13));
   SpGemmOptions opts;
   opts.sort_output = SortOutput::kNo;
-  const SpGemmPlan<I, double> plan(a, a, opts);
+  SpGemmHandle<I, double> plan(a, a, opts);
   Matrix c = plan.execute(a, a);
   EXPECT_EQ(c.sortedness, Sortedness::kUnsorted);
   opts.sort_output = SortOutput::kYes;
-  const SpGemmPlan<I, double> sorted_plan(a, a, opts);
+  SpGemmHandle<I, double> sorted_plan(a, a, opts);
   const Matrix cs = sorted_plan.execute(a, a);
   c.sort_rows();
   EXPECT_EQ(c.cols, cs.cols);

@@ -14,8 +14,8 @@
 #include <vector>
 
 #include "core/multiply.hpp"
+#include "core/spgemm_handle.hpp"
 #include "core/spgemm_hash.hpp"
-#include "core/spgemm_plan.hpp"
 #include "matrix/ops.hpp"
 #include "matrix/rmat.hpp"
 #include "model/cost_model.hpp"
@@ -275,13 +275,14 @@ TEST(ReuseStats, TileCountMatchesTileSize) {
 TEST(ReusePlanner, PlanMeasuresCollisionFactorAndTiles) {
   const Matrix a = unit_valued_rmat(8, 8, 29);
   SpGemmStats stats;
-  SpGemmPlan<I, double> plan(a, a, {}, &stats);
+  SpGemmHandle<I, double> plan(a, a, {}, &stats);
   EXPECT_GT(plan.symbolic_probes(), 0u);
   EXPECT_EQ(stats.symbolic_probes, plan.symbolic_probes());
   EXPECT_GE(plan.collision_factor(), 1.0);  // >= one probe per insert
   EXPECT_GE(plan.planned_tile_rows(), 16u);
   EXPECT_TRUE(plan.reuse_pays());
   EXPECT_EQ(stats.nnz_out, plan.nnz_out());
+  EXPECT_GT(stats.plan_ms, 0.0);
 }
 
 TEST(ReusePlanner, CostModelTileChoiceScalesWithDensity) {
