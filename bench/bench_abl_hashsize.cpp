@@ -27,8 +27,24 @@ const CsrMatrix<I, double>& shared_input() {
   return a;
 }
 
-/// size_shift: -1 = tight (bit_ceil, no strict-greater), 0 = paper policy,
-/// 1/2 = oversized by 2x/4x.
+/// Hash policy with the table-size policy as a knob: shift -1 = tight
+/// (bit_ceil, no strict-greater), 0 = paper policy, 1/2 = oversized by
+/// 2x/4x.
+struct SizedHashPolicy {
+  using Acc = spgemm::HashAccumulator<I, double>;
+  int shift = 0;
+  Acc make() const { return {}; }
+  void prepare(Acc& acc, Offset max_row_flop, I ncols) const {
+    const auto capped = static_cast<std::size_t>(std::min<Offset>(
+        max_row_flop, static_cast<Offset>(ncols)));
+    const std::size_t size =
+        shift < 0 ? std::bit_ceil(std::max<std::size_t>(capped, 1))
+                  : std::bit_ceil(capped + 1) << static_cast<unsigned>(shift);
+    acc.prepare(size);
+  }
+  bool begin_row(Acc& /*acc*/, Offset /*row_flop*/) const { return false; }
+};
+
 void run_sizing(benchmark::State& state) {
   const auto shift = static_cast<int>(state.range(0));
   const auto& a = shared_input();
@@ -38,18 +54,7 @@ void run_sizing(benchmark::State& state) {
   spgemm::SpGemmStats stats;
   for (auto _ : state) {
     auto c = spgemm::detail::spgemm_two_phase<I, double>(
-        a, a, opts, [] { return spgemm::HashAccumulator<I, double>{}; },
-        [shift](spgemm::HashAccumulator<I, double>& acc, Offset max_row_flop,
-                I ncols) {
-          const auto capped = static_cast<std::size_t>(std::min<Offset>(
-              max_row_flop, static_cast<Offset>(ncols)));
-          std::size_t size = shift < 0 ? std::bit_ceil(std::max<std::size_t>(
-                                             capped, 1))
-                                       : std::bit_ceil(capped + 1)
-                                             << static_cast<unsigned>(shift);
-          acc.prepare(size);
-        },
-        &stats);
+        a, a, opts, SizedHashPolicy{shift}, &stats);
     benchmark::DoNotOptimize(c.vals.data());
   }
   state.counters["collision_factor"] =

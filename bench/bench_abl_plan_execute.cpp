@@ -85,7 +85,8 @@ int main() {
   const int threads = bench_threads();
 
   // ---- A^2, scale-16 G500 (paper squaring benchmark). ---------------------
-  const int scale = 16;
+  // SPGEMM_BENCH_SCALE overrides the scale (CI smoke runs at 12).
+  const int scale = bench_scale(16);
   const int ef = full_scale() ? 16 : 8;
   Matrix a = rmat_matrix<I, double>(RmatParams::g500(scale, ef, 7));
   for (auto& v : a.vals) v = 1.0;

@@ -1,0 +1,175 @@
+// Ablation: the ExecutionSchedule — tile-fused one-shot vs unfused
+// plan+execute-once, schedule policies under skew, and memory-model-derived
+// budgets (machine-readable; needs no google-benchmark).
+//
+// Three experiments, all emitted to BENCH_abl_schedule.json:
+//   1. fused-vs-unfused: one-shot multiply() now runs the tile-fused driver
+//      (symbolic+numeric back to back per tile, A/B rows cache-hot) on the
+//      same schedule the handle plans with.  Rows "fused one-shot" vs
+//      "plan+execute once" on the scale-16 G500 squaring benchmark show
+//      what the fusion is worth for a product computed exactly once.
+//   2. schedule policies: static vs dynamic vs stealing wall time (and
+//      recorded steals) on a skewed power-law RMAT at max threads.
+//   3. budget source: fixed cache-constant tiles vs fast-tier-derived
+//      budgets (model::derive_schedule_budgets on the host LLC tier).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/spgemm_handle.hpp"
+#include "matrix/rmat.hpp"
+
+namespace {
+
+using namespace spgemm;
+using namespace spgemm::bench;
+
+using I = std::int32_t;
+using Matrix = CsrMatrix<I, double>;
+
+double median_ms(std::vector<double> times) {
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Median wall time of `fn` over the trial envelope (one warm-up).
+template <typename Fn>
+double time_median(Fn&& fn) {
+  fn();
+  std::vector<double> times;
+  for (int t = 0; t < std::max(1, trials()); ++t) {
+    Timer timer;
+    fn();
+    times.push_back(timer.millis());
+  }
+  return median_ms(std::move(times));
+}
+
+}  // namespace
+
+int main() {
+  print_banner("schedule ablation",
+               "ExecutionSchedule: fused one-shot, policies, budget source");
+  JsonReporter json("abl_schedule");
+  const int threads = bench_threads();
+
+  // ---- 1. Fused one-shot vs unfused plan + execute-once. ------------------
+  {
+    const int scale = bench_scale(16);
+    const int ef = full_scale() ? 16 : 8;
+    Matrix a = rmat_matrix<I, double>(RmatParams::g500(scale, ef, 7));
+    for (auto& v : a.vals) v = 1.0;
+    const std::string matrix_name =
+        "g500_s" + std::to_string(scale) + "_e" + std::to_string(ef);
+    std::printf("\nA^2 on %s (%d rows, %lld nnz): fused vs unfused one-shot\n",
+                matrix_name.c_str(), a.nrows,
+                static_cast<long long>(a.nnz()));
+    print_header("path", {"total ms"}, 14);
+
+    SpGemmOptions opts;
+    opts.algorithm = Algorithm::kHash;
+    opts.sort_output = SortOutput::kNo;
+    opts.threads = threads;
+
+    // multiply() IS the fused path now; the unfused baseline is the exact
+    // sequence multiply() ran before: fresh handle, plan, execute-once.
+    const double fused_ms =
+        time_median([&] { multiply(a, a, opts); });
+    const double unfused_ms = time_median([&] {
+      SpGemmOptions handle_opts = opts;
+      handle_opts.reuse_budget_bytes = model::kDefaultReuseBudgetBytes;
+      SpGemmHandle<I, double> handle(a, a, handle_opts);
+      Matrix c;
+      handle.execute_into(a, a, c);
+    });
+    print_row("fused one-shot", {fused_ms}, "%14.2f");
+    print_row("plan+execute once", {unfused_ms}, "%14.2f");
+    std::printf("fused speedup: %.3fx\n",
+                fused_ms > 0.0 ? unfused_ms / fused_ms : 0.0);
+
+    BenchRecord fused;
+    fused.kernel = "fused one-shot";
+    fused.matrix = matrix_name;
+    fused.threads = threads;
+    fused.total_ms = fused_ms;
+    json.add(std::move(fused));
+    BenchRecord unfused;
+    unfused.kernel = "plan+execute once";
+    unfused.matrix = matrix_name;
+    unfused.threads = threads;
+    unfused.total_ms = unfused_ms;
+    json.add(std::move(unfused));
+  }
+
+  // ---- 2. Schedule policies on a skewed power-law RMAT. -------------------
+  {
+    const int scale = bench_scale(full_scale() ? 16 : 14);
+    Matrix a = rmat_matrix<I, double>(RmatParams::g500(scale, 8, 77));
+    for (auto& v : a.vals) v = 1.0;
+    const std::string matrix_name =
+        "g500_s" + std::to_string(scale) + "_e8_skew";
+    std::printf("\nschedule policies on %s at max threads\n",
+                matrix_name.c_str());
+    print_header("schedule", {"total ms", "steals"}, 14);
+
+    for (const parallel::TileSchedule policy :
+         {parallel::TileSchedule::kStatic, parallel::TileSchedule::kDynamic,
+          parallel::TileSchedule::kStealing}) {
+      SpGemmOptions opts;
+      opts.algorithm = Algorithm::kHash;
+      opts.sort_output = SortOutput::kNo;
+      opts.threads = threads;
+      opts.tile_schedule = policy;
+      SpGemmStats stats;
+      const double ms = time_median([&] { multiply(a, a, opts, &stats); });
+      print_row(parallel::tile_schedule_name(policy),
+                {ms, static_cast<double>(stats.tile_steals)}, "%14.2f");
+      BenchRecord rec;
+      rec.kernel = parallel::tile_schedule_name(policy);
+      rec.matrix = matrix_name;
+      rec.threads = threads;
+      rec.total_ms = ms;
+      rec.flop = stats.flop;
+      rec.nnz_out = stats.nnz_out;
+      rec.tile_steals = static_cast<long long>(stats.tile_steals);
+      json.add(std::move(rec));
+    }
+  }
+
+  // ---- 3. Budget source: fixed constant vs memory-model tiles. ------------
+  {
+    const int scale = bench_scale(full_scale() ? 16 : 14);
+    Matrix a = rmat_matrix<I, double>(RmatParams::g500(scale, 16, 11));
+    for (auto& v : a.vals) v = 1.0;
+    const std::string matrix_name =
+        "g500_s" + std::to_string(scale) + "_e16";
+    std::printf("\nbudget source on %s (host LLC tier model)\n",
+                matrix_name.c_str());
+    print_header("budgets", {"total ms", "tiles"}, 14);
+
+    for (const BudgetSource source :
+         {BudgetSource::kFixed, BudgetSource::kMemoryModel}) {
+      SpGemmOptions opts;
+      opts.algorithm = Algorithm::kHash;
+      opts.sort_output = SortOutput::kNo;
+      opts.threads = threads;
+      opts.budget_source = source;
+      SpGemmStats stats;
+      const double ms = time_median([&] { multiply(a, a, opts, &stats); });
+      print_row(budget_source_name(source),
+                {ms, static_cast<double>(stats.tile_count)}, "%14.2f");
+      BenchRecord rec;
+      rec.kernel = std::string("budget ") + budget_source_name(source);
+      rec.matrix = matrix_name;
+      rec.threads = threads;
+      rec.total_ms = ms;
+      rec.flop = stats.flop;
+      rec.nnz_out = stats.nnz_out;
+      json.add(std::move(rec));
+    }
+  }
+
+  json.flush();
+  return 0;
+}

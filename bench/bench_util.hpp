@@ -6,6 +6,7 @@
 //   SPGEMM_BENCH_FULL=1     paper-scale problem sizes (hours on a laptop)
 //   SPGEMM_BENCH_TRIALS=N   timing repetitions per cell (default 3)
 //   SPGEMM_BENCH_THREADS=N  OpenMP threads (default: OpenMP's choice)
+//   SPGEMM_BENCH_SCALE=N    RMAT scale of single-input benches (CI smoke)
 // to change the envelope.
 #pragma once
 
@@ -39,6 +40,8 @@ struct BenchRecord {
   double plan_ms = 0.0;
   double execute_ms = 0.0;
   long long executions = 0;
+  /// Tiles run off their owner thread (stealing schedule; bench_abl_schedule).
+  long long tile_steals = 0;
 };
 
 /// Collects BenchRecords and writes `BENCH_<name>.json` (a JSON array) in
@@ -98,12 +101,13 @@ class JsonReporter {
           "\"total_ms\": %.4f, \"symbolic_ms\": %.4f, \"numeric_ms\": %.4f, "
           "\"mflops\": %.2f, \"reuse_hit_rate\": %.4f, \"flop\": %lld, "
           "\"nnz_out\": %lld, \"plan_ms\": %.4f, \"execute_ms\": %.4f, "
-          "\"executions\": %lld}%s\n",
+          "\"executions\": %lld, \"tile_steals\": %lld}%s\n",
           json_escape(r.kernel).c_str(), json_escape(r.matrix).c_str(),
           r.threads, r.total_ms, r.symbolic_ms, r.numeric_ms, r.mflops,
           r.reuse_hit_rate, static_cast<long long>(r.flop),
           static_cast<long long>(r.nnz_out), r.plan_ms, r.execute_ms,
-          r.executions, i + 1 < records_.size() ? "," : "");
+          r.executions, r.tile_steals,
+          i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);
@@ -137,6 +141,12 @@ inline int trials() {
 
 inline int bench_threads() {
   return static_cast<int>(env::get_int("SPGEMM_BENCH_THREADS", 0));
+}
+
+/// RMAT scale override for benches that take one headline input — lets CI
+/// smoke-run a bench at a small scale without a separate code path.
+inline int bench_scale(int default_scale) {
+  return static_cast<int>(env::get_int("SPGEMM_BENCH_SCALE", default_scale));
 }
 
 /// One timed kernel configuration in a figure's legend.

@@ -12,6 +12,7 @@
 
 #include "core/multiply.hpp"
 #include "core/spgemm_handle.hpp"
+#include "core/structure_hash.hpp"
 #include "matrix/ops.hpp"
 
 namespace spgemm::apps {
@@ -57,13 +58,21 @@ void normalize_columns(CsrMatrix<IT, VT>& m) {
   }
 }
 
-/// Elementwise power then drop entries below the prune threshold.
+/// Elementwise power then drop entries below the prune threshold.  When
+/// `structure_hash` is non-null it receives structure_fingerprint(out),
+/// maintained incrementally while the scan emits — the expansion handle's
+/// ensure_planned_hashed can then validate a stabilized iteration in O(1)
+/// instead of re-reading the whole structure.
 template <IndexType IT, ValueType VT>
 CsrMatrix<IT, VT> inflate_and_prune(const CsrMatrix<IT, VT>& m,
-                                    double inflation, double prune_below) {
+                                    double inflation, double prune_below,
+                                    std::uint64_t* structure_hash = nullptr) {
   CsrMatrix<IT, VT> out(m.nrows, m.ncols);
   out.cols.reserve(m.cols.size());
   out.vals.reserve(m.vals.size());
+  FnvHasher rpts_chain;
+  FnvHasher cols_chain;
+  rpts_chain.mix(0);  // rpts[0], part of the fingerprint's rpts stream
   for (IT i = 0; i < m.nrows; ++i) {
     Offset kept = 0;
     for (Offset j = m.row_begin(i); j < m.row_end(i); ++j) {
@@ -71,15 +80,22 @@ CsrMatrix<IT, VT> inflate_and_prune(const CsrMatrix<IT, VT>& m,
           static_cast<double>(m.vals[static_cast<std::size_t>(j)]),
           inflation);
       if (inflated >= prune_below) {
-        out.cols.push_back(m.cols[static_cast<std::size_t>(j)]);
+        const IT col = m.cols[static_cast<std::size_t>(j)];
+        out.cols.push_back(col);
         out.vals.push_back(static_cast<VT>(inflated));
+        cols_chain.mix(static_cast<std::uint64_t>(col));
         ++kept;
       }
     }
-    out.rpts[static_cast<std::size_t>(i) + 1] =
-        out.rpts[static_cast<std::size_t>(i)] + kept;
+    const Offset row_end = out.rpts[static_cast<std::size_t>(i)] + kept;
+    out.rpts[static_cast<std::size_t>(i) + 1] = row_end;
+    rpts_chain.mix(static_cast<std::uint64_t>(row_end));
   }
   out.sortedness = m.sortedness;
+  if (structure_hash != nullptr) {
+    *structure_hash =
+        combine_structure_hash(rpts_chain.value(), cols_chain.value());
+  }
   return out;
 }
 
@@ -147,24 +163,32 @@ MclResult<IT> markov_cluster(const CsrMatrix<IT, VT>& graph,
   // One persistent handle serves every expansion.  Pruning changes M's
   // structure in early iterations (replan), but near the fixed point the
   // pattern freezes and each M^2 is a numeric-only replay of the last plan.
+  // M's structure fingerprint rides along incrementally: paid once up
+  // front, then maintained by inflate_and_prune while it scans, so the
+  // stabilized iterations validate their plan in O(1) instead of
+  // re-fingerprinting O(nnz) every expansion.
   SpGemmHandle<IT, VT> expansion;
+  std::uint64_t m_hash = structure_fingerprint(m);
   for (int iter = 0; iter < params.max_iterations; ++iter) {
-    if (expansion.ensure_planned(m, m, opts)) {
+    if (expansion.ensure_planned_hashed(m, m, m_hash, m_hash, opts)) {
       ++out.plan_builds;
     } else {
       ++out.plan_reuses;
     }
     const CsrMatrix<IT, VT>& expanded = expansion.execute(m, m);
+    std::uint64_t next_hash = 0;
     CsrMatrix<IT, VT> next = detail::inflate_and_prune(
-        expanded, params.inflation, params.prune_below);
+        expanded, params.inflation, params.prune_below, &next_hash);
     detail::normalize_columns(next);
     ++out.iterations;
-    if (detail::max_entry_change(m, next) < params.convergence_eps) {
-      m = std::move(next);
+    const bool converged =
+        detail::max_entry_change(m, next) < params.convergence_eps;
+    m = std::move(next);
+    m_hash = next_hash;
+    if (converged) {
       out.converged = true;
       break;
     }
-    m = std::move(next);
   }
 
   // Interpret the limit matrix: attractors are vertices with weight on

@@ -2,11 +2,15 @@
 //
 // Dispatches to the requested kernel (or the Table 4 recipe when kAuto) and
 // enforces input-sortedness preconditions.  Every TWO-PHASE kernel (hash,
-// hashvec, SPA, kkhash, adaptive) runs as a thin plan + execute-once over
-// SpGemmHandle — the same inspector-executor code path that serves repeated
-// multiplies — so one-shot and planned products are bit-identical by
-// construction.  One-phase kernels (heap, merge, ikj, spa1p) and the
-// reference oracle keep their direct implementations.
+// hashvec, SPA, kkhash, adaptive) runs the TILE-FUSED driver
+// (core/spgemm_twophase.hpp): symbolic and numeric execute back to back per
+// tile of the ExecutionSchedule, while the A/B rows and accumulator state
+// are still cache-hot — the right shape for a product that is computed
+// exactly once.  Repeated products should plan a SpGemmHandle instead; the
+// fused driver and the handle share the same row-level primitives, kernel
+// policies and schedule cuts, so their outputs are bit-identical.
+// One-phase kernels (heap, merge, ikj, spa1p) and the reference oracle keep
+// their direct implementations.
 #pragma once
 
 #include <stdexcept>
@@ -21,9 +25,11 @@
 #include "core/spgemm_kkhash.hpp"
 #include "core/spgemm_merge.hpp"
 #include "core/spgemm_options.hpp"
+#include "core/spgemm_policies.hpp"
 #include "core/spgemm_ref.hpp"
 #include "core/spgemm_spa.hpp"
 #include "core/spgemm_spa1p.hpp"
+#include "core/spgemm_twophase.hpp"
 
 namespace spgemm {
 namespace detail {
@@ -33,22 +39,21 @@ constexpr bool supports_semiring(Algorithm algo) {
   return algo == Algorithm::kHeap || is_two_phase(algo);
 }
 
-/// One-shot plan + execute through the handle.  The capture budget defaults
-/// to the one-shot (cache-resident) reuse budget rather than the large
-/// persistent plan budget: the capture only lives for this call.
+/// One-shot tile-fused multiply for any two-phase kernel: the fused driver
+/// with the kernel's planning policy (with_plan_policy — the same mapping
+/// SpGemmHandle plans with).  The adaptive kernel flows through the same
+/// driver via its dual accumulator, so every two-phase algorithm shares one
+/// fused code path.
 template <typename SR, IndexType IT, ValueType VT>
-CsrMatrix<IT, VT> multiply_via_handle(const CsrMatrix<IT, VT>& a,
-                                      const CsrMatrix<IT, VT>& b,
-                                      SpGemmOptions opts,
-                                      SpGemmStats* stats) {
-  if (opts.reuse_budget_bytes == 0) {
-    opts.reuse_budget_bytes = model::kDefaultReuseBudgetBytes;
-  }
-  SpGemmHandle<IT, VT> handle;
-  handle.plan(a, b, opts, stats);
-  CsrMatrix<IT, VT> c;
-  handle.execute_into(a, b, c, SR{}, stats);
-  return c;
+CsrMatrix<IT, VT> multiply_fused(const CsrMatrix<IT, VT>& a,
+                                 const CsrMatrix<IT, VT>& b,
+                                 const SpGemmOptions& opts,
+                                 SpGemmStats* stats) {
+  return with_plan_policy<IT, VT>(
+      opts.algorithm, opts.probe, b.ncols, [&](auto policy) {
+        return spgemm_two_phase<IT, VT>(a, b, opts, std::move(policy), stats,
+                                        SR{});
+      });
 }
 
 }  // namespace detail
@@ -81,7 +86,7 @@ CsrMatrix<IT, VT> multiply_over(const CsrMatrix<IT, VT>& a,
         "multiply_over: kernel requires sorted inputs");
   }
   if (is_two_phase(opts.algorithm)) {
-    return detail::multiply_via_handle<SR>(a, b, opts, stats);
+    return detail::multiply_fused<SR>(a, b, opts, stats);
   }
   if (opts.algorithm == Algorithm::kHeap) {
     return spgemm_heap(a, b, opts, stats, SR{});
@@ -114,7 +119,7 @@ CsrMatrix<IT, VT> multiply(const CsrMatrix<IT, VT>& a,
   }
 
   if (is_two_phase(opts.algorithm)) {
-    return detail::multiply_via_handle<PlusTimes>(a, b, opts, stats);
+    return detail::multiply_fused<PlusTimes>(a, b, opts, stats);
   }
   switch (opts.algorithm) {
     case Algorithm::kHeap:

@@ -51,25 +51,22 @@
 #include <variant>
 #include <vector>
 
-#include "accumulator/hash_table.hpp"
-#include "accumulator/hash_vec.hpp"
-#include "accumulator/spa.hpp"
-#include "accumulator/two_level_hash.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "core/recipe.hpp"
 #include "core/semiring.hpp"
-#include "core/spgemm_adaptive.hpp"
 #include "core/spgemm_options.hpp"
+#include "core/spgemm_policies.hpp"
 #include "core/spgemm_twophase.hpp"
+#include "core/structure_hash.hpp"
 #include "matrix/csr.hpp"
 #include "mem/default_init.hpp"
 #include "mem/workspace.hpp"
 #include "model/cost_model.hpp"
+#include "parallel/execution_schedule.hpp"
 #include "parallel/omp_utils.hpp"
 #include "parallel/prefix_sum.hpp"
 #include "parallel/rows_to_threads.hpp"
-#include "parallel/tiles.hpp"
 
 namespace spgemm {
 
@@ -90,167 +87,10 @@ constexpr bool is_two_phase(Algorithm algo) {
 
 namespace detail {
 
-/// Pairs the Hash and SPA accumulators behind one accumulator interface so
-/// the Adaptive kernel's per-row regimes (tiny/hash/dense, see
-/// core/spgemm_adaptive.hpp) flow through the generic plan/execute loops.
-/// The active sub-accumulator is chosen per row via set_dense(); slot
-/// streams recorded against one regime replay against the same regime
-/// because the regime is a pure function of the row's flop.
-template <IndexType IT, ValueType VT>
-class AdaptiveDualAccumulator {
- public:
-  void prepare_hash(std::size_t size) { hash_.prepare(size); }
-  void ensure_spa(std::size_t ncols) {
-    if (spa_cols_ < ncols) {
-      spa_.prepare(ncols);
-      spa_cols_ = ncols;
-    }
-  }
-  void set_dense(bool dense) { dense_ = dense; }
-
-  bool insert(IT key) {
-    return dense_ ? spa_.insert(key) : hash_.insert(key);
-  }
-  IT insert_tagged(IT key) {
-    return dense_ ? spa_.insert_tagged(key) : hash_.insert_tagged(key);
-  }
-  [[nodiscard]] VT* slot_values() {
-    return dense_ ? spa_.slot_values() : hash_.slot_values();
-  }
-  [[nodiscard]] IT touched_slot(std::size_t i) const {
-    return dense_ ? spa_.touched_slot(i) : hash_.touched_slot(i);
-  }
-  [[nodiscard]] IT key_at_slot(IT slot) const {
-    return dense_ ? spa_.key_at_slot(slot) : hash_.key_at_slot(slot);
-  }
-  template <typename Fold>
-  void accumulate(IT key, VT value, Fold fold) {
-    if (dense_) {
-      spa_.accumulate(key, value, fold);
-    } else {
-      hash_.accumulate(key, value, fold);
-    }
-  }
-  [[nodiscard]] std::size_t count() const {
-    return dense_ ? spa_.count() : hash_.count();
-  }
-  void extract_keys(IT* out_cols) const {
-    if (dense_) {
-      spa_.extract_keys(out_cols);
-    } else {
-      hash_.extract_keys(out_cols);
-    }
-  }
-  void extract_unsorted(IT* out_cols, VT* out_vals) const {
-    if (dense_) {
-      spa_.extract_unsorted(out_cols, out_vals);
-    } else {
-      hash_.extract_unsorted(out_cols, out_vals);
-    }
-  }
-  void extract_sorted(IT* out_cols, VT* out_vals) {
-    if (dense_) {
-      spa_.extract_sorted(out_cols, out_vals);
-    } else {
-      hash_.extract_sorted(out_cols, out_vals);
-    }
-  }
-  void reset() {
-    if (dense_) {
-      spa_.reset();
-    } else {
-      hash_.reset();
-    }
-  }
-  [[nodiscard]] std::uint64_t probes() const {
-    return hash_.probes() + spa_.probes();
-  }
-
- private:
-  HashAccumulator<IT, VT> hash_;
-  SpaAccumulator<IT, VT> spa_;
-  bool dense_ = false;
-  std::size_t spa_cols_ = 0;
-};
-
-// ---- Per-kernel planning policies -----------------------------------------
-//
-// A policy supplies the accumulator type, its construction/sizing, and the
-// per-row hook begin_row() which may switch regimes and force sorted
-// emission (Adaptive's tiny rows).  All other kernels compile the hook away.
-
-template <IndexType IT, ValueType VT>
-struct HashPlanPolicy {
-  using Acc = HashAccumulator<IT, VT>;
-  Acc make() const { return {}; }
-  void prepare(Acc& acc, Offset max_row_flop, IT ncols) const {
-    acc.prepare(
-        hash_table_size_for(max_row_flop, static_cast<std::size_t>(ncols)));
-  }
-  bool begin_row(Acc& /*acc*/, Offset /*row_flop*/) const { return false; }
-};
-
-template <IndexType IT, ValueType VT>
-struct HashVecPlanPolicy {
-  using Acc = HashVecAccumulator<IT, VT>;
-  ProbeKind probe = ProbeKind::kAuto;
-  Acc make() const { return Acc{probe}; }
-  void prepare(Acc& acc, Offset max_row_flop, IT ncols) const {
-    // Accumulators persist across plan() calls; re-assert the probe kind in
-    // case this plan's options changed it.
-    acc.set_probe_kind(probe);
-    acc.prepare(
-        hash_table_size_for(max_row_flop, static_cast<std::size_t>(ncols)));
-  }
-  bool begin_row(Acc& /*acc*/, Offset /*row_flop*/) const { return false; }
-};
-
-template <IndexType IT, ValueType VT>
-struct SpaPlanPolicy {
-  using Acc = SpaAccumulator<IT, VT>;
-  Acc make() const { return {}; }
-  void prepare(Acc& acc, Offset /*max_row_flop*/, IT ncols) const {
-    acc.prepare(static_cast<std::size_t>(ncols));
-  }
-  bool begin_row(Acc& /*acc*/, Offset /*row_flop*/) const { return false; }
-};
-
-template <IndexType IT, ValueType VT>
-struct KkHashPlanPolicy {
-  using Acc = TwoLevelHashAccumulator<IT, VT>;
-  Acc make() const { return {}; }
-  void prepare(Acc& acc, Offset max_row_flop, IT ncols) const {
-    const auto bound = static_cast<std::size_t>(
-        std::min<Offset>(max_row_flop, static_cast<Offset>(ncols)));
-    acc.prepare(bound + 1);
-  }
-  bool begin_row(Acc& /*acc*/, Offset /*row_flop*/) const { return false; }
-};
-
-template <IndexType IT, ValueType VT>
-struct AdaptivePlanPolicy {
-  using Acc = AdaptiveDualAccumulator<IT, VT>;
-  Offset tiny_cut = 0;
-  Offset dense_cut = 0;
-  IT ncols = 0;
-  Acc make() const { return {}; }
-  void prepare(Acc& acc, Offset max_row_flop, IT nc) const {
-    acc.prepare_hash(hash_table_size_for(
-        std::min<Offset>(max_row_flop, dense_cut),
-        static_cast<std::size_t>(nc)));
-  }
-  /// Dense rows switch the accumulator to the SPA regime; tiny rows stay on
-  /// the hash regime but force sorted emission (the tiny-row buffer of the
-  /// one-shot Adaptive kernel always emits sorted).
-  bool begin_row(Acc& acc, Offset row_flop) const {
-    const bool dense = row_flop >= dense_cut;
-    if (dense) acc.ensure_spa(static_cast<std::size_t>(ncols));
-    acc.set_dense(dense);
-    return row_flop <= tiny_cut;
-  }
-};
-
 // ---- Persisted plan state -------------------------------------------------
+//
+// The per-kernel planning policies live in core/spgemm_policies.hpp; the
+// fused one-shot driver runs the exact same policy objects.
 
 /// One planned row: where its slot stream lives and how to emit it.
 template <IndexType IT>
@@ -314,26 +154,6 @@ struct StructureId {
   bool operator==(const StructureId&) const = default;
 };
 
-/// FNV-1a over the structure arrays (rpts + cols), values excluded.
-template <IndexType IT, ValueType VT>
-std::uint64_t structure_fingerprint(const CsrMatrix<IT, VT>& m) {
-  std::uint64_t h = 1469598103934665603ULL;
-  const auto mix = [&h](std::uint64_t word) {
-    h ^= word;
-    h *= 1099511628211ULL;
-  };
-  for (const Offset r : m.rpts) mix(static_cast<std::uint64_t>(r));
-  for (const IT c : m.cols) mix(static_cast<std::uint64_t>(c));
-  return h;
-}
-
-template <IndexType IT, ValueType VT>
-std::uint64_t pair_fingerprint(const CsrMatrix<IT, VT>& a,
-                               const CsrMatrix<IT, VT>& b) {
-  return structure_fingerprint(a) ^
-         (structure_fingerprint(b) * 0x9e3779b97f4a7c15ULL);
-}
-
 /// Kernel-independent plan state.
 template <IndexType IT, ValueType VT>
 struct PlanCore {
@@ -342,8 +162,7 @@ struct PlanCore {
   IT nrows = 0;
   IT ncols = 0;
   parallel::RowPartition part;
-  std::vector<std::size_t> tile_bounds;  ///< dynamic schedule only
-  Offset global_max_row_flop = 0;        ///< dynamic schedule only
+  parallel::ExecutionSchedule schedule;  ///< persisted tile plan + policy
   std::size_t tile_rows = 0;
   bool capture_enabled = false;
   std::size_t budget_entries = 0;
@@ -368,14 +187,13 @@ struct KernelPlan {
   explicit KernelPlan(Policy p) : policy(std::move(p)) {}
 
   /// Symbolic phase over all rows: capture slot streams, stage skeleton
-  /// columns, record per-row counts into core.rpts (unscanned).
+  /// columns, record per-row counts into core.rpts (unscanned).  Tiles are
+  /// handed out by the persisted ExecutionSchedule; the assignment this
+  /// pass settles on (including any steals) is frozen into the per-thread
+  /// tile lists, which execute() replays with perfect affinity.
   void build(PlanCore<IT, VT>& core, const CsrMatrix<IT, VT>& a,
              const CsrMatrix<IT, VT>& b) {
     const auto nrows = static_cast<std::size_t>(a.nrows);
-    const bool dynamic =
-        core.opts.tile_schedule == parallel::TileSchedule::kDynamic;
-    parallel::TileClaimer claimer(
-        core.tile_bounds.empty() ? 0 : core.tile_bounds.size() - 1);
 
     // Re-planning on a live handle recycles the per-thread state grow-only:
     // accumulators and capture scratch keep their (pool-backed) storage, and
@@ -394,6 +212,7 @@ struct KernelPlan {
     std::atomic<std::uint64_t> total_tiles{0};
     std::atomic<std::uint64_t> total_captured{0};
 
+    core.schedule.begin_pass();
 #pragma omp parallel num_threads(core.nthreads)
     {
       const int tid = omp_get_thread_num();
@@ -401,15 +220,10 @@ struct KernelPlan {
         const auto utid = static_cast<std::size_t>(tid);
         ThreadPlan<IT, VT, Acc>& tp = threads[utid];
         Acc& acc = tp.acc;
-        policy.prepare(acc,
-                       dynamic ? core.global_max_row_flop
-                               : core.part.max_row_flop(tid),
-                       b.ncols);
+        policy.prepare(acc, core.schedule.sizing_max_row_flop(tid), b.ncols);
 
-        const auto capture_flop_bound = static_cast<std::size_t>(
-            dynamic ? core.part.total_flop()
-                    : core.part.flop_prefix[core.part.offsets[utid + 1]] -
-                          core.part.flop_prefix[core.part.offsets[utid]]);
+        const auto capture_flop_bound =
+            static_cast<std::size_t>(core.schedule.capture_flop_bound(tid));
         tp.capture_entries =
             core.capture_enabled
                 ? std::min(core.budget_entries, 2 * capture_flop_bound + 16)
@@ -470,19 +284,11 @@ struct KernelPlan {
           ++tiles_done;
         };
 
-        if (dynamic) {
-          for (std::size_t t = claimer.claim(); t < claimer.count();
-               t = claimer.claim()) {
-            process_tile(core.tile_bounds[t], core.tile_bounds[t + 1]);
-          }
-        } else {
-          const std::size_t row_begin = core.part.offsets[utid];
-          const std::size_t row_end = core.part.offsets[utid + 1];
-          for (std::size_t r0 = row_begin; r0 < row_end;
-               r0 += core.tile_rows) {
-            process_tile(r0, std::min(row_end, r0 + core.tile_rows));
-          }
-        }
+        core.schedule.for_each_tile(
+            tid, [&](std::size_t /*index*/, const parallel::TileRange& tile,
+                     bool /*stolen*/) {
+              process_tile(tile.row_begin, tile.row_end);
+            });
 
         total_probes.fetch_add(acc.probes() - probes_before,
                                std::memory_order_relaxed);
@@ -588,12 +394,15 @@ class SpGemmHandle {
   SpGemmHandle(SpGemmHandle&&) = default;
   SpGemmHandle& operator=(SpGemmHandle&&) = default;
 
-  /// Inspect: symbolic phase + flop-balanced partition + tile plan + slot-
-  /// stream capture + output skeleton, all persisted in the handle.  May be
-  /// called again with a different product; workspaces and the pooled
-  /// output are recycled grow-only.
+  /// Inspect: symbolic phase + flop-balanced partition + ExecutionSchedule
+  /// + slot-stream capture + output skeleton, all persisted in the handle.
+  /// May be called again with a different product; workspaces and the
+  /// pooled output are recycled grow-only.  `known_fingerprint` lets a
+  /// caller that already holds the pair fingerprint (ensure_planned_hashed)
+  /// skip the O(nnz) hash of both inputs.
   void plan(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
-            SpGemmOptions opts = {}, SpGemmStats* stats = nullptr) {
+            SpGemmOptions opts = {}, SpGemmStats* stats = nullptr,
+            const std::uint64_t* known_fingerprint = nullptr) {
     if (a.ncols != b.nrows) {
       throw std::invalid_argument(
           "SpGemmHandle::plan: inner dimensions disagree");
@@ -631,7 +440,9 @@ class SpGemmHandle {
                                         b.rpts.data(), core_.nthreads)
             : parallel::rows_equal(nrows, a.rpts.data(), a.cols.data(),
                                    b.rpts.data(), core_.nthreads);
-    core_.fingerprint = detail::pair_fingerprint(a, b);
+    core_.fingerprint =
+        known_fingerprint != nullptr ? *known_fingerprint
+                                     : pair_fingerprint(a, b);
     core_.id_a = detail::StructureId<IT, VT>::of(a);
     core_.id_b = detail::StructureId<IT, VT>::of(b);
     stats_.setup_ms = timer.millis();
@@ -639,14 +450,14 @@ class SpGemmHandle {
     // A persistent plan trades memory for repeated numeric time, so its
     // default capture budget is the large plan budget; an explicit
     // reuse_budget_bytes (or the one-shot wrapper) overrides it.  The
-    // resolution itself is shared with the fused one-shot driver.
-    detail::TileConfig cfg = detail::resolve_tile_config(
+    // resolution — and the ExecutionSchedule it cuts — is shared with the
+    // fused one-shot driver.
+    const detail::TileConfig cfg = detail::resolve_tile_config(
         core_.part, opts, nrows, model::kDefaultPlanBudgetBytes, sizeof(IT));
     core_.budget_entries = cfg.budget_entries;
     core_.capture_enabled = cfg.capture_enabled;
     core_.tile_rows = cfg.tile_rows;
-    core_.tile_bounds = std::move(cfg.tile_bounds);
-    core_.global_max_row_flop = cfg.global_max_row_flop;
+    detail::build_schedule(core_.schedule, core_.part, opts, cfg);
 
     timer.reset();
     emplace_kernel(b.ncols);
@@ -666,6 +477,7 @@ class SpGemmHandle {
     stats_.symbolic_probes = core_.symbolic_probes;
     stats_.probes = core_.symbolic_probes;
     stats_.tile_count = core_.tile_count;
+    stats_.tile_steals = core_.schedule.steals();
     stats_.reuse_rows_captured = core_.rows_captured;
     stats_.reuse_rows_total = nrows;
     stats_.plan_ms = plan_timer.millis();
@@ -687,6 +499,31 @@ class SpGemmHandle {
       return false;
     }
     plan(a, b, opts, stats);
+    return true;
+  }
+
+  /// ensure_planned for producers that maintain their inputs' structure
+  /// fingerprints incrementally (core/structure_hash.hpp): the match check
+  /// compares the caller's fingerprints against the plan's in O(1), with no
+  /// pass over rpts/cols at all — MCL's stabilized iterations hit this
+  /// path once inflate_and_prune hashes while it scans.  `fp_a`/`fp_b` MUST
+  /// equal structure_fingerprint(a)/structure_fingerprint(b); a wrong
+  /// fingerprint silently executes a stale plan, exactly like mutating
+  /// columns in place behind the O(1) identity check.
+  bool ensure_planned_hashed(const CsrMatrix<IT, VT>& a,
+                             const CsrMatrix<IT, VT>& b, std::uint64_t fp_a,
+                             std::uint64_t fp_b, SpGemmOptions opts = {},
+                             SpGemmStats* stats = nullptr) {
+    const std::uint64_t pair = pair_structure_hash(fp_a, fp_b);
+    if (opts == requested_opts_ && planned_ && a.nrows == core_.nrows &&
+        b.ncols == core_.ncols && a.ncols == b.nrows &&
+        pair == core_.fingerprint) {
+      core_.id_a = detail::StructureId<IT, VT>::of(a);
+      core_.id_b = detail::StructureId<IT, VT>::of(b);
+      if (stats != nullptr) *stats = stats_;
+      return false;
+    }
+    plan(a, b, opts, stats, &pair);
     return true;
   }
 
@@ -736,9 +573,15 @@ class SpGemmHandle {
     return f > 0.0 ? static_cast<double>(core_.symbolic_probes) / f : 1.0;
   }
 
-  /// Tile size the plan settled on.
+  /// Tile size (row cap) the plan settled on.
   [[nodiscard]] std::size_t planned_tile_rows() const {
     return core_.tile_rows;
+  }
+
+  /// The persisted tile schedule the plan's symbolic pass ran under and
+  /// whose frozen assignment every execute() replays.
+  [[nodiscard]] const parallel::ExecutionSchedule& schedule() const {
+    return core_.schedule;
   }
 
   /// Fraction of rows whose slot stream was captured (replayable).
@@ -761,7 +604,7 @@ class SpGemmHandle {
                                        const CsrMatrix<IT, VT>& b) const {
     return planned_ && a.nrows == core_.nrows && b.ncols == core_.ncols &&
            a.ncols == b.nrows &&
-           detail::pair_fingerprint(a, b) == core_.fingerprint;
+           pair_fingerprint(a, b) == core_.fingerprint;
   }
 
   /// On-demand full verification (for callers that mutate column arrays in
@@ -801,35 +644,9 @@ class SpGemmHandle {
   }
 
   void emplace_kernel(IT ncols_b) {
-    switch (core_.opts.algorithm) {
-      case Algorithm::kHash:
-        set_kernel(detail::HashPlanPolicy<IT, VT>{});
-        break;
-      case Algorithm::kHashVector:
-        set_kernel(detail::HashVecPlanPolicy<IT, VT>{core_.opts.probe});
-        break;
-      case Algorithm::kSpa:
-        set_kernel(detail::SpaPlanPolicy<IT, VT>{});
-        break;
-      case Algorithm::kKkHash:
-        set_kernel(detail::KkHashPlanPolicy<IT, VT>{});
-        break;
-      case Algorithm::kAdaptive: {
-        const AdaptiveThresholds thresholds{};
-        detail::AdaptivePlanPolicy<IT, VT> policy;
-        policy.dense_cut =
-            static_cast<Offset>(core_.ncols) / thresholds.dense_divisor;
-        policy.tiny_cut = std::min<Offset>(
-            thresholds.tiny_flop,
-            static_cast<Offset>(
-                detail::TinyRowAccumulator<IT, VT, PlusTimes>::kCapacity));
-        policy.ncols = ncols_b;
-        set_kernel(policy);
-        break;
-      }
-      default:
-        throw std::logic_error("SpGemmHandle: unhandled kernel");
-    }
+    detail::with_plan_policy<IT, VT>(
+        core_.opts.algorithm, core_.opts.probe, ncols_b,
+        [&](auto policy) { set_kernel(std::move(policy)); });
   }
 
   /// O(1) per-execute structure check; falls back to the full fingerprint

@@ -3,7 +3,7 @@
 // block (paper Fig. 7).
 #pragma once
 
-#include "accumulator/hash_table.hpp"
+#include "core/spgemm_policies.hpp"
 #include "core/spgemm_twophase.hpp"
 
 namespace spgemm {
@@ -15,12 +15,7 @@ CsrMatrix<IT, VT> spgemm_hash(const CsrMatrix<IT, VT>& a,
                               SpGemmStats* stats = nullptr,
                               SR semiring = {}) {
   return detail::spgemm_two_phase<IT, VT>(
-      a, b, opts, [] { return HashAccumulator<IT, VT>{}; },
-      [](HashAccumulator<IT, VT>& acc, Offset max_row_flop, IT ncols) {
-        acc.prepare(hash_table_size_for(max_row_flop,
-                                        static_cast<std::size_t>(ncols)));
-      },
-      stats, semiring);
+      a, b, opts, detail::HashPlanPolicy<IT, VT>{}, stats, semiring);
 }
 
 }  // namespace spgemm

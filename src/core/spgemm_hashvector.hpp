@@ -3,7 +3,7 @@
 // the probing data structure differs (paper Fig. 8).
 #pragma once
 
-#include "accumulator/hash_vec.hpp"
+#include "core/spgemm_policies.hpp"
 #include "core/spgemm_twophase.hpp"
 
 namespace spgemm {
@@ -14,14 +14,9 @@ CsrMatrix<IT, VT> spgemm_hashvector(const CsrMatrix<IT, VT>& a,
                                     const SpGemmOptions& opts = {},
                                     SpGemmStats* stats = nullptr,
                                     SR semiring = {}) {
-  const ProbeKind probe = opts.probe;
   return detail::spgemm_two_phase<IT, VT>(
-      a, b, opts, [probe] { return HashVecAccumulator<IT, VT>{probe}; },
-      [](HashVecAccumulator<IT, VT>& acc, Offset max_row_flop, IT ncols) {
-        acc.prepare(hash_table_size_for(max_row_flop,
-                                        static_cast<std::size_t>(ncols)));
-      },
-      stats, semiring);
+      a, b, opts, detail::HashVecPlanPolicy<IT, VT>{opts.probe}, stats,
+      semiring);
 }
 
 }  // namespace spgemm

@@ -3,7 +3,7 @@
 // output (paper Table 1 lists KokkosKernels as Any/Unsorted).
 #pragma once
 
-#include "accumulator/two_level_hash.hpp"
+#include "core/spgemm_policies.hpp"
 #include "core/spgemm_twophase.hpp"
 
 namespace spgemm {
@@ -15,14 +15,7 @@ CsrMatrix<IT, VT> spgemm_kkhash(const CsrMatrix<IT, VT>& a,
                                 SpGemmStats* stats = nullptr,
                                 SR semiring = {}) {
   return detail::spgemm_two_phase<IT, VT>(
-      a, b, opts, [] { return TwoLevelHashAccumulator<IT, VT>{}; },
-      [](TwoLevelHashAccumulator<IT, VT>& acc, Offset max_row_flop,
-         IT ncols) {
-        const auto bound = static_cast<std::size_t>(
-            std::min<Offset>(max_row_flop, static_cast<Offset>(ncols)));
-        acc.prepare(bound + 1);
-      },
-      stats, semiring);
+      a, b, opts, detail::KkHashPlanPolicy<IT, VT>{}, stats, semiring);
 }
 
 }  // namespace spgemm

@@ -8,6 +8,7 @@
 
 #include "accumulator/hash_vec.hpp"
 #include "common/types.hpp"
+#include "model/memory_model.hpp"
 #include "parallel/schedule.hpp"
 
 namespace spgemm {
@@ -63,6 +64,22 @@ enum class StructureReuse : std::uint8_t {
   kOff,
 };
 
+/// Where the ExecutionSchedule's tile and capture budgets come from.
+enum class BudgetSource : std::uint8_t {
+  /// The fixed cache-resident target (model::kTileCaptureTargetBytes) and
+  /// the per-path default reuse budgets — the pre-memory-model behaviour.
+  kFixed,
+  /// Derived from SpGemmOptions::fast_tier via
+  /// model::derive_schedule_budgets: tiles sized so the working set stays
+  /// resident in the modeled fast tier (MCDRAM / LLC) under its stanza
+  /// bandwidth curve.
+  kMemoryModel,
+};
+
+inline const char* budget_source_name(BudgetSource s) {
+  return s == BudgetSource::kFixed ? "fixed" : "memory-model";
+}
+
 struct SpGemmOptions {
   Algorithm algorithm = Algorithm::kAuto;
   SortOutput sort_output = SortOutput::kYes;
@@ -73,21 +90,35 @@ struct SpGemmOptions {
   /// SIMD probing override for HashVector (tests/ablation).
   ProbeKind probe = ProbeKind::kAuto;
 
-  // ---- Tiled two-phase driver (core/spgemm_twophase.hpp) -----------------
+  // ---- ExecutionSchedule (parallel/execution_schedule.hpp) ---------------
   /// Rows per tile processed symbolic-then-numeric back to back.
-  /// 0 = let the cost model pick a cache-resident tile size.
+  /// 0 = derive from the budget source.  An explicit value is honoured as a
+  /// pure row cut (exactly ceil(rows/tile_rows) tiles per thread range).
   std::size_t tile_rows = 0;
   /// How tiles are assigned to threads: static keeps the flop-balanced
   /// per-thread row ranges of Fig. 6; dynamic feeds flop-balanced tiles to
-  /// whichever thread is free (skewed matrices).
+  /// whichever thread is free; stealing runs the static schedule until a
+  /// thread drains its own queue, then steals from the back of the nearest
+  /// busy neighbour (locality of static, tail behaviour of dynamic).
   parallel::TileSchedule tile_schedule = parallel::TileSchedule::kStatic;
   /// Symbolic-structure capture toggle (see StructureReuse).
   StructureReuse reuse = StructureReuse::kAuto;
   /// Per-thread byte budget for the captured slot streams.  Rows whose
   /// capture would overflow the budget fall back to classic re-probing.
-  /// 0 = default (model::kDefaultReuseBudgetBytes for one-shot multiplies,
-  /// model::kDefaultPlanBudgetBytes for persistent SpGemmHandle plans).
+  /// 0 = "use the path's default budget" (model::kDefaultReuseBudgetBytes
+  /// for one-shot multiplies, model::kDefaultPlanBudgetBytes for persistent
+  /// SpGemmHandle plans, the memory-model share under kMemoryModel) — it
+  /// does NOT disable capture.  Only at the model layer does a literal zero
+  /// budget read as reuse-off (model::reuse_pays(c, 0) == false), which is
+  /// why the defaults are substituted before the model is consulted; to
+  /// turn capture off, set reuse = StructureReuse::kOff.
   std::size_t reuse_budget_bytes = 0;
+  /// Where tile and capture budgets come from (see BudgetSource).
+  BudgetSource budget_source = BudgetSource::kFixed;
+  /// The modeled fast tier budgets target under BudgetSource::kMemoryModel
+  /// (ignored under kFixed).  Defaults to the host LLC model; pass
+  /// model::knl_mcdram_cache() to size tiles for MCDRAM.
+  model::TierParams fast_tier = model::host_fast_tier();
 
   bool operator==(const SpGemmOptions&) const = default;
 };
@@ -100,8 +131,9 @@ struct SpGemmStats {
   double numeric_ms = 0.0;
   /// Inspector-executor amortization probes: wall time of the last plan()
   /// (symbolic + partition + capture + skeleton) and of the last execute()
-  /// (numeric-only), plus how many executes the plan has served.  For a
-  /// one-shot multiply executions == 1 and plan_ms + execute_ms ~ total_ms.
+  /// (numeric-only), plus how many executes the plan has served.  Zero for
+  /// one-shot multiplies, whose tile-fused driver interleaves the phases
+  /// and has no plan/execute split to report.
   double plan_ms = 0.0;
   double execute_ms = 0.0;
   std::uint64_t executions = 0;
@@ -118,6 +150,9 @@ struct SpGemmStats {
   std::uint64_t tile_count = 0;
   std::uint64_t reuse_rows_captured = 0;
   std::uint64_t reuse_rows_total = 0;
+  /// Tiles run by a thread other than their owner (stealing schedule only;
+  /// 0 under static/dynamic, which have no ownership to violate).
+  std::uint64_t tile_steals = 0;
 
   [[nodiscard]] double reuse_hit_rate() const {
     return reuse_rows_total > 0

@@ -6,7 +6,7 @@
 // sorting the touched-column list.
 #pragma once
 
-#include "accumulator/spa.hpp"
+#include "core/spgemm_policies.hpp"
 #include "core/spgemm_twophase.hpp"
 
 namespace spgemm {
@@ -17,11 +17,7 @@ CsrMatrix<IT, VT> spgemm_spa(const CsrMatrix<IT, VT>& a,
                              const SpGemmOptions& opts = {},
                              SpGemmStats* stats = nullptr, SR semiring = {}) {
   return detail::spgemm_two_phase<IT, VT>(
-      a, b, opts, [] { return SpaAccumulator<IT, VT>{}; },
-      [](SpaAccumulator<IT, VT>& acc, Offset /*max_row_flop*/, IT ncols) {
-        acc.prepare(static_cast<std::size_t>(ncols));
-      },
-      stats, semiring);
+      a, b, opts, detail::SpaPlanPolicy<IT, VT>{}, stats, semiring);
 }
 
 }  // namespace spgemm

@@ -43,17 +43,23 @@
 //
 // ---- Fused tile loop of the one-shot driver -------------------------------
 //
-// Rows are processed in contiguous row *tiles* (size from SpGemmOptions::
-// tile_rows or the cost model).  For each tile the owning thread runs the
-// symbolic and numeric passes back to back, while the A rows, B rows and the
-// accumulator state for those rows are still cache-hot.  Because global row
-// offsets are unknown until every row is counted, the numeric pass writes
-// into per-thread staging buffers; after a parallel exclusive scan over the
-// per-row counts, a bulk copy places each tile's rows at their final
-// offsets.  The staging and final arrays are mem::Buffer (default-init), so
-// sizing C costs no zeroing pass and each thread's placement copy is the
-// first touch of its pages — the multi-thread placement now writes nnz(C)
-// once instead of zero-fill + copy.
+// Rows are processed in contiguous row *tiles* under a parallel::
+// ExecutionSchedule (tile cuts from SpGemmOptions::tile_rows or the budget
+// source; assignment static, dynamic or work-stealing).  For each tile the
+// running thread executes the symbolic and numeric passes back to back,
+// while the A rows, B rows and the accumulator state for those rows are
+// still cache-hot.  Because global row offsets are unknown until every row
+// is counted, the numeric pass writes into per-thread staging buffers;
+// after a parallel exclusive scan over the per-row counts, a bulk copy
+// places each tile's rows at their final offsets.  The staging and final
+// arrays are mem::Buffer (default-init), so sizing C costs no zeroing pass
+// and each thread's placement copy is the first touch of its pages — the
+// multi-thread placement writes nnz(C) once instead of zero-fill + copy.
+//
+// The driver is a thin client of the schedule: it no longer owns tile cuts
+// or claim logic, and it takes the same per-kernel policy objects
+// (core/spgemm_policies.hpp) the persistent handle plans with, so one-shot
+// and plan/execute products are bit-identical by construction.
 #pragma once
 
 #include <omp.h>
@@ -71,10 +77,10 @@
 #include "matrix/csr.hpp"
 #include "mem/workspace.hpp"
 #include "model/cost_model.hpp"
+#include "parallel/execution_schedule.hpp"
 #include "parallel/omp_utils.hpp"
 #include "parallel/prefix_sum.hpp"
 #include "parallel/rows_to_threads.hpp"
-#include "parallel/tiles.hpp"
 
 namespace spgemm::detail {
 
@@ -198,23 +204,33 @@ inline void probe_row(Acc& acc, const CsrMatrix<IT, VT>& a,
 struct TileConfig {
   std::size_t budget_entries = 0;  ///< capture slots per thread
   bool capture_enabled = false;
-  std::size_t tile_rows = 0;
-  std::vector<std::size_t> tile_bounds;  ///< dynamic schedule only
-  Offset global_max_row_flop = 0;        ///< dynamic schedule only
+  std::size_t tile_rows = 0;     ///< row cap per tile
+  Offset tile_flop_target = 0;   ///< flop cut target; 0 = row cap only
 };
 
 /// `default_budget_bytes` distinguishes the one-shot (cache-resident) from
 /// the persistent-plan capture economics; an explicit
-/// opts.reuse_budget_bytes overrides either.
+/// opts.reuse_budget_bytes overrides either, and BudgetSource::kMemoryModel
+/// derives both the budget and the tile size from the modeled fast tier.
 inline TileConfig resolve_tile_config(const parallel::RowPartition& part,
                                       const SpGemmOptions& opts,
                                       std::size_t nrows,
                                       std::size_t default_budget_bytes,
                                       std::size_t bytes_per_slot) {
   TileConfig cfg;
-  const std::size_t budget_bytes = opts.reuse_budget_bytes > 0
-                                       ? opts.reuse_budget_bytes
-                                       : default_budget_bytes;
+  std::size_t budget_bytes = opts.reuse_budget_bytes;
+  std::size_t derived_tile_rows = 0;
+  if (opts.budget_source == BudgetSource::kMemoryModel) {
+    const model::ScheduleBudgets budgets = model::derive_schedule_budgets(
+        opts.fast_tier, part.threads(), part.total_flop(), nrows,
+        bytes_per_slot);
+    if (budget_bytes == 0) budget_bytes = budgets.capture_budget_bytes;
+    derived_tile_rows = budgets.tile_rows;
+  } else {
+    if (budget_bytes == 0) budget_bytes = default_budget_bytes;
+    derived_tile_rows = model::choose_tile_rows(part.total_flop(), nrows,
+                                                budget_bytes, bytes_per_slot);
+  }
   // kAuto decides before any symbolic pass has run, so it uses the model's
   // a-priori collision factor; plan-driven callers (SpGemmHandle::
   // reuse_pays) substitute the measured value instead.
@@ -223,30 +239,30 @@ inline TileConfig resolve_tile_config(const parallel::RowPartition& part,
       (opts.reuse == StructureReuse::kAuto &&
        model::reuse_pays(model::kDefaultCollisionFactor, budget_bytes));
   cfg.budget_entries = budget_bytes / bytes_per_slot;
-  cfg.tile_rows =
-      opts.tile_rows > 0
-          ? opts.tile_rows
-          : model::choose_tile_rows(part.total_flop(), nrows, budget_bytes,
-                                    bytes_per_slot);
-  // Dynamic tiles roam across the whole matrix: pre-cut flop-balanced tile
-  // bounds and report the global worst-case row so every accumulator can be
-  // sized for any tile.
-  if (opts.tile_schedule == parallel::TileSchedule::kDynamic) {
+  if (opts.tile_rows > 0) {
+    // An explicit tile_rows is a user contract: exact row cuts, no flop cut.
+    cfg.tile_rows = opts.tile_rows;
+  } else {
+    cfg.tile_rows = derived_tile_rows;
+    // Budget-derived tiles are additionally flop-balanced so one dense row
+    // cannot stall a tile's runner for long (the row cap still bounds the
+    // bookkeeping of tiles full of empty rows).
     const double avg_row_flop =
         nrows > 0 ? static_cast<double>(part.total_flop()) /
                         static_cast<double>(nrows)
                   : 0.0;
-    const auto target_flop = static_cast<Offset>(
-        std::max(1.0, avg_row_flop * static_cast<double>(cfg.tile_rows)));
-    cfg.tile_bounds = parallel::flop_balanced_tiles(part.flop_prefix.data(),
-                                                    nrows, target_flop);
-    for (std::size_t i = 0; i < nrows; ++i) {
-      cfg.global_max_row_flop =
-          std::max(cfg.global_max_row_flop,
-                   part.flop_prefix[i + 1] - part.flop_prefix[i]);
-    }
+    cfg.tile_flop_target = static_cast<Offset>(std::max(
+        1.0, avg_row_flop * static_cast<double>(cfg.tile_rows)));
   }
   return cfg;
+}
+
+/// Build the ExecutionSchedule for one resolved configuration.
+inline void build_schedule(parallel::ExecutionSchedule& schedule,
+                           const parallel::RowPartition& part,
+                           const SpGemmOptions& opts, const TileConfig& cfg) {
+  schedule.build(part, opts.tile_schedule, cfg.tile_rows,
+                 cfg.tile_flop_target);
 }
 
 // ---- Fused one-shot driver ------------------------------------------------
@@ -258,6 +274,7 @@ struct RowCapture {
   std::size_t cap_off = 0;    ///< slot-stream start in the capture buffer
   IT nnz = 0;
   bool captured = false;
+  bool sorted = false;  ///< columns emitted in ascending order
 };
 
 /// One processed tile, remembered for the final placement copy.
@@ -267,19 +284,16 @@ struct TileRecord {
   std::size_t stage_begin = 0;
 };
 
-/// PrepareFn: void(Acc&, Offset max_row_flop, IT ncols) — sizes the
-/// accumulator for a thread's row block before the tile loop.
-/// MakeAcc: Acc() — constructs a thread-local accumulator (lets kernels
-/// inject configuration such as the SIMD probe kind).
+/// Policy: one of the per-kernel accumulator policies of
+/// core/spgemm_policies.hpp (make / prepare / begin_row).
 /// SR: the semiring policy (core/semiring.hpp); PlusTimes is ordinary
 /// SpGEMM.  The symbolic phase is algebra-independent.
-template <IndexType IT, ValueType VT, typename MakeAcc, typename PrepareFn,
+template <IndexType IT, ValueType VT, typename Policy,
           typename SR = PlusTimes>
   requires SemiringFor<SR, VT>
 CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
                                    const CsrMatrix<IT, VT>& b,
-                                   const SpGemmOptions& opts,
-                                   MakeAcc make_acc, PrepareFn prepare,
+                                   const SpGemmOptions& opts, Policy policy,
                                    SpGemmStats* stats, SR /*semiring*/ = {}) {
   const int nthreads = parallel::resolve_threads(opts.threads);
   parallel::ScopedNumThreads scoped(opts.threads);
@@ -293,18 +307,15 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
           : parallel::rows_equal(nrows, a.rpts.data(), a.cols.data(),
                                  b.rpts.data(), nthreads);
 
-  // ---- Resolve the tiling/reuse configuration. ---------------------------
+  // ---- Resolve the tiling/reuse configuration and cut the schedule. ------
   const TileConfig cfg = resolve_tile_config(
       part, opts, nrows, model::kDefaultReuseBudgetBytes, sizeof(IT));
   const bool reuse_enabled = cfg.capture_enabled;
   const std::size_t budget_entries = cfg.budget_entries;
-  const std::size_t tile_rows = cfg.tile_rows;
-  const std::vector<std::size_t>& tile_bounds = cfg.tile_bounds;
-  const Offset global_max_row_flop = cfg.global_max_row_flop;
-  const bool dynamic_tiles =
-      opts.tile_schedule == parallel::TileSchedule::kDynamic;
-  parallel::TileClaimer claimer(
-      tile_bounds.empty() ? 0 : tile_bounds.size() - 1);
+  parallel::ExecutionSchedule schedule;
+  build_schedule(schedule, part, opts, cfg);
+  const bool static_tiles =
+      opts.tile_schedule == parallel::TileSchedule::kStatic;
 
   if (stats != nullptr) {
     stats->setup_ms = timer.millis();
@@ -335,15 +346,13 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
     const int tid = omp_get_thread_num();
     if (tid < part.threads()) {
       const auto utid = static_cast<std::size_t>(tid);
-      auto acc = make_acc();
-      prepare(acc,
-              dynamic_tiles ? global_max_row_flop : part.max_row_flop(tid),
-              b.ncols);
+      auto acc = policy.make();
+      policy.prepare(acc, schedule.sizing_max_row_flop(tid), b.ncols);
 
       auto& scols = staged_cols[utid];
       auto& svals = staged_vals[utid];
       auto& recs = records[utid];
-      if (!dynamic_tiles) {
+      if (static_tiles) {
         // Reserve at an optimistic compression ratio to limit regrowth.
         const std::size_t thread_flop = static_cast<std::size_t>(
             part.flop_prefix[part.offsets[utid + 1]] -
@@ -353,13 +362,9 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
       }
 
       // A tile never records more than 2 * its flop in slots, so small
-      // products need far less scratch than the full budget.  Static tiles
-      // are bounded by the thread's flop share; dynamic tiles can claim any
-      // tile, so only the total flop bounds them.
-      const auto capture_flop_bound = static_cast<std::size_t>(
-          dynamic_tiles ? part.total_flop()
-                        : part.flop_prefix[part.offsets[utid + 1]] -
-                              part.flop_prefix[part.offsets[utid]]);
+      // products need far less scratch than the full budget.
+      const auto capture_flop_bound =
+          static_cast<std::size_t>(schedule.capture_flop_bound(tid));
       const std::size_t capture_entries =
           std::min(budget_entries, 2 * capture_flop_bound + 16);
       mem::ThreadScratch<IT> capture_scratch;
@@ -387,6 +392,9 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
           RowCapture<IT>& row = meta[i - r0];
           const Offset row_flop =
               part.flop_prefix[i + 1] - part.flop_prefix[i];
+          const bool force_sorted = policy.begin_row(acc, row_flop);
+          row.sorted =
+              opts.sort_output == SortOutput::kYes || force_sorted;
           row.captured =
               reuse_enabled &&
               cap_used + 2 * static_cast<std::size_t>(row_flop) <=
@@ -400,9 +408,7 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
             // Gather slots (and final column order) are fixed now, while
             // the accumulator still holds the row.
             scols.resize(stage_off + nnz);
-            record_gather<IT, VT>(acc, nnz,
-                                  opts.sort_output == SortOutput::kYes,
-                                  cap + cap_used + ns,
+            record_gather<IT, VT>(acc, nnz, row.sorted, cap + cap_used + ns,
                                   scols.data() + stage_off, sort_buf);
             cap_used += ns + nnz;
             ++rows_captured;
@@ -427,6 +433,9 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
         svals.resize(scols.size());
         for (std::size_t i = r0; i < r1; ++i) {
           const RowCapture<IT>& row = meta[i - r0];
+          const Offset row_flop =
+              part.flop_prefix[i + 1] - part.flop_prefix[i];
+          policy.begin_row(acc, row_flop);
           if (row.captured) {
             const IT* slot_stream = cap + row.cap_off;
             const std::size_t ns =
@@ -439,7 +448,7 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
             probe_row<SR>(acc, a, b, i);
             IT* out_cols = scols.data() + row.stage_off;
             VT* out_vals = svals.data() + row.stage_off;
-            if (opts.sort_output == SortOutput::kYes) {
+            if (row.sorted) {
               acc.extract_sorted(out_cols, out_vals);
             } else {
               acc.extract_unsorted(out_cols, out_vals);
@@ -458,18 +467,11 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
         ++tiles_done;
       };
 
-      if (dynamic_tiles) {
-        for (std::size_t t = claimer.claim(); t < claimer.count();
-             t = claimer.claim()) {
-          process_tile(tile_bounds[t], tile_bounds[t + 1]);
-        }
-      } else {
-        const std::size_t row_begin = part.offsets[utid];
-        const std::size_t row_end = part.offsets[utid + 1];
-        for (std::size_t r0 = row_begin; r0 < row_end; r0 += tile_rows) {
-          process_tile(r0, std::min(row_end, r0 + tile_rows));
-        }
-      }
+      schedule.for_each_tile(
+          tid, [&](std::size_t /*index*/, const parallel::TileRange& tile,
+                   bool /*stolen*/) {
+            process_tile(tile.row_begin, tile.row_end);
+          });
 
       total_sym_probes.fetch_add(sym_probes, std::memory_order_relaxed);
       total_num_probes.fetch_add(num_probes, std::memory_order_relaxed);
@@ -534,6 +536,7 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
     stats->numeric_probes = total_num_probes.load(std::memory_order_relaxed);
     stats->probes = stats->symbolic_probes + stats->numeric_probes;
     stats->tile_count = total_tiles.load(std::memory_order_relaxed);
+    stats->tile_steals = schedule.steals();
     stats->reuse_rows_captured =
         total_rows_captured.load(std::memory_order_relaxed);
     stats->reuse_rows_total = nrows;

@@ -1,0 +1,66 @@
+// Structure fingerprints for CSR matrices (values excluded).
+//
+// SpGemmHandle validates that execute() inputs still have the structure the
+// plan was built from by comparing 64-bit FNV-1a fingerprints of the rpts
+// and cols arrays.  The fingerprint runs TWO independent FNV chains — one
+// over rpts, one over cols — combined at the end, so a producer that builds
+// a CSR row by row (rpts and cols interleaved) can maintain both chains
+// while it scans and hand the handle a finished fingerprint for free:
+// MCL's inflate_and_prune does exactly this, turning the O(nnz)
+// re-fingerprint of every stabilized iteration into O(1)
+// (SpGemmHandle::ensure_planned_hashed).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "matrix/csr.hpp"
+
+namespace spgemm {
+
+/// Incremental FNV-1a chain over 64-bit words.
+class FnvHasher {
+ public:
+  void mix(std::uint64_t word) {
+    hash_ ^= word;
+    hash_ *= 1099511628211ULL;
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ULL;
+};
+
+/// Combine the rpts and cols chains into one structure fingerprint.
+inline std::uint64_t combine_structure_hash(std::uint64_t rpts_hash,
+                                            std::uint64_t cols_hash) {
+  return rpts_hash ^ (cols_hash * 0x9e3779b97f4a7c15ULL);
+}
+
+/// Fingerprint of one matrix's structure.  Incremental producers must mix
+/// every rpts entry (including rpts[0]) into one chain and every column
+/// index into the other, in array order, to reproduce this value.
+template <IndexType IT, ValueType VT>
+std::uint64_t structure_fingerprint(const CsrMatrix<IT, VT>& m) {
+  FnvHasher rpts_chain;
+  FnvHasher cols_chain;
+  for (const Offset r : m.rpts) rpts_chain.mix(static_cast<std::uint64_t>(r));
+  for (const IT c : m.cols) cols_chain.mix(static_cast<std::uint64_t>(c));
+  return combine_structure_hash(rpts_chain.value(), cols_chain.value());
+}
+
+/// Order-sensitive combination of the (A, B) fingerprints of one product.
+inline std::uint64_t pair_structure_hash(std::uint64_t fp_a,
+                                         std::uint64_t fp_b) {
+  return fp_a ^ (fp_b * 0x9e3779b97f4a7c15ULL);
+}
+
+template <IndexType IT, ValueType VT>
+std::uint64_t pair_fingerprint(const CsrMatrix<IT, VT>& a,
+                               const CsrMatrix<IT, VT>& b) {
+  return pair_structure_hash(structure_fingerprint(a),
+                             structure_fingerprint(b));
+}
+
+}  // namespace spgemm

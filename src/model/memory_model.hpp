@@ -28,12 +28,20 @@ struct TierParams {
   double thread_bw_gbps = 8.0;   ///< single-thread streaming bandwidth
   double peak_bw_gbps = 90.0;    ///< socket-level saturation bandwidth
   double capacity_gb = 1e9;      ///< tier capacity (cache-mode cliff)
+
+  bool operator==(const TierParams&) const = default;
 };
 
 /// KNL DDR4 (6 channels, ~90 GB/s STREAM).
 TierParams knl_ddr();
 /// KNL MCDRAM in cache mode: 3.4x DDR peak, higher latency, 16 GB.
 TierParams knl_mcdram_cache();
+/// The fast tier of a generic multicore host: a shared last-level cache
+/// (~32 MB, low latency, high bandwidth).  This is the default fast tier
+/// the ExecutionSchedule budgets target when SpGemmOptions::budget_source
+/// is kMemoryModel and no explicit tier is given — on KNL one would pass
+/// knl_mcdram_cache() instead.
+TierParams host_fast_tier();
 
 /// Aggregate bandwidth for stanza transfers of `stanza_bytes`.
 double stanza_bandwidth_gbps(const TierParams& tier, double stanza_bytes,

@@ -23,14 +23,24 @@ enum class SchedulePolicy {
   kBalancedParallel,  ///< RowsToThreads partition, "parallel" temp allocation
 };
 
-/// How the tiled two-phase driver hands row tiles to threads.
+/// How an ExecutionSchedule (parallel/execution_schedule.hpp) hands row
+/// tiles to threads.
 enum class TileSchedule {
-  kStatic,   ///< tiles stay inside each thread's flop-balanced row range
-  kDynamic,  ///< flop-balanced global tile pool, claimed atomically
+  kStatic,    ///< tiles stay inside each thread's flop-balanced row range
+  kDynamic,   ///< one global tile pool, claimed atomically in row order
+  kStealing,  ///< per-thread deques; idle threads steal from neighbours
 };
 
 inline const char* tile_schedule_name(TileSchedule s) {
-  return s == TileSchedule::kStatic ? "static-tiles" : "dynamic-tiles";
+  switch (s) {
+    case TileSchedule::kStatic:
+      return "static-tiles";
+    case TileSchedule::kDynamic:
+      return "dynamic-tiles";
+    case TileSchedule::kStealing:
+      return "stealing-tiles";
+  }
+  return "?";
 }
 
 inline const char* schedule_policy_name(SchedulePolicy p) {

@@ -1,17 +1,16 @@
-// Row-tile construction for the tiled two-phase SpGEMM driver.
+// Row-tile cutting for the ExecutionSchedule
+// (parallel/execution_schedule.hpp).
 //
 // A tile is a contiguous row range processed symbolic-then-numeric back to
-// back by one thread.  Two shapes exist:
-//   * static tiles: each thread chops its own flop-balanced row range
-//     (Fig. 6 partition) into tiles of a fixed row count — no coordination,
-//     best cache behaviour on uniform matrices;
-//   * dynamic tiles: the whole row space is pre-cut into tiles of roughly
-//     equal FLOP (so one dense row cannot stall a tile's owner for long)
-//     and threads claim tiles off a shared atomic counter — better tail
-//     behaviour on skewed matrices.
+// back by one thread.  Tiles are cut from the exclusive flop prefix of the
+// row partition so that each holds roughly `target_flop` scalar
+// multiplications (a dense row cannot stall its owner for long) and never
+// more than `row_cap` rows (a run of empty rows cannot balloon one tile's
+// bookkeeping).  How the cut tiles are *assigned* to threads — statically,
+// through a global claim counter, or through work-stealing deques — is the
+// ExecutionSchedule's job, not this header's.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -20,44 +19,36 @@
 
 namespace spgemm::parallel {
 
-/// Cut [0, nrows) into tiles of ~`target_flop` scalar multiplications each,
-/// using the exclusive flop prefix of the partition (size nrows+1).  Every
-/// tile holds at least one row, so a row whose flop exceeds the target gets
-/// a tile of its own.  Returns tile boundaries: bounds[k]..bounds[k+1] is
-/// tile k; bounds.front() == 0, bounds.back() == nrows.
-inline std::vector<std::size_t> flop_balanced_tiles(
-    const Offset* flop_prefix, std::size_t nrows, Offset target_flop) {
-  std::vector<std::size_t> bounds;
-  bounds.push_back(0);
-  if (nrows == 0) return bounds;
-  if (target_flop < 1) target_flop = 1;
-  std::size_t row = 0;
-  while (row < nrows) {
-    const Offset target = flop_prefix[row] + target_flop;
-    std::size_t next = lowbnd(flop_prefix, nrows + 1, target);
+/// One schedulable unit of work: a contiguous row range.
+struct TileRange {
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;
+
+  [[nodiscard]] std::size_t rows() const { return row_end - row_begin; }
+  bool operator==(const TileRange&) const = default;
+};
+
+/// Append tiles covering [row_begin, row_end) to `out`.  Each tile targets
+/// ~`target_flop` scalar multiplications (0 = no flop bound) and holds at
+/// most `row_cap` rows (0 = no row bound) but always at least one row, so a
+/// row whose flop exceeds the target gets a tile of its own.  `flop_prefix`
+/// is the exclusive flop prefix of the whole matrix (size nrows+1).
+inline void cut_tiles(const Offset* flop_prefix, std::size_t row_begin,
+                      std::size_t row_end, Offset target_flop,
+                      std::size_t row_cap, std::vector<TileRange>& out) {
+  std::size_t row = row_begin;
+  while (row < row_end) {
+    std::size_t next = row_end;
+    if (target_flop > 0) {
+      const Offset target = flop_prefix[row] + target_flop;
+      next = lowbnd(flop_prefix, row_end + 1, target);
+    }
+    if (row_cap > 0 && next > row + row_cap) next = row + row_cap;
     if (next <= row) next = row + 1;  // always advance: >= 1 row per tile
-    if (next > nrows) next = nrows;
-    bounds.push_back(next);
+    if (next > row_end) next = row_end;
+    out.push_back({row, next});
     row = next;
   }
-  return bounds;
 }
-
-/// Shared work queue over a pre-built tile list: threads claim tiles in
-/// order with a single fetch_add.  Cheap enough to sit in the row loop —
-/// one atomic per tile, not per row.
-class TileClaimer {
- public:
-  explicit TileClaimer(std::size_t tile_count) : count_(tile_count) {}
-
-  /// Claim the next unprocessed tile index, or tile_count when drained.
-  std::size_t claim() { return next_.fetch_add(1, std::memory_order_relaxed); }
-
-  [[nodiscard]] std::size_t count() const { return count_; }
-
- private:
-  std::atomic<std::size_t> next_{0};
-  std::size_t count_;
-};
 
 }  // namespace spgemm::parallel

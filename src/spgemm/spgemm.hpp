@@ -7,18 +7,24 @@
 //
 //   1. One-shot: multiply(a, b, opts) / multiply_over<SR>(a, b, opts).
 //      Pick a kernel (or let the Table 4 recipe decide) and get C = A*B.
-//      Internally this is a plan + single execute on tier 2's handle for
-//      every two-phase kernel, so one-shot and planned products are
-//      bit-identical.
+//      Two-phase kernels run the TILE-FUSED driver: symbolic and numeric
+//      back to back per tile of an ExecutionSchedule
+//      (parallel/execution_schedule.hpp), A/B rows cache-hot between the
+//      phases.  The driver shares its row-level primitives, kernel
+//      policies and schedule with tier 2's handle, so one-shot and
+//      planned products are bit-identical.
 //
 //   2. Inspector-executor: SpGemmHandle<IT, VT> (core/spgemm_handle.hpp).
-//      plan(a, b) pays the symbolic phase, flop-balanced partition, tile
-//      plan and slot-stream capture ONCE; execute(a, b) then serves every
-//      later multiply of the same structures with changing values as a
-//      numeric-only replay — no symbolic probes, no allocation, values
-//      written straight to their final offsets.  This is the MKL
-//      inspector-executor / KokkosKernels-handle model the paper
-//      benchmarks, applied to all two-phase kernels and any semiring.
+//      plan(a, b) pays the symbolic phase, flop-balanced partition,
+//      ExecutionSchedule and slot-stream capture ONCE; execute(a, b) then
+//      serves every later multiply of the same structures with changing
+//      values as a numeric-only replay — no symbolic probes, no
+//      allocation, values written straight to their final offsets.  This
+//      is the MKL inspector-executor / KokkosKernels-handle model the
+//      paper benchmarks, applied to all two-phase kernels and any
+//      semiring.  Producers that maintain structure fingerprints
+//      incrementally (core/structure_hash.hpp) validate stabilized
+//      iterations in O(1) via ensure_planned_hashed.
 //
 //   3. Applications (apps/): AMG Galerkin products with handle-based
 //      re-assembly (GalerkinReassembler), Markov clustering with

@@ -31,6 +31,7 @@
 #include "core/spgemm_hashvector.hpp"
 #include "core/spgemm_kkhash.hpp"
 #include "core/spgemm_spa.hpp"
+#include "core/structure_hash.hpp"
 #include "matrix/ops.hpp"
 #include "matrix/rmat.hpp"
 
@@ -435,6 +436,55 @@ TEST(Handle, MarkovClusterReusesPlansNearFixedPoint) {
     EXPECT_EQ(result.cluster_of[static_cast<std::size_t>(v + 4)],
               result.cluster_of[4]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental structure fingerprints (core/structure_hash.hpp).
+// ---------------------------------------------------------------------------
+
+TEST(Handle, InflateAndPruneHashMatchesFullFingerprint) {
+  // The hash maintained during inflate_and_prune's scan must equal the
+  // from-scratch fingerprint of its output — the invariant that lets
+  // ensure_planned_hashed trust producer-maintained hashes.
+  Matrix m = unit_valued_rmat(7, 8, 51);
+  for (std::size_t i = 0; i < m.vals.size(); ++i) {
+    m.vals[i] = 0.05 + 0.9 * static_cast<double>(i % 13) / 13.0;
+  }
+  std::uint64_t incremental = 0;
+  const Matrix pruned =
+      apps::detail::inflate_and_prune(m, 2.0, 0.05, &incremental);
+  EXPECT_LT(pruned.nnz(), m.nnz()) << "pruning must actually drop entries";
+  EXPECT_EQ(incremental, structure_fingerprint(pruned));
+}
+
+TEST(Handle, EnsurePlannedHashedSkipsAndCatchesDrift) {
+  const Matrix a = unit_valued_rmat(6, 8, 57);
+  const std::uint64_t fp = structure_fingerprint(a);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHash;
+
+  SpGemmHandle<I, double> handle;
+  EXPECT_TRUE(handle.ensure_planned_hashed(a, a, fp, fp, opts));
+  SpGemmStats stats;
+  EXPECT_FALSE(handle.ensure_planned_hashed(a, a, fp, fp, opts, &stats));
+  expect_bitwise_equal(handle.execute(a, a), multiply(a, a, opts),
+                       "hashed fast path");
+
+  // Same-structure copy at a new address: the hashes still match, so no
+  // replan — and the transferred identity fast path serves the new object.
+  const Matrix copy = a;
+  EXPECT_FALSE(handle.ensure_planned_hashed(copy, copy, fp, fp, opts));
+  expect_bitwise_equal(handle.execute(copy, copy), multiply(a, a, opts),
+                       "hashed fast path, new object");
+
+  // A drifted structure arrives with its (different) fingerprint: replan.
+  const Matrix other = unit_valued_rmat(6, 4, 58);
+  const std::uint64_t fp_other = structure_fingerprint(other);
+  EXPECT_NE(fp, fp_other);
+  EXPECT_TRUE(
+      handle.ensure_planned_hashed(other, other, fp_other, fp_other, opts));
+  expect_bitwise_equal(handle.execute(other, other),
+                       multiply(other, other, opts), "hashed replan");
 }
 
 // ---------------------------------------------------------------------------
