@@ -42,7 +42,24 @@ struct BenchRecord {
   long long executions = 0;
   /// Tiles run off their owner thread (stealing schedule; bench_abl_schedule).
   long long tile_steals = 0;
+  /// Serving-throughput metrics (bench_engine_throughput and future serving
+  /// benches): completed products per second over the measured window and
+  /// per-product latency percentiles.  Zero for per-multiply rows.
+  double products_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
 };
+
+/// Percentile of a latency sample by nearest-rank (q in [0, 1]); the shared
+/// convention of every serving bench so p50/p99 stay comparable across
+/// benches.  Sorts a copy; fine at bench cardinalities.
+inline double latency_percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
 
 /// Collects BenchRecords and writes `BENCH_<name>.json` (a JSON array) in
 /// the working directory when flushed or destroyed — the start of the
@@ -101,12 +118,15 @@ class JsonReporter {
           "\"total_ms\": %.4f, \"symbolic_ms\": %.4f, \"numeric_ms\": %.4f, "
           "\"mflops\": %.2f, \"reuse_hit_rate\": %.4f, \"flop\": %lld, "
           "\"nnz_out\": %lld, \"plan_ms\": %.4f, \"execute_ms\": %.4f, "
-          "\"executions\": %lld, \"tile_steals\": %lld}%s\n",
+          "\"executions\": %lld, \"tile_steals\": %lld, "
+          "\"products_per_sec\": %.2f, \"p50_ms\": %.4f, "
+          "\"p99_ms\": %.4f}%s\n",
           json_escape(r.kernel).c_str(), json_escape(r.matrix).c_str(),
           r.threads, r.total_ms, r.symbolic_ms, r.numeric_ms, r.mflops,
           r.reuse_hit_rate, static_cast<long long>(r.flop),
           static_cast<long long>(r.nnz_out), r.plan_ms, r.execute_ms,
-          r.executions, r.tile_steals,
+          r.executions, r.tile_steals, r.products_per_sec, r.p50_ms,
+          r.p99_ms,
           i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");

@@ -7,11 +7,14 @@
 // two-level hierarchy from scratch.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <utility>
 
 #include "core/multiply.hpp"
 #include "core/spgemm_handle.hpp"
+#include "core/structure_hash.hpp"
+#include "engine/spgemm_engine.hpp"
 #include "matrix/ops.hpp"
 
 namespace spgemm::apps {
@@ -103,6 +106,23 @@ GalerkinResult<IT, VT> galerkin_product(const CsrMatrix<IT, VT>& a,
 /// The intermediate AP lives in the A*P handle's pooled output; because its
 /// buffers never move after the first execute, the R*(AP) handle's O(1)
 /// structure check stays on the pointer-identity fast path every step.
+///
+/// Engine mode: construct with an engine::SpGemmEngine instead and both
+/// SpGEMMs are served through the engine's shared PlanCache — many
+/// reassemblers (one per AMG level) then share ONE cache, so a hierarchy's
+/// worth of plans competes under one byte budget instead of pinning two
+/// private handles per level:
+///
+///   engine::SpGemmEngine<int, double> eng;
+///   std::vector<apps::GalerkinReassembler<int, double>> levels;
+///   levels.emplace_back(eng, a0, p0);   // level operators share eng's
+///   levels.emplace_back(eng, a1, p1);   // plan cache and worker pool
+///
+/// Differences from handle mode: structure drift in `a` replans (a cache
+/// miss) instead of throwing, and the returned matrix is an owned copy.
+/// R, P and the intermediate AP keep their fingerprints cached, so a
+/// steady-state step pays one O(nnz(A)) fingerprint and two numeric-only
+/// replays.
 template <IndexType IT, ValueType VT>
 class GalerkinReassembler {
  public:
@@ -120,12 +140,45 @@ class GalerkinReassembler {
     rap_handle_.plan(r_, ap, opts);
   }
 
+  GalerkinReassembler(engine::SpGemmEngine<IT, VT>& engine,
+                      const CsrMatrix<IT, VT>& a, CsrMatrix<IT, VT> p)
+      : p_(std::move(p)), r_(transpose(p_)), engine_(&engine),
+        fp_p_(structure_fingerprint(p_)), fp_r_(structure_fingerprint(r_)) {
+    // Warm the shared cache with both plans (and learn AP's fingerprint)
+    // so the first real time step is already a pair of replays.
+    reassemble(a);
+  }
+
   /// Recompute A_c = R * (A * P) for new values of A (same structure as the
-  /// A the reassembler was built from; drift throws std::invalid_argument).
-  /// The returned reference stays valid until the next reassemble() call.
+  /// A the reassembler was built from; drift throws std::invalid_argument
+  /// in handle mode, replans in engine mode).  The returned reference stays
+  /// valid until the next reassemble() call.
   const CsrMatrix<IT, VT>& reassemble(const CsrMatrix<IT, VT>& a,
                                       SpGemmStats* ap_stats = nullptr,
                                       SpGemmStats* rap_stats = nullptr) {
+    if (engine_ != nullptr) {
+      // A's values change per step but its structure is expected stable;
+      // re-fingerprinting (O(nnz), far below symbolic cost) means a caller
+      // that DOES drift gets a correct replan, never a stale plan.
+      const std::uint64_t fp_a = structure_fingerprint(a);
+      ap_product_ = engine_->multiply_hashed(a, p_, fp_a, fp_p_);
+      if (ap_stats != nullptr) *ap_stats = ap_product_.stats;
+      // AP's structure is a function of A's and P's structures, so its
+      // cached fingerprint is valid exactly while A's fingerprint is the
+      // one it was derived from.  Keying on fp_a (not on cache_hit) also
+      // covers RETURN drift — A going S0 -> S1 -> S0 makes the A*P lookup
+      // hit again while fp_ap_ still describes S1's intermediate.
+      if (!fp_ap_known_ || fp_a != fp_a_of_ap_) {
+        fp_ap_ = structure_fingerprint(ap_product_.c);
+        fp_a_of_ap_ = fp_a;
+        fp_ap_known_ = true;
+      }
+      coarse_product_ =
+          engine_->multiply_hashed(r_, ap_product_.c, fp_r_, fp_ap_);
+      if (rap_stats != nullptr) *rap_stats = coarse_product_.stats;
+      ++engine_reassemblies_;
+      return coarse_product_.c;
+    }
     const CsrMatrix<IT, VT>& ap =
         ap_handle_.execute(a, p_, PlusTimes{}, ap_stats);
     return rap_handle_.execute(r_, ap, PlusTimes{}, rap_stats);
@@ -135,7 +188,14 @@ class GalerkinReassembler {
   [[nodiscard]] const CsrMatrix<IT, VT>& restriction() const { return r_; }
   /// Coarse-operator products served so far (excludes the plan-time one).
   [[nodiscard]] std::uint64_t reassemblies() const {
-    return rap_handle_.executions();
+    return engine_ != nullptr
+               ? (engine_reassemblies_ > 0 ? engine_reassemblies_ - 1 : 0)
+               : rap_handle_.executions();
+  }
+  /// Whether the last reassemble()'s products both replayed cached plans.
+  [[nodiscard]] bool last_step_cached() const {
+    return engine_ != nullptr && ap_product_.cache_hit &&
+           coarse_product_.cache_hit;
   }
 
  private:
@@ -143,6 +203,17 @@ class GalerkinReassembler {
   CsrMatrix<IT, VT> r_;
   SpGemmHandle<IT, VT> ap_handle_;
   SpGemmHandle<IT, VT> rap_handle_;
+
+  // Engine mode only.
+  engine::SpGemmEngine<IT, VT>* engine_ = nullptr;
+  typename engine::SpGemmEngine<IT, VT>::Product ap_product_;
+  typename engine::SpGemmEngine<IT, VT>::Product coarse_product_;
+  std::uint64_t fp_p_ = 0;
+  std::uint64_t fp_r_ = 0;
+  std::uint64_t fp_ap_ = 0;
+  std::uint64_t fp_a_of_ap_ = 0;  ///< the A fingerprint fp_ap_ derives from
+  bool fp_ap_known_ = false;
+  std::uint64_t engine_reassemblies_ = 0;
 };
 
 }  // namespace spgemm::apps

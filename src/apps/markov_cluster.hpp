@@ -13,6 +13,7 @@
 #include "core/multiply.hpp"
 #include "core/spgemm_handle.hpp"
 #include "core/structure_hash.hpp"
+#include "engine/spgemm_engine.hpp"
 #include "matrix/ops.hpp"
 
 namespace spgemm::apps {
@@ -129,23 +130,10 @@ double max_entry_change(const CsrMatrix<IT, VT>& a,
   return worst;
 }
 
-}  // namespace detail
-
-/// Run MCL on the (undirected) graph adjacency matrix.  Self-loops are
-/// added (standard MCL practice) before normalization.
+/// M = normalize(A + I): self-loops added (standard MCL practice), columns
+/// made stochastic.
 template <IndexType IT, ValueType VT>
-MclResult<IT> markov_cluster(const CsrMatrix<IT, VT>& graph,
-                             const MclParams& params = {},
-                             SpGemmOptions opts = {}) {
-  // Expansion runs through the inspector-executor handle, so it needs a
-  // two-phase kernel; kAuto resolves through plan()'s recipe, one-phase
-  // requests map to Hash.
-  if (opts.algorithm != Algorithm::kAuto &&
-      !is_two_phase(opts.algorithm)) {
-    opts.algorithm = Algorithm::kHash;
-  }
-
-  // M = normalize(A + I)
+CsrMatrix<IT, VT> mcl_initial_matrix(const CsrMatrix<IT, VT>& graph) {
   CooMatrix<IT, VT> assembly;
   assembly.nrows = graph.nrows;
   assembly.ncols = graph.ncols;
@@ -157,32 +145,38 @@ MclResult<IT> markov_cluster(const CsrMatrix<IT, VT>& graph,
     }
   }
   CsrMatrix<IT, VT> m = csr_from_coo(std::move(assembly));
-  detail::normalize_columns(m);
+  normalize_columns(m);
+  return m;
+}
 
+/// The expand-inflate-prune fixed-point loop plus cluster interpretation,
+/// shared by the handle-based and engine-based fronts.  `expand` computes
+/// one M^2: (m, fingerprint(m), out bool reused) -> expanded matrix
+/// reference valid until the next expand call.  M's structure fingerprint
+/// rides along incrementally: paid once up front, then maintained by
+/// inflate_and_prune while it scans, so stabilized iterations validate
+/// their plan (or hit the plan cache) in O(1) instead of re-hashing
+/// O(nnz) every expansion.
+template <IndexType IT, ValueType VT, typename Expand>
+MclResult<IT> run_mcl(CsrMatrix<IT, VT> m, const MclParams& params,
+                      Expand&& expand) {
   MclResult<IT> out;
-  // One persistent handle serves every expansion.  Pruning changes M's
-  // structure in early iterations (replan), but near the fixed point the
-  // pattern freezes and each M^2 is a numeric-only replay of the last plan.
-  // M's structure fingerprint rides along incrementally: paid once up
-  // front, then maintained by inflate_and_prune while it scans, so the
-  // stabilized iterations validate their plan in O(1) instead of
-  // re-fingerprinting O(nnz) every expansion.
-  SpGemmHandle<IT, VT> expansion;
   std::uint64_t m_hash = structure_fingerprint(m);
   for (int iter = 0; iter < params.max_iterations; ++iter) {
-    if (expansion.ensure_planned_hashed(m, m, m_hash, m_hash, opts)) {
-      ++out.plan_builds;
-    } else {
+    bool reused = false;
+    const CsrMatrix<IT, VT>& expanded = expand(m, m_hash, reused);
+    if (reused) {
       ++out.plan_reuses;
+    } else {
+      ++out.plan_builds;
     }
-    const CsrMatrix<IT, VT>& expanded = expansion.execute(m, m);
     std::uint64_t next_hash = 0;
-    CsrMatrix<IT, VT> next = detail::inflate_and_prune(
+    CsrMatrix<IT, VT> next = inflate_and_prune(
         expanded, params.inflation, params.prune_below, &next_hash);
-    detail::normalize_columns(next);
+    normalize_columns(next);
     ++out.iterations;
     const bool converged =
-        detail::max_entry_change(m, next) < params.convergence_eps;
+        max_entry_change(m, next) < params.convergence_eps;
     m = std::move(next);
     m_hash = next_hash;
     if (converged) {
@@ -224,6 +218,56 @@ MclResult<IT> markov_cluster(const CsrMatrix<IT, VT>& graph,
   }
   out.clusters = next_label;
   return out;
+}
+
+}  // namespace detail
+
+/// Run MCL on the (undirected) graph adjacency matrix.  Expansion runs
+/// through one persistent inspector-executor handle: pruning changes M's
+/// structure in early iterations (replan), but near the fixed point the
+/// pattern freezes and each M^2 is a numeric-only replay of the last plan.
+template <IndexType IT, ValueType VT>
+MclResult<IT> markov_cluster(const CsrMatrix<IT, VT>& graph,
+                             const MclParams& params = {},
+                             SpGemmOptions opts = {}) {
+  // Expansion runs through the inspector-executor handle, so it needs a
+  // two-phase kernel; kAuto resolves through plan()'s recipe, one-phase
+  // requests map to Hash.
+  if (opts.algorithm != Algorithm::kAuto &&
+      !is_two_phase(opts.algorithm)) {
+    opts.algorithm = Algorithm::kHash;
+  }
+  SpGemmHandle<IT, VT> expansion;
+  return detail::run_mcl<IT, VT>(
+      detail::mcl_initial_matrix(graph), params,
+      [&](const CsrMatrix<IT, VT>& m, std::uint64_t m_hash,
+          bool& reused) -> const CsrMatrix<IT, VT>& {
+        reused = !expansion.ensure_planned_hashed(m, m, m_hash, m_hash,
+                                                  opts);
+        return expansion.execute(m, m);
+      });
+}
+
+/// MCL with its expansion rounds streamed through a shared serving engine
+/// (engine/spgemm_engine.hpp): each M^2 is submitted as a request whose
+/// fingerprints ride along from inflate_and_prune, so stabilized
+/// iterations hit the engine's PlanCache — and because the cache is the
+/// ENGINE's, many concurrent clusterings (or any other tenants) share one
+/// plan store and one worker pool.  plan_builds/plan_reuses report cache
+/// misses/hits as seen by this stream.
+template <IndexType IT, ValueType VT>
+MclResult<IT> markov_cluster(const CsrMatrix<IT, VT>& graph,
+                             engine::SpGemmEngine<IT, VT>& eng,
+                             const MclParams& params = {}) {
+  typename engine::SpGemmEngine<IT, VT>::Product product;
+  return detail::run_mcl<IT, VT>(
+      detail::mcl_initial_matrix(graph), params,
+      [&](const CsrMatrix<IT, VT>& m, std::uint64_t m_hash,
+          bool& reused) -> const CsrMatrix<IT, VT>& {
+        product = eng.submit_hashed(m, m, m_hash, m_hash).get();
+        reused = product.cache_hit;
+        return product.c;
+      });
 }
 
 }  // namespace spgemm::apps

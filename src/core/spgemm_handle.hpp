@@ -43,6 +43,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -440,6 +441,12 @@ class SpGemmHandle {
                                         b.rpts.data(), core_.nthreads)
             : parallel::rows_equal(nrows, a.rpts.data(), a.cols.data(),
                                    b.rpts.data(), core_.nthreads);
+    // Debug builds recompute and validate a caller-supplied fingerprint: a
+    // wrong hash in a release build silently executes a stale plan (the
+    // ensure_planned_hashed contract), so the one build mode that can
+    // afford the O(nnz) check refuses to let it slide.
+    assert(known_fingerprint == nullptr ||
+           *known_fingerprint == pair_fingerprint(a, b));
     core_.fingerprint =
         known_fingerprint != nullptr ? *known_fingerprint
                                      : pair_fingerprint(a, b);
@@ -507,9 +514,11 @@ class SpGemmHandle {
   /// compares the caller's fingerprints against the plan's in O(1), with no
   /// pass over rpts/cols at all — MCL's stabilized iterations hit this
   /// path once inflate_and_prune hashes while it scans.  `fp_a`/`fp_b` MUST
-  /// equal structure_fingerprint(a)/structure_fingerprint(b); a wrong
-  /// fingerprint silently executes a stale plan, exactly like mutating
-  /// columns in place behind the O(1) identity check.
+  /// equal structure_fingerprint(a)/structure_fingerprint(b); in a release
+  /// build a wrong fingerprint silently executes a stale plan, exactly like
+  /// mutating columns in place behind the O(1) identity check.  Debug
+  /// (!NDEBUG) builds recompute the pair fingerprint inside plan() and
+  /// assert the caller's value matches.
   bool ensure_planned_hashed(const CsrMatrix<IT, VT>& a,
                              const CsrMatrix<IT, VT>& b, std::uint64_t fp_a,
                              std::uint64_t fp_b, SpGemmOptions opts = {},
@@ -535,7 +544,8 @@ class SpGemmHandle {
   const CsrMatrix<IT, VT>& execute(const CsrMatrix<IT, VT>& a,
                                    const CsrMatrix<IT, VT>& b, SR sr = {},
                                    SpGemmStats* stats = nullptr) {
-    execute_impl(a, b, pooled_, !pooled_cols_ready_, sr, stats);
+    execute_impl(a, b, pooled_, !pooled_cols_ready_, /*into_pooled=*/true,
+                 sr, stats);
     pooled_cols_ready_ = true;
     return pooled_;
   }
@@ -547,7 +557,8 @@ class SpGemmHandle {
   void execute_into(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
                     CsrMatrix<IT, VT>& c, SR sr = {},
                     SpGemmStats* stats = nullptr) {
-    execute_impl(a, b, c, /*fill_skeleton=*/true, sr, stats);
+    execute_impl(a, b, c, /*fill_skeleton=*/true, /*into_pooled=*/false, sr,
+                 stats);
   }
 
   // ---- Plan introspection -------------------------------------------------
@@ -565,6 +576,34 @@ class SpGemmHandle {
   }
   [[nodiscard]] std::uint64_t executions() const { return executions_; }
   [[nodiscard]] const SpGemmStats& stats() const { return stats_; }
+
+  /// Bytes this handle retains across execute() calls: the output skeleton,
+  /// every thread's capture streams / staged columns / tile+row records,
+  /// and the pooled output.  Capacities, not sizes — grow-only recycling
+  /// means capacity is what the handle actually keeps from the allocator.
+  /// Accumulator tables are excluded: their storage is pool-backed scratch
+  /// shared through the thread caches, not plan-owned.  This is the
+  /// eviction weight of engine::PlanCache.
+  [[nodiscard]] std::size_t retained_bytes() const {
+    std::size_t bytes = core_.rpts.capacity() * sizeof(Offset);
+    bytes += pooled_.rpts.capacity() * sizeof(Offset) +
+             pooled_.cols.capacity() * sizeof(IT) +
+             pooled_.vals.capacity() * sizeof(VT);
+    std::visit(
+        [&](const auto& kernel) {
+          if constexpr (!std::is_same_v<std::decay_t<decltype(kernel)>,
+                                        std::monostate>) {
+            for (const auto& tp : kernel.threads) {
+              bytes += tp.capture.capacity() * sizeof(IT);
+              bytes += tp.staged_cols.capacity() * sizeof(IT);
+              bytes += tp.rows.capacity() * sizeof(detail::PlannedRow<IT>);
+              bytes += tp.tiles.capacity() * sizeof(detail::PlannedTile);
+            }
+          }
+        },
+        kernel_);
+    return bytes;
+  }
 
   /// Measured hash collision factor of the inspected product (probes per
   /// scalar multiplication) — the c of the cost model's Eq. 2.
@@ -661,10 +700,47 @@ class SpGemmHandle {
     core_.id_b = id_b;
   }
 
+  /// Rewrite every page of the pooled output's body arrays from its OWNING
+  /// thread (the static tile assignment, not the frozen claim state that
+  /// includes steals).  First-touch repair for pages a thief populated
+  /// during the build pass; see SpGemmOptions::retouch_output_pages.
+  std::uint64_t retouch_pooled_pages() {
+    constexpr std::size_t kPageBytes = 4096;
+    const auto touch = [](void* ptr, std::size_t bytes) -> std::uint64_t {
+      auto* p = static_cast<volatile unsigned char*>(ptr);
+      std::uint64_t pages = 0;
+      for (std::size_t off = 0; off < bytes; off += kPageBytes) {
+        p[off] = p[off];
+        ++pages;
+      }
+      return pages;
+    };
+    std::atomic<std::uint64_t> total{0};
+#pragma omp parallel num_threads(core_.nthreads)
+    {
+      const int tid = omp_get_thread_num();
+      if (tid < core_.part.threads()) {
+        std::uint64_t local = 0;
+        core_.schedule.for_each_owned_tile(
+            tid, [&](const parallel::TileRange& tile) {
+              const auto begin =
+                  static_cast<std::size_t>(core_.rpts[tile.row_begin]);
+              const auto len =
+                  static_cast<std::size_t>(core_.rpts[tile.row_end]) - begin;
+              if (len == 0) return;
+              local += touch(pooled_.cols.data() + begin, len * sizeof(IT));
+              local += touch(pooled_.vals.data() + begin, len * sizeof(VT));
+            });
+        total.fetch_add(local, std::memory_order_relaxed);
+      }
+    }
+    return total.load(std::memory_order_relaxed);
+  }
+
   template <typename SR>
   void execute_impl(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
-                    CsrMatrix<IT, VT>& c, bool fill_skeleton, SR /*sr*/,
-                    SpGemmStats* stats) {
+                    CsrMatrix<IT, VT>& c, bool fill_skeleton,
+                    bool into_pooled, SR /*sr*/, SpGemmStats* stats) {
     if (!planned_) {
       throw std::logic_error("SpGemmHandle::execute: no plan — call plan()");
     }
@@ -705,6 +781,14 @@ class SpGemmHandle {
                        : Sortedness::kUnsorted;
 
     ++executions_;
+    // NUMA repair once per plan, right after the pooled pages have all been
+    // populated — fill_skeleton on the pooled path means THIS was the first
+    // pooled execute, regardless of any execute_into() calls before it —
+    // and only when the build pass actually migrated work off its owners.
+    if (into_pooled && fill_skeleton && core_.opts.retouch_output_pages &&
+        stats_.tile_steals > 0) {
+      stats_.pages_retouched += retouch_pooled_pages();
+    }
     stats_.execute_ms = exec_timer.millis();
     stats_.numeric_ms = stats_.execute_ms;
     stats_.numeric_probes = num_probes;

@@ -1,0 +1,256 @@
+// PlanCache — fingerprint-keyed LRU of SpGemmHandles under a byte budget.
+//
+// A serving engine sees the same sparsity structures over and over (AMG
+// level operators, stabilized MCL iterations, recurring analytics queries),
+// and the whole point of the two-phase kernels is that the symbolic work
+// for a structure needs to be paid only once.  This cache makes that reuse
+// automatic across INDEPENDENT callers: plans are keyed by the PR-3 pair
+// fingerprint (core/structure_hash.hpp), weighed by what they actually
+// retain (SpGemmHandle::retained_bytes — capture streams, skeleton, pooled
+// output), and evicted least-recently-used when the total exceeds a byte
+// budget, typically model::derive_cache_budget_bytes of a memory tier.
+//
+// Concurrency protocol (what SpGemmEngine follows):
+//   1. acquire(key) pins an entry (creating an empty one on first sight)
+//      and returns a Lease; pinned entries are never evicted.
+//   2. the caller locks lease.exec_mutex() and, under it, plans/executes
+//      the handle — one handle serves one product at a time because its
+//      per-thread state and pooled output are not reentrant.
+//   3. release(lease, was_hit, bytes) re-weighs the entry, moves it to the
+//      LRU front, unpins it, and evicts over-budget unpinned entries from
+//      the LRU tail.  An entry whose sole plan exceeds the whole budget is
+//      evicted too: the cache never retains more than its budget while
+//      idle, even if that means a structure can never be cached.
+//
+// adopt()/release_handle() move whole handles across the cache boundary:
+// a caller that planned a handle by hand can donate it, and a caller that
+// wants exclusive ownership of a cached plan can take it out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/types.hpp"
+#include "core/spgemm_handle.hpp"
+
+namespace spgemm::engine {
+
+/// Counters of one PlanCache, readable at any time (stats() snapshots
+/// under the cache lock).
+struct PlanCacheStats {
+  std::uint64_t hits = 0;        ///< releases that reused an existing plan
+  std::uint64_t misses = 0;      ///< releases that had to (re)plan
+  std::uint64_t evictions = 0;   ///< entries destroyed by the byte budget
+  std::uint64_t inserts = 0;     ///< entries created (acquire miss / adopt)
+  std::size_t retained_bytes = 0;  ///< current total plan+pool bytes
+  std::size_t entries = 0;         ///< current entry count
+};
+
+template <IndexType IT, ValueType VT>
+class PlanCache {
+  struct Entry;
+
+ public:
+  explicit PlanCache(std::size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// A pinned reference to one cached handle.  The pin blocks eviction; the
+  /// exec mutex serializes plan/execute on the handle.  Destroying a Lease
+  /// without release() (exception unwind) just unpins — the entry stays,
+  /// with its last accounted weight.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease(Lease&& other) noexcept
+        : cache_(std::exchange(other.cache_, nullptr)),
+          entry_(std::exchange(other.entry_, nullptr)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        unpin();
+        cache_ = std::exchange(other.cache_, nullptr);
+        entry_ = std::exchange(other.entry_, nullptr);
+      }
+      return *this;
+    }
+    ~Lease() { unpin(); }
+
+    [[nodiscard]] SpGemmHandle<IT, VT>& handle() { return entry_->handle; }
+    /// Hold this while planning or executing through handle(); only while
+    /// the lease is live (the pin is what keeps the mutex's entry alive).
+    [[nodiscard]] std::mutex& exec_mutex() { return entry_->exec_mu; }
+
+   private:
+    friend class PlanCache;
+    Lease(PlanCache* cache, Entry* entry) : cache_(cache), entry_(entry) {}
+
+    void unpin() {
+      if (cache_ == nullptr) return;
+      std::lock_guard<std::mutex> lk(cache_->mu_);
+      --entry_->pins;
+      cache_ = nullptr;
+      entry_ = nullptr;
+    }
+
+    PlanCache* cache_ = nullptr;
+    Entry* entry_ = nullptr;
+  };
+
+  /// Pin the entry for `key`, creating an empty (unplanned) one on first
+  /// sight.  Whether the caller found a usable plan is its own discovery —
+  /// ensure_planned_hashed under the exec mutex — and is reported back
+  /// through release()'s `was_hit`.
+  Lease acquire(std::uint64_t key) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Entry* e = nullptr;
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      auto entry = std::make_unique<Entry>();
+      entry->key = key;
+      e = entry.get();
+      lru_.push_front(e);
+      e->lru_pos = lru_.begin();
+      map_.emplace(key, std::move(entry));
+      ++stats_.inserts;
+    } else {
+      e = it->second.get();
+    }
+    ++e->pins;
+    return Lease(this, e);
+  }
+
+  /// Finish one use: account the handle's current weight (`bytes` must be
+  /// read under the exec mutex, before it is dropped), promote to LRU
+  /// front, unpin, and enforce the budget.
+  void release(Lease&& lease, bool was_hit, std::size_t bytes) {
+    Entry* e = std::exchange(lease.entry_, nullptr);
+    PlanCache* self = std::exchange(lease.cache_, nullptr);
+    if (e == nullptr || self != this) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (was_hit) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+    stats_.retained_bytes -= e->bytes;
+    e->bytes = bytes;
+    stats_.retained_bytes += e->bytes;
+    lru_.splice(lru_.begin(), lru_, e->lru_pos);
+    --e->pins;
+    enforce_budget(e);
+  }
+
+  /// Donate an externally planned handle.  A live (pinned) entry for the
+  /// same key keeps serving and the donation is dropped; an unpinned one is
+  /// replaced.
+  void adopt(std::uint64_t key, SpGemmHandle<IT, VT>&& handle) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Entry* e = nullptr;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      e = it->second.get();
+      if (e->pins > 0) return;
+      stats_.retained_bytes -= e->bytes;
+      lru_.splice(lru_.begin(), lru_, e->lru_pos);
+    } else {
+      auto entry = std::make_unique<Entry>();
+      entry->key = key;
+      e = entry.get();
+      lru_.push_front(e);
+      e->lru_pos = lru_.begin();
+      map_.emplace(key, std::move(entry));
+      ++stats_.inserts;
+    }
+    e->handle = std::move(handle);
+    e->bytes = e->handle.retained_bytes();
+    stats_.retained_bytes += e->bytes;
+    enforce_budget(e);
+  }
+
+  /// Take exclusive ownership of a cached handle out of the cache.
+  /// Returns nothing when the key is absent or the entry is pinned.
+  std::optional<SpGemmHandle<IT, VT>> release_handle(std::uint64_t key) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end() || it->second->pins > 0) return std::nullopt;
+    Entry* e = it->second.get();
+    SpGemmHandle<IT, VT> handle = std::move(e->handle);
+    stats_.retained_bytes -= e->bytes;
+    lru_.erase(e->lru_pos);
+    map_.erase(it);
+    return handle;
+  }
+
+  [[nodiscard]] PlanCacheStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    PlanCacheStats out = stats_;
+    out.entries = map_.size();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    SpGemmHandle<IT, VT> handle;
+    std::mutex exec_mu;
+    int pins = 0;           ///< guarded by the cache mutex
+    std::size_t bytes = 0;  ///< last accounted retained weight
+    typename std::list<Entry*>::iterator lru_pos;
+  };
+
+  /// Destroy one unpinned entry (callers hold mu_).
+  void evict_entry(Entry* victim) {
+    stats_.retained_bytes -= victim->bytes;
+    ++stats_.evictions;
+    lru_.erase(victim->lru_pos);
+    map_.erase(victim->key);
+  }
+
+  /// Budget enforcement after one entry was (re)weighed (callers hold
+  /// mu_).  An entry whose sole weight exceeds the WHOLE budget can never
+  /// be legally retained, so it is evicted directly — walking the LRU tail
+  /// first would flush every other tenant's plan before reaching it, the
+  /// exact hit-rate collapse the cache exists to prevent.
+  void enforce_budget(Entry* just_weighed) {
+    if (just_weighed->pins == 0 && just_weighed->bytes > budget_bytes_) {
+      evict_entry(just_weighed);
+    }
+    evict_over_budget();
+  }
+
+  /// Walk from the LRU tail destroying unpinned entries until the retained
+  /// total fits the budget (callers hold mu_).  pins > 0 implies someone
+  /// may be executing through the entry, so pinned entries are skipped even
+  /// over budget — the total re-converges at their release().
+  void evict_over_budget() {
+    bool evicted = true;
+    while (stats_.retained_bytes > budget_bytes_ && evicted) {
+      evicted = false;
+      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        Entry* victim = *it;
+        if (victim->pins > 0) continue;
+        evict_entry(victim);
+        evicted = true;
+        break;
+      }
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::size_t budget_bytes_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Entry>> map_;
+  std::list<Entry*> lru_;  ///< front = most recently used
+  PlanCacheStats stats_;
+};
+
+}  // namespace spgemm::engine

@@ -1,0 +1,382 @@
+// SpGemmEngine — a concurrent SpGEMM serving layer: fingerprint-keyed plan
+// cache + flop-ordered batch/stream executor over one worker pool.
+//
+// PR 2/3 built the per-product machinery (SpGemmHandle, structure
+// fingerprints, the shared ExecutionSchedule); this engine is the layer
+// that turns those kernels into a multi-tenant system.  Callers hand it
+// independent products — synchronously one at a time (multiply), as a
+// whole batch (run_batch), or as an asynchronous stream from any number of
+// producer threads (submit -> std::future<Product>) — and the engine:
+//
+//   * keys every product by its pair structure fingerprint and serves
+//     repeats from a PlanCache of SpGemmHandles (engine/plan_cache.hpp):
+//     a cache hit skips the symbolic phase, the partition, the capture
+//     pass and all output allocation, exactly like a hand-held handle,
+//     but shared across every caller of the engine;
+//   * orders admission within a batch by the cost model's exact flop
+//     count (model::estimate_flop, O(nnz(A)) per request) so the worker
+//     pool never idles behind one giant product:
+//       - LARGE products (flop > EngineOptions::small_flop_cutoff) run
+//         one at a time, largest first, each fanning out across the whole
+//         pool through its handle's ExecutionSchedule;
+//       - SMALL products are packed whole onto single workers — one OpenMP
+//         region, dynamic assignment, each worker planning/executing with
+//         threads = 1 — so a thousand tiny products cost a thousand
+//         single-threaded multiplies, not a thousand barriers.
+//     A structure's size class is a function of its flop estimate, so the
+//     same structure always replans with the same thread count and its
+//     cached plan stays valid across batches.
+//
+// Results come back as engine::Product values: the output matrix is COPIED
+// out of the serving handle (execute_into), so it stays valid after the
+// cache evicts or reuses the plan, and concurrent requests for the same
+// structure cannot alias each other's output.  Products use the PlusTimes
+// semiring; callers needing exotic semirings keep using SpGemmHandle
+// directly.
+//
+// Request inputs are NOT copied: the caller must keep *a and *b alive (and
+// structurally unchanged) until the product is delivered.  Producers that
+// maintain structure fingerprints incrementally can attach them to the
+// request and skip the engine's O(nnz) hashing pass, the same
+// ensure_planned_hashed contract as the handle — and the same caveat: a
+// wrong fingerprint silently serves a stale plan (debug builds assert).
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "core/semiring.hpp"
+#include "core/spgemm_handle.hpp"
+#include "core/spgemm_options.hpp"
+#include "core/structure_hash.hpp"
+#include "engine/plan_cache.hpp"
+#include "matrix/csr.hpp"
+#include "model/cost_model.hpp"
+#include "model/memory_model.hpp"
+#include "parallel/omp_utils.hpp"
+
+namespace spgemm::engine {
+
+struct EngineOptions {
+  /// Base plan/execute options for every product the engine serves.
+  /// `plan.threads` is overridden per size class (pool width for large
+  /// products, 1 for packed small ones); set `threads` below to size the
+  /// pool itself.
+  SpGemmOptions plan;
+  /// Worker-pool width; 0 = the OpenMP default.  Resolved once at
+  /// construction so size-class decisions stay stable for the engine's
+  /// lifetime.
+  int threads = 0;
+  /// Serve repeated structures from the plan cache.  Off = every request
+  /// plans fresh (the baseline bench_engine_throughput compares against).
+  bool cache_enabled = true;
+  /// Byte budget for retained plans; 0 derives it from `cache_tier` via
+  /// model::derive_cache_budget_bytes.
+  std::size_t cache_budget_bytes = 0;
+  /// The memory tier whose capacity backs the retained plans (used only
+  /// when cache_budget_bytes == 0).  Defaults to the KNL DDR model — plans
+  /// live in ordinary DRAM; pass a smaller tier to serve from MCDRAM/LLC.
+  model::TierParams cache_tier = model::knl_ddr();
+  /// Products at or below this many scalar multiplications are packed
+  /// whole onto one worker; larger ones fan out across the pool.
+  Offset small_flop_cutoff = Offset{1} << 15;
+};
+
+template <IndexType IT, ValueType VT>
+class SpGemmEngine {
+ public:
+  /// One product admission.  `a`/`b` must outlive delivery; fingerprints
+  /// are optional (structure_fingerprint values, NOT the pair hash).
+  struct Request {
+    const CsrMatrix<IT, VT>* a = nullptr;
+    const CsrMatrix<IT, VT>* b = nullptr;
+    std::uint64_t fp_a = 0;
+    std::uint64_t fp_b = 0;
+    bool has_fingerprints = false;
+  };
+
+  /// One delivered product.  `c` is owned by the Product (copied out of
+  /// the serving plan) and stays valid independently of the cache.
+  struct Product {
+    CsrMatrix<IT, VT> c;
+    SpGemmStats stats;
+    bool cache_hit = false;     ///< served by replaying a retained plan
+    bool packed_small = false;  ///< ran whole on a single worker
+    Offset flop = 0;            ///< admission-ordering flop count
+    /// Service time for batch products; enqueue-to-delivery (queue wait
+    /// included) for submitted ones.
+    double latency_ms = 0.0;
+  };
+
+  explicit SpGemmEngine(EngineOptions opts = {})
+      : opts_(std::move(opts)),
+        pool_threads_(parallel::resolve_threads(opts_.threads)),
+        cache_(opts_.cache_budget_bytes > 0
+                   ? opts_.cache_budget_bytes
+                   : model::derive_cache_budget_bytes(opts_.cache_tier)),
+        dispatcher_([this] { dispatch_loop(); }) {}
+
+  SpGemmEngine(const SpGemmEngine&) = delete;
+  SpGemmEngine& operator=(const SpGemmEngine&) = delete;
+
+  /// Drains and delivers every submitted request before returning.
+  ~SpGemmEngine() {
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    dispatcher_.join();
+  }
+
+  /// Enqueue one product for the dispatcher thread; delivery through the
+  /// future.  Safe to call from any number of producer threads.
+  std::future<Product> submit(const CsrMatrix<IT, VT>& a,
+                              const CsrMatrix<IT, VT>& b) {
+    return submit(Request{&a, &b});
+  }
+
+  /// submit() for producers that maintain structure fingerprints
+  /// incrementally: skips the engine's O(nnz) hashing pass.
+  std::future<Product> submit_hashed(const CsrMatrix<IT, VT>& a,
+                                     const CsrMatrix<IT, VT>& b,
+                                     std::uint64_t fp_a, std::uint64_t fp_b) {
+    return submit(Request{&a, &b, fp_a, fp_b, /*has_fingerprints=*/true});
+  }
+
+  std::future<Product> submit(Request req) {
+    Pending pending;
+    pending.req = req;
+    pending.enqueued = std::chrono::steady_clock::now();
+    std::future<Product> fut = pending.promise.get_future();
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      if (stopping_) {
+        throw std::logic_error("SpGemmEngine::submit: engine is stopping");
+      }
+      queue_.push_back(std::move(pending));
+    }
+    queue_cv_.notify_one();
+    return fut;
+  }
+
+  /// Serve a whole batch on the calling thread: flop-ordered admission,
+  /// large products fan out, small ones pack.  Results align with `reqs`
+  /// by index.  The first per-request failure (dimension mismatch, null
+  /// input) is rethrown after the batch completes.
+  std::vector<Product> run_batch(std::span<const Request> reqs) {
+    const std::size_t n = reqs.size();
+    std::vector<Product> products(n);
+    std::vector<std::exception_ptr> errors(n);
+    process_batch(reqs.data(), n, products.data(), errors.data());
+    for (const std::exception_ptr& err : errors) {
+      if (err) std::rethrow_exception(err);
+    }
+    return products;
+  }
+
+  /// One product, synchronously, on the calling thread (still cached and
+  /// still size-classed — a one-request batch).
+  Product multiply(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b) {
+    const Request req{&a, &b};
+    Product product;
+    std::exception_ptr error;
+    process_batch(&req, 1, &product, &error);
+    if (error) std::rethrow_exception(error);
+    return product;
+  }
+
+  /// multiply() with caller-maintained structure fingerprints.
+  Product multiply_hashed(const CsrMatrix<IT, VT>& a,
+                          const CsrMatrix<IT, VT>& b, std::uint64_t fp_a,
+                          std::uint64_t fp_b) {
+    const Request req{&a, &b, fp_a, fp_b, /*has_fingerprints=*/true};
+    Product product;
+    std::exception_ptr error;
+    process_batch(&req, 1, &product, &error);
+    if (error) std::rethrow_exception(error);
+    return product;
+  }
+
+  [[nodiscard]] PlanCacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] PlanCache<IT, VT>& cache() { return cache_; }
+  [[nodiscard]] const EngineOptions& options() const { return opts_; }
+  [[nodiscard]] int pool_threads() const { return pool_threads_; }
+
+ private:
+  struct Pending {
+    Request req;
+    std::promise<Product> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Admission + execution for one span of requests.  products/errors are
+  /// parallel arrays of length n; a request that fails leaves its product
+  /// default-constructed and its error set.
+  void process_batch(const Request* reqs, std::size_t n, Product* products,
+                     std::exception_ptr* errors) {
+    if (n == 0) return;
+    std::vector<std::uint64_t> fp_a(n, 0);
+    std::vector<std::uint64_t> fp_b(n, 0);
+
+    // Admission pass: validate, count flop, fingerprint.  All O(nnz) per
+    // request and embarrassingly parallel across requests.
+#pragma omp parallel for schedule(dynamic) num_threads(pool_threads_)
+    for (std::size_t i = 0; i < n; ++i) {
+      const Request& r = reqs[i];
+      try {
+        if (r.a == nullptr || r.b == nullptr) {
+          throw std::invalid_argument("SpGemmEngine: null request input");
+        }
+        if (r.a->ncols != r.b->nrows) {
+          throw std::invalid_argument(
+              "SpGemmEngine: inner dimensions disagree");
+        }
+        products[i].flop = model::estimate_flop(*r.a, *r.b);
+        if (r.has_fingerprints) {
+          fp_a[i] = r.fp_a;
+          fp_b[i] = r.fp_b;
+        } else {
+          fp_a[i] = structure_fingerprint(*r.a);
+          fp_b[i] = structure_fingerprint(*r.b);
+        }
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+
+    // Flop-ordered admission, largest first.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return products[x].flop > products[y].flop;
+                     });
+
+    // Large products: one at a time, the whole pool fanning out through
+    // each handle's ExecutionSchedule.
+    std::vector<std::size_t> small;
+    small.reserve(n);
+    for (const std::size_t i : order) {
+      if (errors[i]) continue;
+      if (products[i].flop > opts_.small_flop_cutoff) {
+        run_one(reqs[i], fp_a[i], fp_b[i], pool_threads_, products[i],
+                errors[i]);
+      } else {
+        small.push_back(i);
+      }
+    }
+
+    // Small products: packed whole onto single workers, still largest
+    // first so the tail of the dynamic schedule stays short.
+    if (!small.empty()) {
+#pragma omp parallel for schedule(dynamic, 1) num_threads(pool_threads_)
+      for (std::size_t j = 0; j < small.size(); ++j) {
+        const std::size_t i = small[j];
+        run_one(reqs[i], fp_a[i], fp_b[i], /*threads=*/1, products[i],
+                errors[i]);
+        products[i].packed_small = true;
+      }
+    }
+  }
+
+  /// Plan-or-replay one product through the cache (or a throwaway handle
+  /// when the cache is off) and copy the result out.  noexcept boundary:
+  /// exceptions land in `error` — never escape into an OpenMP region.
+  void run_one(const Request& r, std::uint64_t fp_a, std::uint64_t fp_b,
+               int threads, Product& out, std::exception_ptr& error) noexcept {
+    try {
+      Timer timer;
+      SpGemmOptions opts = opts_.plan;
+      opts.threads = threads;
+      if (!opts_.cache_enabled) {
+        const std::uint64_t pair = pair_structure_hash(fp_a, fp_b);
+        SpGemmHandle<IT, VT> handle;
+        handle.plan(*r.a, *r.b, opts, nullptr, &pair);
+        handle.execute_into(*r.a, *r.b, out.c, PlusTimes{}, &out.stats);
+      } else {
+        typename PlanCache<IT, VT>::Lease lease =
+            cache_.acquire(pair_structure_hash(fp_a, fp_b));
+        std::size_t bytes = 0;
+        {
+          std::lock_guard<std::mutex> lk(lease.exec_mutex());
+          out.cache_hit = !lease.handle().ensure_planned_hashed(
+              *r.a, *r.b, fp_a, fp_b, opts);
+          lease.handle().execute_into(*r.a, *r.b, out.c, PlusTimes{},
+                                      &out.stats);
+          bytes = lease.handle().retained_bytes();
+        }
+        cache_.release(std::move(lease), out.cache_hit, bytes);
+      }
+      out.latency_ms = timer.millis();
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+
+  /// Dispatcher: drain whatever has accumulated since the last wake-up
+  /// into one batch — natural batching under load, immediate service when
+  /// idle — and deliver through the promises.
+  void dispatch_loop() {
+    std::unique_lock<std::mutex> lk(queue_mu_);
+    for (;;) {
+      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      std::vector<Pending> batch = std::move(queue_);
+      queue_.clear();
+      lk.unlock();
+
+      const std::size_t n = batch.size();
+      std::vector<Request> reqs(n);
+      std::vector<Product> products(n);
+      std::vector<std::exception_ptr> errors(n);
+      for (std::size_t i = 0; i < n; ++i) reqs[i] = batch[i].req;
+      process_batch(reqs.data(), n, products.data(), errors.data());
+
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (errors[i]) {
+          batch[i].promise.set_exception(errors[i]);
+        } else {
+          products[i].latency_ms =
+              std::chrono::duration<double, std::milli>(now -
+                                                        batch[i].enqueued)
+                  .count();
+          batch[i].promise.set_value(std::move(products[i]));
+        }
+      }
+      lk.lock();
+    }
+  }
+
+  EngineOptions opts_;
+  int pool_threads_;
+  PlanCache<IT, VT> cache_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::vector<Pending> queue_;
+  bool stopping_ = false;
+  std::thread dispatcher_;  ///< last member: joins before the rest dies
+};
+
+}  // namespace spgemm::engine

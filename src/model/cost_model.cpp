@@ -93,4 +93,13 @@ bool reuse_pays(double collision_factor, std::size_t reuse_budget_bytes) {
   return collision_factor >= 0.5;
 }
 
+std::size_t derive_cache_budget_bytes(const TierParams& tier) {
+  const double capacity_bytes = tier.capacity_gb * 1e9;
+  const double share = capacity_bytes / 8.0;
+  const auto floor_bytes = static_cast<double>(kDefaultPlanBudgetBytes);
+  constexpr double kCapBytes = 8e9;
+  return static_cast<std::size_t>(
+      std::min(kCapBytes, std::max(floor_bytes, share)));
+}
+
 }  // namespace spgemm::model

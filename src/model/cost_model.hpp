@@ -114,6 +114,30 @@ ScheduleBudgets derive_schedule_budgets(const TierParams& fast_tier,
 /// function exists so the planner's decision is explicit and testable.
 bool reuse_pays(double collision_factor, std::size_t reuse_budget_bytes);
 
+// ---- Serving-engine sizing (engine/plan_cache.hpp) ------------------------
+
+/// Byte budget for a fingerprint-keyed plan cache backed by the given
+/// memory tier: retained plans (capture streams, skeletons, pooled outputs)
+/// compete with the working sets of the products they serve, so the cache
+/// claims 1/8 of the tier's capacity, floored at one persistent-plan
+/// budget (a cache that cannot hold a single plan is useless) and capped at
+/// 8 GB (beyond which eviction pressure, not capacity, is the interesting
+/// regime).  Monotone in capacity_gb between the clamps.
+std::size_t derive_cache_budget_bytes(const TierParams& tier);
+
+/// Exact flop count (scalar multiplications) of A*B in O(nnz(A)) — the
+/// admission-ordering estimate of the serving engine: cheap enough to pay
+/// per request, exact enough to sort heterogeneous products by work.
+template <IndexType IT, ValueType VT>
+Offset estimate_flop(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b) {
+  Offset flop = 0;
+  for (const IT col : a.cols) {
+    const auto k = static_cast<std::size_t>(col);
+    flop += b.rpts[k + 1] - b.rpts[k];
+  }
+  return flop;
+}
+
 /// Gather CostInputs from concrete A, B and the (already computed) C.
 template <IndexType IT, ValueType VT>
 CostInputs gather_cost_inputs(const CsrMatrix<IT, VT>& a,

@@ -101,6 +101,18 @@ class ExecutionSchedule {
     return owner_begin_[t + 1] - owner_begin_[t];
   }
 
+  /// Visit thread `tid`'s OWNED tiles in row order, regardless of which
+  /// thread actually ran them during a pass — ownership, not the claim
+  /// state, is what NUMA-locality repair (retouch_output_pages) needs.
+  /// Visit: void(const TileRange&).
+  template <typename Visit>
+  void for_each_owned_tile(int tid, Visit&& visit) const {
+    const auto t = static_cast<std::size_t>(tid);
+    for (std::size_t i = owner_begin_[t]; i < owner_begin_[t + 1]; ++i) {
+      visit(tiles_[i]);
+    }
+  }
+
   /// Worst-case per-row flop a thread's accumulator must hold: under the
   /// static policy a thread only ever sees its owned rows; under dynamic or
   /// stealing it may run any tile, so sizing must cover the global maximum.

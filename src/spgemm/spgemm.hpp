@@ -2,7 +2,7 @@
 //
 //   #include "spgemm/spgemm.hpp"
 //
-// The library is organized as three tiers, all running the same two-phase
+// The library is organized as four tiers, all running the same two-phase
 // kernel machinery underneath:
 //
 //   1. One-shot: multiply(a, b, opts) / multiply_over<SR>(a, b, opts).
@@ -26,10 +26,23 @@
 //      incrementally (core/structure_hash.hpp) validate stabilized
 //      iterations in O(1) via ensure_planned_hashed.
 //
-//   3. Applications (apps/): AMG Galerkin products with handle-based
-//      re-assembly (GalerkinReassembler), Markov clustering with
-//      replan-on-drift, triangle counting, multi-source BFS, similarity
-//      joins — each built on tiers 1-2.
+//   3. Serving engine: engine::SpGemmEngine (engine/spgemm_engine.hpp).
+//      Many INDEPENDENT products, many callers, one worker pool: submit()
+//      returns a std::future<Product>, run_batch() serves a whole span,
+//      and a fingerprint-keyed PlanCache (engine/plan_cache.hpp) retains
+//      SpGemmHandles under a byte budget so every repeated structure —
+//      from any caller — replays its plan instead of re-running the
+//      symbolic phase.  Admission is ordered by the cost model's flop
+//      count: large products fan out across the pool through their
+//      handle's ExecutionSchedule, small ones are packed whole onto
+//      single workers.
+//
+//   4. Applications (apps/): AMG Galerkin products with handle-based
+//      re-assembly (GalerkinReassembler, optionally serving all levels
+//      through one shared engine), Markov clustering with replan-on-drift
+//      (optionally streaming its expansions through an engine), triangle
+//      counting, multi-source BFS, similarity joins — each built on
+//      tiers 1-3.
 //
 // Individual headers remain includable on their own for faster builds.
 #pragma once
@@ -44,6 +57,8 @@
 #include "core/spgemm_handle.hpp"
 #include "core/spgemm_masked.hpp"
 #include "core/symbolic.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/spgemm_engine.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/io_matrix_market.hpp"

@@ -139,5 +139,101 @@ TEST(WriteMatrixMarket, EmptyMatrix) {
   EXPECT_EQ(back.nrows, 3);
 }
 
+// ---------------------------------------------------------------------------
+// read -> write -> read round trips for the non-general dialects: the
+// writer always emits `real general`, so the round trip must preserve the
+// EXPANDED matrix the first read produced.
+// ---------------------------------------------------------------------------
+
+template <typename M>
+void expect_same_matrix(const M& a, const M& b) {
+  ASSERT_EQ(a.nrows, b.nrows);
+  ASSERT_EQ(a.ncols, b.ncols);
+  ASSERT_EQ(a.rpts, b.rpts);
+  ASSERT_EQ(a.cols, b.cols);
+  ASSERT_EQ(a.vals.size(), b.vals.size());
+  for (std::size_t i = 0; i < a.vals.size(); ++i) {
+    ASSERT_EQ(a.vals[i], b.vals[i]) << "vals[" << i << "]";
+  }
+}
+
+TEST(MmRoundTrip, PatternMatrix) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 4 4\n"
+      "1 1\n"
+      "2 3\n"
+      "3 1\n"
+      "3 4\n");
+  const auto first = read_matrix_market<I, double>(in);
+  ASSERT_EQ(first.nnz(), 4);
+  for (const double v : first.vals) EXPECT_EQ(v, 1.0);
+
+  std::stringstream buffer;
+  write_matrix_market(buffer, first);
+  const auto second = read_matrix_market<I, double>(buffer);
+  expect_same_matrix(first, second);
+}
+
+TEST(MmRoundTrip, SymmetricMatrixStaysExpanded) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "3 2 -1.0\n"
+      "3 3 2.0\n");
+  const auto first = read_matrix_market<I, double>(in);
+  // Off-diagonal entries expand to both triangles.
+  ASSERT_EQ(first.nnz(), 6);
+
+  std::stringstream buffer;
+  write_matrix_market(buffer, first);
+  const auto second = read_matrix_market<I, double>(buffer);
+  expect_same_matrix(first, second);
+}
+
+TEST(MmRoundTrip, SkewSymmetricNegatesMirror) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 2 -2.5\n");
+  const auto first = read_matrix_market<I, double>(in);
+  ASSERT_EQ(first.nnz(), 4);
+  const auto dense = first.to_dense();
+  EXPECT_EQ(dense[1 * 3 + 0], 5.0);
+  EXPECT_EQ(dense[0 * 3 + 1], -5.0);
+
+  std::stringstream buffer;
+  write_matrix_market(buffer, first);
+  const auto second = read_matrix_market<I, double>(buffer);
+  expect_same_matrix(first, second);
+}
+
+TEST(MmRoundTrip, OneBasedCornerEntries) {
+  // Entries at both 1-based extremes: (1,1) and (nrows,ncols).  An
+  // off-by-one in either direction of the round trip moves a corner out of
+  // bounds or off the diagonal.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "5 7 3\n"
+      "1 1 1.5\n"
+      "5 7 -2.5\n"
+      "1 7 4.0\n");
+  const auto first = read_matrix_market<I, double>(in);
+  ASSERT_EQ(first.nnz(), 3);
+  const auto dense = first.to_dense();
+  EXPECT_EQ(dense[0], 1.5);
+  EXPECT_EQ(dense[0 * 7 + 6], 4.0);
+  EXPECT_EQ(dense[4 * 7 + 6], -2.5);
+
+  std::stringstream buffer;
+  write_matrix_market(buffer, first);
+  const auto second = read_matrix_market<I, double>(buffer);
+  expect_same_matrix(first, second);
+  EXPECT_NO_THROW(second.validate());
+}
+
 }  // namespace
 }  // namespace spgemm::io
