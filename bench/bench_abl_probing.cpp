@@ -1,66 +1,168 @@
-// Ablation: SIMD hash-probe width (scalar vs AVX2 vs AVX-512) inside the
-// HashVector kernel, on a dense-ish skewed input where probing dominates —
-// the design choice behind §4.2.2.
-#include <benchmark/benchmark.h>
+// Ablation: per-key vs batched multi-key hash probing inside the HashVector
+// kernel (the design choice behind §4.2.2 plus the batched pipeline of
+// accumulator/hash_vec.hpp), swept over the probe tiers the host supports
+// (scalar / AVX2 / AVX-512) and three input shapes:
+//
+//   * scale      — G500 RMAT A^2 at the headline scale (SPGEMM_BENCH_SCALE,
+//                  default 16): the paper's squaring benchmark, where the
+//                  symbolic phase is probe-throughput-bound;
+//   * density    — a denser RMAT (4x edge factor, two scales down): more
+//                  flops per row, larger per-row tables;
+//   * duplicates — banded A^2: MCL-like rows whose stanzas overlap heavily,
+//                  so many keys in flight inside one batch window duplicate
+//                  each other and retire through the conflict shortcut
+//                  without a table round.
+//
+// Emits BENCH_abl_probing.json with probe_rounds and keys_per_round per
+// row: per-key probing spends at least one round per key (collisions add
+// more, so keys_per_round <= 1); the batched pipeline retires
+// duplicate-in-flight keys roundlessly, lifting keys_per_round above the
+// per-key value on duplicate-heavy inputs.  Batched and per-key paths are
+// bit-identical by contract, so the comparison is purely about work shape.
+// Needs no google-benchmark.
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "core/multiply.hpp"
+#include "bench_util.hpp"
+#include "common/cpu_features.hpp"
+#include "matrix/generators.hpp"
 #include "matrix/rmat.hpp"
 
 namespace {
 
-using spgemm::Algorithm;
-using spgemm::ProbeKind;
-using spgemm::RmatParams;
+using namespace spgemm;
+using namespace spgemm::bench;
 
-const spgemm::CsrMatrix<std::int32_t, double>& shared_input() {
-  static const auto a = spgemm::rmat_matrix<std::int32_t, double>(
-      RmatParams::g500(11, 32, 7));
-  return a;
-}
+using I = std::int32_t;
+using Matrix = CsrMatrix<I, double>;
 
-void run_probe(benchmark::State& state, ProbeKind probe) {
-  const auto& a = shared_input();
-  spgemm::SpGemmOptions opts;
+/// Median-of-trials HashVector A^2 at one probe kind / batching setting.
+SpGemmStats measure(const Matrix& a, ProbeKind kind, bool batched) {
+  SpGemmOptions opts;
   opts.algorithm = Algorithm::kHashVector;
-  opts.sort_output = spgemm::SortOutput::kNo;
-  opts.probe = probe;
-  spgemm::SpGemmStats stats;
-  for (auto _ : state) {
-    auto c = spgemm::multiply(a, a, opts, &stats);
-    benchmark::DoNotOptimize(c.vals.data());
+  opts.sort_output = SortOutput::kNo;
+  opts.threads = bench_threads();
+  opts.probe = kind;
+  // kOn (not kAuto) for the batched rows: the ablation measures the batch
+  // MACHINERY itself, so it must really run — including at CI smoke
+  // scales whose small tables the production kAuto gate
+  // (accumulator/hash_table.hpp, kBatchMinTableBytes) would route back to
+  // the per-key walk.  Where batched rows lose here, the shipped kAuto
+  // default simply does not engage them.
+  opts.probe_batching = batched ? ProbeBatch::kOn : ProbeBatch::kOff;
+
+  multiply(a, a, opts);  // warm-up
+  std::vector<double> times;
+  std::vector<SpGemmStats> stats(static_cast<std::size_t>(
+      std::max(1, trials())));
+  for (std::size_t t = 0; t < stats.size(); ++t) {
+    Timer timer;
+    multiply(a, a, opts, &stats[t]);
+    times.push_back(timer.millis());
   }
-  state.counters["probes"] = static_cast<double>(stats.probes);
-  state.counters["MFLOPS"] = benchmark::Counter(
-      2.0 * static_cast<double>(stats.flop) * state.iterations() / 1e6,
-      benchmark::Counter::kIsRate);
+  // Median run's stats (times and stats stay index-aligned).
+  std::vector<std::size_t> order(times.size());
+  for (std::size_t t = 0; t < order.size(); ++t) order[t] = t;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return times[x] < times[y]; });
+  return stats[order[order.size() / 2]];
 }
 
-void BM_Probe_Scalar(benchmark::State& s) { run_probe(s, ProbeKind::kScalar); }
-void BM_Probe_Avx2(benchmark::State& s) { run_probe(s, ProbeKind::kAvx2); }
-void BM_Probe_Avx512(benchmark::State& s) { run_probe(s, ProbeKind::kAvx512); }
-
-// The scalar single-slot hash (Hash kernel) as the no-chunking baseline.
-void BM_Probe_HashKernel(benchmark::State& state) {
-  const auto& a = shared_input();
-  spgemm::SpGemmOptions opts;
-  opts.algorithm = Algorithm::kHash;
-  opts.sort_output = spgemm::SortOutput::kNo;
-  spgemm::SpGemmStats stats;
-  for (auto _ : state) {
-    auto c = spgemm::multiply(a, a, opts, &stats);
-    benchmark::DoNotOptimize(c.vals.data());
+/// The probe tiers available on this host, widest first.
+std::vector<ProbeKind> host_tiers() {
+  switch (resolve_probe_kind(ProbeKind::kAuto)) {
+    case ProbeKind::kAvx512:
+      return {ProbeKind::kAvx512, ProbeKind::kAvx2, ProbeKind::kScalar};
+    case ProbeKind::kAvx2:
+      return {ProbeKind::kAvx2, ProbeKind::kScalar};
+    default:
+      return {ProbeKind::kScalar};
   }
-  state.counters["probes"] = static_cast<double>(stats.probes);
-  state.counters["MFLOPS"] = benchmark::Counter(
-      2.0 * static_cast<double>(stats.flop) * state.iterations() / 1e6,
-      benchmark::Counter::kIsRate);
 }
-
-BENCHMARK(BM_Probe_Scalar)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Probe_Avx2)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Probe_Avx512)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Probe_HashKernel)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  print_banner("probing ablation",
+               "per-key vs batched multi-key SIMD hash probing (symbolic "
+               "phase)");
+  JsonReporter json("abl_probing");
+  const int threads = bench_threads();
+  const int scale = bench_scale(16);
+
+  struct Input {
+    std::string name;
+    Matrix a;
+  };
+  std::vector<Input> inputs;
+  inputs.push_back({"g500_s" + std::to_string(scale) + "_e8",
+                    rmat_matrix<I, double>(RmatParams::g500(scale, 8, 7))});
+  inputs.push_back(
+      {"g500_s" + std::to_string(scale - 2) + "_e32",
+       rmat_matrix<I, double>(RmatParams::g500(scale - 2, 32, 7))});
+  {
+    // MCL-like duplicate-heavy rows: a banded graph's square folds ~degree
+    // contributions onto each output column.
+    const I n = static_cast<I>(1) << (scale - 2);
+    inputs.push_back({"banded_n" + std::to_string(n) + "_d32",
+                      banded_matrix<I, double>(n, 32, 7)});
+  }
+
+  const std::vector<ProbeKind> tiers = host_tiers();
+  std::printf("\nhost probe tiers:");
+  for (const ProbeKind k : tiers) std::printf(" %s", probe_kind_name(k));
+  std::printf("\n");
+
+  for (const Input& input : inputs) {
+    std::printf("\n%s (%d rows, %lld nnz) A^2\n", input.name.c_str(),
+                input.a.nrows, static_cast<long long>(input.a.nnz()));
+    print_header("config",
+                 {"sym ms", "num ms", "rounds/key", "keys/round"}, 14);
+    double widest_perkey_sym = 0.0;
+    double widest_batched_sym = 0.0;
+    for (const ProbeKind kind : tiers) {
+      for (const bool batched : {false, true}) {
+        const SpGemmStats stats = measure(input.a, kind, batched);
+        const std::string label = std::string(batched ? "batched-" : "perkey-") +
+                                  probe_kind_name(kind);
+        const double rounds_per_key =
+            stats.keys_resolved() > 0
+                ? static_cast<double>(stats.probes) /
+                      static_cast<double>(stats.keys_resolved())
+                : 0.0;
+        print_row(label,
+                  {stats.symbolic_ms, stats.numeric_ms, rounds_per_key,
+                   stats.keys_per_round()},
+                  "%14.3f");
+        BenchRecord rec;
+        rec.kernel = label;
+        rec.matrix = input.name;
+        rec.threads = threads;
+        rec.total_ms = stats.total_ms();
+        rec.symbolic_ms = stats.symbolic_ms;
+        rec.numeric_ms = stats.numeric_ms;
+        rec.mflops = stats.mflops();
+        rec.flop = stats.flop;
+        rec.nnz_out = stats.nnz_out;
+        rec.probe_rounds = static_cast<long long>(stats.probes);
+        rec.keys_per_round = stats.keys_per_round();
+        json.add(std::move(rec));
+        if (kind == tiers.front()) {
+          (batched ? widest_batched_sym : widest_perkey_sym) =
+              stats.symbolic_ms;
+        }
+      }
+    }
+    if (widest_batched_sym > 0.0) {
+      std::printf("%-22s%14.2fx\n",
+                  (std::string("sym speedup (") +
+                   probe_kind_name(tiers.front()) + ")")
+                      .c_str(),
+                  widest_perkey_sym / widest_batched_sym);
+    }
+  }
+
+  json.flush();
+  return 0;
+}

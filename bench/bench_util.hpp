@@ -48,6 +48,11 @@ struct BenchRecord {
   double products_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  /// Probe-work shape (bench_abl_probing): accumulator probe rounds and the
+  /// average keys one round resolves (> 1 only under batched probing, where
+  /// duplicate-in-flight shortcuts retire keys without a table round).
+  long long probe_rounds = 0;
+  double keys_per_round = 0.0;
 };
 
 /// Percentile of a latency sample by nearest-rank (q in [0, 1]); the shared
@@ -101,6 +106,8 @@ class JsonReporter {
     rec.reuse_hit_rate = stats.reuse_hit_rate();
     rec.flop = stats.flop;
     rec.nnz_out = stats.nnz_out;
+    rec.probe_rounds = static_cast<long long>(stats.probes);
+    rec.keys_per_round = stats.keys_per_round();
     add(std::move(rec));
   }
 
@@ -120,13 +127,14 @@ class JsonReporter {
           "\"nnz_out\": %lld, \"plan_ms\": %.4f, \"execute_ms\": %.4f, "
           "\"executions\": %lld, \"tile_steals\": %lld, "
           "\"products_per_sec\": %.2f, \"p50_ms\": %.4f, "
-          "\"p99_ms\": %.4f}%s\n",
+          "\"p99_ms\": %.4f, \"probe_rounds\": %lld, "
+          "\"keys_per_round\": %.4f}%s\n",
           json_escape(r.kernel).c_str(), json_escape(r.matrix).c_str(),
           r.threads, r.total_ms, r.symbolic_ms, r.numeric_ms, r.mflops,
           r.reuse_hit_rate, static_cast<long long>(r.flop),
           static_cast<long long>(r.nnz_out), r.plan_ms, r.execute_ms,
           r.executions, r.tile_steals, r.products_per_sec, r.p50_ms,
-          r.p99_ms,
+          r.p99_ms, r.probe_rounds, r.keys_per_round,
           i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");

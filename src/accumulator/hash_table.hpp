@@ -12,6 +12,24 @@
 //   per-row:   count(), extract_*(), reset()
 // plus a probe counter feeding the collision-factor c of the cost model
 // (§4.2.4, Eq. 2).
+//
+// ---- Batch-capture contract -----------------------------------------------
+//
+// Accumulators that additionally implement
+//
+//   insert_tagged_batch(const IT* keys, std::size_t n, IT* slots_out)
+//
+// opt into the driver's batched symbolic/capture path (the BatchProbe
+// concept in core/spgemm_twophase.hpp): the driver streams a whole row's
+// B-row stanzas into a contiguous key buffer and hands it over in one call.
+// The contract is strict bit-identity with the per-key path — the call must
+// leave the table, the touched-slot order and slots_out exactly as n
+// sequential insert_tagged(keys[i]) calls would.  What a batch may change
+// is the WORK accounting: vectorized hashing, prefetch pipelining and
+// in-flight duplicate shortcuts can resolve keys in fewer probe rounds, so
+// every accumulator reports two counters — probes() (rounds: table lines
+// visited) and keys_resolved() (resolution requests) — and
+// SpGemmStats surfaces both.
 #pragma once
 
 #include <algorithm>
@@ -25,6 +43,15 @@
 #include "mem/workspace.hpp"
 
 namespace spgemm {
+
+/// Below this key-table size, batched probing does not pay under
+/// ProbeBatch::kAuto: a table this small stays cache-resident, each probe
+/// round costs a handful of cycles, and the driver's stanza-copy pass
+/// outweighs the pipeline's prefetch/branch wins.  Accumulators report the
+/// comparison through batch_worthwhile(); ProbeBatch::kOn overrides it
+/// (the ablation/test escape hatch).  256 KiB ~ the boundary where probe
+/// loads start leaving L2 on current hosts.
+inline constexpr std::size_t kBatchMinTableBytes = std::size_t{1} << 18;
 
 /// Table size policy (paper Fig. 7 lines 9-12): the smallest power of two
 /// strictly greater than min(upper_bound, ncols).
@@ -57,11 +84,19 @@ class HashAccumulator {
       reset();
     }
     mask_ = size - 1;
+    table_slots_ = size;
     count_ = 0;
+  }
+
+  /// Whether batched probing pays on this table under ProbeBatch::kAuto
+  /// (see kBatchMinTableBytes).
+  [[nodiscard]] bool batch_worthwhile() const {
+    return table_slots_ * sizeof(IT) >= kBatchMinTableBytes;
   }
 
   /// Symbolic-phase insert; returns true when `key` was not yet present.
   bool insert(IT key) {
+    ++keys_resolved_;
     std::size_t pos = slot_of(key);
     while (true) {
       ++probes_;
@@ -80,7 +115,26 @@ class HashAccumulator {
   /// the key already lives at slot s.  The driver records the tagged slot
   /// per flop so the numeric phase can replay values without re-probing.
   IT insert_tagged(IT key) {
-    std::size_t pos = slot_of(key);
+    ++keys_resolved_;
+    return insert_tagged_at(slot_of(key), key);
+  }
+
+  /// Batched capture (see the batch-capture contract above): bit-identical
+  /// to n sequential insert_tagged() calls.  The single-slot table has no
+  /// vector probe to widen, so the batch win here is the software pipeline
+  /// alone: each key's home slot line is prefetched a few keys ahead of its
+  /// walk, hiding the table's cache-miss latency.
+  void insert_tagged_batch(const IT* keys, std::size_t n, IT* slots_out) {
+    keys_resolved_ += n;
+    constexpr std::size_t kDist = 8;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + kDist < n) __builtin_prefetch(keys_ + slot_of(keys[i + kDist]));
+      slots_out[i] = insert_tagged_at(slot_of(keys[i]), keys[i]);
+    }
+  }
+
+ private:
+  IT insert_tagged_at(std::size_t pos, IT key) {
     while (true) {
       ++probes_;
       if (keys_[pos] == key) return static_cast<IT>(~pos);
@@ -93,6 +147,7 @@ class HashAccumulator {
     }
   }
 
+ public:
   /// Dense slot -> value storage the replay pass scatters into and the
   /// gather list reads from.  Valid between prepare() calls.
   [[nodiscard]] VT* slot_values() { return vals_; }
@@ -110,6 +165,7 @@ class HashAccumulator {
   /// contribution for a key is stored directly.
   template <typename Fold>
   void accumulate(IT key, VT value, Fold fold) {
+    ++keys_resolved_;
     std::size_t pos = slot_of(key);
     while (true) {
       ++probes_;
@@ -165,8 +221,12 @@ class HashAccumulator {
     count_ = 0;
   }
 
-  /// Total probes since construction (collision factor = probes / inserts).
+  /// Probe rounds since construction: table slots visited.  The collision
+  /// factor of the cost model is probes() / keys_resolved() per phase.
   [[nodiscard]] std::uint64_t probes() const { return probes_; }
+
+  /// Keys resolved (insert/accumulate requests), batched or not.
+  [[nodiscard]] std::uint64_t keys_resolved() const { return keys_resolved_; }
 
   /// Insertion-sort/std::sort hybrid on parallel key/value arrays.
   static void sort_pairs(IT* cols, VT* vals, std::size_t n) {
@@ -213,9 +273,11 @@ class HashAccumulator {
   VT* vals_ = nullptr;
   IT* touched_ = nullptr;
   std::size_t mask_ = 0;
+  std::size_t table_slots_ = 0;
   std::size_t count_ = 0;
   std::size_t initialized_ = 0;
   std::uint64_t probes_ = 0;
+  std::uint64_t keys_resolved_ = 0;
 };
 
 }  // namespace spgemm

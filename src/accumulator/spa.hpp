@@ -34,6 +34,7 @@ class SpaAccumulator {
   }
 
   bool insert(IT key) {
+    ++keys_resolved_;
     const auto k = static_cast<std::size_t>(key);
     if (flags_[k] != 0) return false;
     flags_[k] = 1;
@@ -44,6 +45,7 @@ class SpaAccumulator {
   /// Capture variant of insert(): the SPA's slot IS the column index, so
   /// this returns key (new) or ~key (already present).
   IT insert_tagged(IT key) {
+    ++keys_resolved_;
     const auto k = static_cast<std::size_t>(key);
     if (flags_[k] != 0) return static_cast<IT>(~key);
     flags_[k] = 1;
@@ -59,6 +61,7 @@ class SpaAccumulator {
 
   template <typename Fold>
   void accumulate(IT key, VT value, Fold fold) {
+    ++keys_resolved_;
     const auto k = static_cast<std::size_t>(key);
     if (flags_[k] != 0) {
       fold(vals_[k], value);
@@ -100,8 +103,11 @@ class SpaAccumulator {
     count_ = 0;
   }
 
-  /// SPA lookups are direct-indexed; there is no probing to count.
+  /// SPA lookups are direct-indexed; there are no probe rounds to count.
   [[nodiscard]] std::uint64_t probes() const { return 0; }
+
+  /// Keys resolved (insert/accumulate requests).
+  [[nodiscard]] std::uint64_t keys_resolved() const { return keys_resolved_; }
 
  private:
   mem::ThreadScratch<VT> vals_scratch_;
@@ -112,6 +118,7 @@ class SpaAccumulator {
   IT* touched_ = nullptr;
   std::size_t count_ = 0;
   std::size_t initialized_ = 0;
+  std::uint64_t keys_resolved_ = 0;
 };
 
 }  // namespace spgemm

@@ -47,6 +47,7 @@ class TwoLevelHashAccumulator {
   }
 
   bool insert(IT key) {
+    ++keys_resolved_;
     const std::size_t b = bucket_of(key);
     for (std::int32_t node = heads_[b]; node != kNil;
          node = next_[static_cast<std::size_t>(node)]) {
@@ -60,6 +61,7 @@ class TwoLevelHashAccumulator {
   /// Capture variant of insert(): the slot is the node's pool index
   /// (== insertion order).  Returns node (new) or ~node (already present).
   IT insert_tagged(IT key) {
+    ++keys_resolved_;
     const std::size_t b = bucket_of(key);
     for (std::int32_t node = heads_[b]; node != kNil;
          node = next_[static_cast<std::size_t>(node)]) {
@@ -85,6 +87,7 @@ class TwoLevelHashAccumulator {
 
   template <typename Fold>
   void accumulate(IT key, VT value, Fold fold) {
+    ++keys_resolved_;
     const std::size_t b = bucket_of(key);
     for (std::int32_t node = heads_[b]; node != kNil;
          node = next_[static_cast<std::size_t>(node)]) {
@@ -129,6 +132,9 @@ class TwoLevelHashAccumulator {
 
   [[nodiscard]] std::uint64_t probes() const { return probes_; }
 
+  /// Keys resolved (insert/accumulate requests).
+  [[nodiscard]] std::uint64_t keys_resolved() const { return keys_resolved_; }
+
  private:
   void link(std::size_t bucket, IT key, VT value) {
     if (heads_[bucket] == kNil) {
@@ -162,6 +168,7 @@ class TwoLevelHashAccumulator {
   std::size_t used_count_ = 0;
   std::size_t initialized_ = 0;
   std::uint64_t probes_ = 0;
+  std::uint64_t keys_resolved_ = 0;
 };
 
 }  // namespace spgemm

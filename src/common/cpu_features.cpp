@@ -1,5 +1,7 @@
 #include "common/cpu_features.hpp"
 
+#include "common/env.hpp"
+
 namespace spgemm {
 
 SimdLevel detected_simd_level() {
@@ -22,6 +24,50 @@ const char* simd_level_name(SimdLevel level) {
       return "scalar";
   }
   return "unknown";
+}
+
+const char* probe_kind_name(ProbeKind kind) {
+  switch (kind) {
+    case ProbeKind::kAuto:
+      return "auto";
+    case ProbeKind::kScalar:
+      return "scalar";
+    case ProbeKind::kAvx2:
+      return "avx2";
+    case ProbeKind::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+ProbeKind resolve_probe_kind(ProbeKind requested) {
+  const std::string forced = env::get_string("SPGEMM_FORCE_PROBE", "");
+  if (forced == "scalar") {
+    requested = ProbeKind::kScalar;
+  } else if (forced == "avx2") {
+    requested = ProbeKind::kAvx2;
+  } else if (forced == "avx512") {
+    requested = ProbeKind::kAvx512;
+  }
+  const SimdLevel ceiling = detected_simd_level();
+  if (requested == ProbeKind::kAuto) {
+    switch (ceiling) {
+      case SimdLevel::kAvx512:
+        return ProbeKind::kAvx512;
+      case SimdLevel::kAvx2:
+        return ProbeKind::kAvx2;
+      case SimdLevel::kScalar:
+        return ProbeKind::kScalar;
+    }
+  }
+  // Clamp the request to the host ceiling: avx512 -> avx2 -> scalar.
+  if (requested == ProbeKind::kAvx512 && ceiling != SimdLevel::kAvx512) {
+    requested = ProbeKind::kAvx2;
+  }
+  if (requested == ProbeKind::kAvx2 && ceiling == SimdLevel::kScalar) {
+    requested = ProbeKind::kScalar;
+  }
+  return requested;
 }
 
 }  // namespace spgemm

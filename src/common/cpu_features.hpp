@@ -20,4 +20,34 @@ SimdLevel detected_simd_level();
 /// Human-readable name ("scalar", "avx2", "avx512").
 const char* simd_level_name(SimdLevel level);
 
+/// Which probe implementation the SIMD-probed accumulators and the
+/// vectorized numeric replay use; runtime-forcible so tests can prove the
+/// scalar/AVX2/AVX-512 tiers agree bit-for-bit.
+enum class ProbeKind {
+  kAuto,
+  kScalar,
+  kAvx2,
+  kAvx512,
+};
+
+/// Human-readable name ("auto", "scalar", "avx2", "avx512").
+const char* probe_kind_name(ProbeKind kind);
+
+/// Resolve a requested probe kind to the one that will actually run:
+///
+///   1. The SPGEMM_FORCE_PROBE environment variable ("scalar", "avx2",
+///      "avx512"), when set, overrides `requested` — the CI matrix legs use
+///      it to exercise the fallback tiers on every push without touching
+///      call sites.
+///   2. kAuto resolves to the widest tier both compiled in and supported by
+///      the running CPU.
+///   3. The result is clamped down to what the build compiled in and the
+///      host supports, so forcing "avx512" on an SSE-only build degrades to
+///      scalar instead of executing illegal instructions.
+///
+/// The environment is re-read on every call (resolution happens once per
+/// accumulator construction / plan, never per probe), so tests can flip the
+/// force knob with setenv().
+ProbeKind resolve_probe_kind(ProbeKind requested);
+
 }  // namespace spgemm

@@ -166,12 +166,19 @@ struct PlanCore {
   parallel::ExecutionSchedule schedule;  ///< persisted tile plan + policy
   std::size_t tile_rows = 0;
   bool capture_enabled = false;
+  /// Requested batching mode for the build pass (kernels whose
+  /// accumulator implements the batch-capture contract; kAuto defers to
+  /// the per-thread table-size gate).
+  ProbeBatch probe_batching = ProbeBatch::kAuto;
+  /// Resolved execution tier of the vectorized numeric replay.
+  ProbeKind replay_kind = ProbeKind::kScalar;
   std::size_t budget_entries = 0;
   std::uint64_t fingerprint = 0;
   StructureId<IT, VT> id_a;
   StructureId<IT, VT> id_b;
   mem::Buffer<Offset> rpts;  ///< output skeleton row pointers (scanned)
   std::uint64_t symbolic_probes = 0;
+  std::uint64_t symbolic_keys = 0;
   std::uint64_t tile_count = 0;
   std::uint64_t rows_captured = 0;
 };
@@ -210,8 +217,10 @@ struct KernelPlan {
     core.rpts.resize(nrows + 1);
 
     std::atomic<std::uint64_t> total_probes{0};
+    std::atomic<std::uint64_t> total_keys{0};
     std::atomic<std::uint64_t> total_tiles{0};
     std::atomic<std::uint64_t> total_captured{0};
+    constexpr bool kPolicyBatches = BatchProbe<Acc, IT>;
 
     core.schedule.begin_pass();
 #pragma omp parallel num_threads(core.nthreads)
@@ -222,6 +231,8 @@ struct KernelPlan {
         ThreadPlan<IT, VT, Acc>& tp = threads[utid];
         Acc& acc = tp.acc;
         policy.prepare(acc, core.schedule.sizing_max_row_flop(tid), b.ncols);
+        const bool batch_probes =
+            kPolicyBatches && thread_batches(core.probe_batching, acc);
 
         const auto capture_flop_bound =
             static_cast<std::size_t>(core.schedule.capture_flop_bound(tid));
@@ -235,12 +246,15 @@ struct KernelPlan {
         tp.tiles.clear();
         tp.rows.clear();
         tp.staged_cols.clear();
+        mem::ThreadScratch<IT> key_scratch;
+        mem::ThreadScratch<IT> count_slot_scratch;
         std::vector<std::pair<IT, IT>> sort_buf;
         std::size_t cap_used = 0;
         std::size_t stage_off = 0;
         std::uint64_t captured_count = 0;
         std::uint64_t tiles_done = 0;
         const std::uint64_t probes_before = acc.probes();
+        const std::uint64_t keys_before = keys_resolved_of(acc);
 
         const auto process_tile = [&](std::size_t r0, std::size_t r1) {
           tp.tiles.push_back({r0, r1, stage_off});
@@ -257,8 +271,15 @@ struct KernelPlan {
                 cap_used + 2 * static_cast<std::size_t>(row_flop) <=
                     tp.capture_entries;
             if (row.captured) {
-              const std::size_t ns =
-                  capture_row(acc, a, b, i, cap + cap_used);
+              std::size_t ns;
+              if constexpr (kPolicyBatches) {
+                ns = batch_probes
+                         ? capture_row_batch(acc, a, b, i, row_flop,
+                                             cap + cap_used, key_scratch)
+                         : capture_row(acc, a, b, i, cap + cap_used);
+              } else {
+                ns = capture_row(acc, a, b, i, cap + cap_used);
+              }
               const std::size_t nnz = acc.count();
               row.nnz = static_cast<IT>(nnz);
               tp.staged_cols.resize(stage_off + nnz);
@@ -269,7 +290,16 @@ struct KernelPlan {
               cap_used += ns + nnz;
               ++captured_count;
             } else {
-              count_row(acc, a, b, i);
+              if constexpr (kPolicyBatches) {
+                if (batch_probes) {
+                  count_row_batch(acc, a, b, i, row_flop, key_scratch,
+                                  count_slot_scratch);
+                } else {
+                  count_row(acc, a, b, i);
+                }
+              } else {
+                count_row(acc, a, b, i);
+              }
               const std::size_t nnz = acc.count();
               row.nnz = static_cast<IT>(nnz);
               tp.staged_cols.resize(stage_off + nnz);
@@ -293,6 +323,8 @@ struct KernelPlan {
 
         total_probes.fetch_add(acc.probes() - probes_before,
                                std::memory_order_relaxed);
+        total_keys.fetch_add(keys_resolved_of(acc) - keys_before,
+                             std::memory_order_relaxed);
         total_tiles.fetch_add(tiles_done, std::memory_order_relaxed);
         total_captured.fetch_add(captured_count, std::memory_order_relaxed);
       }
@@ -301,6 +333,7 @@ struct KernelPlan {
     core.rpts[nrows] = 0;
     parallel::exclusive_scan_inplace(core.rpts.data(), nrows + 1);
     core.symbolic_probes = total_probes.load(std::memory_order_relaxed);
+    core.symbolic_keys = total_keys.load(std::memory_order_relaxed);
     core.tile_count = total_tiles.load(std::memory_order_relaxed);
     core.rows_captured = total_captured.load(std::memory_order_relaxed);
   }
@@ -326,13 +359,20 @@ struct KernelPlan {
     }
   }
 
+  /// Probe-round and keys-resolved tallies of one numeric pass.
+  struct NumericWork {
+    std::uint64_t probes = 0;
+    std::uint64_t keys = 0;
+  };
+
   /// Numeric-only pass: replay captured rows, re-probe fallback rows,
   /// values written directly at their final offsets.
   template <typename SR>
-  std::uint64_t numeric(const PlanCore<IT, VT>& core,
-                        const CsrMatrix<IT, VT>& a,
-                        const CsrMatrix<IT, VT>& b, CsrMatrix<IT, VT>& c) {
+  NumericWork numeric(const PlanCore<IT, VT>& core,
+                      const CsrMatrix<IT, VT>& a,
+                      const CsrMatrix<IT, VT>& b, CsrMatrix<IT, VT>& c) {
     std::atomic<std::uint64_t> total_probes{0};
+    std::atomic<std::uint64_t> total_keys{0};
 #pragma omp parallel num_threads(core.nthreads)
     {
       const int tid = omp_get_thread_num();
@@ -341,6 +381,7 @@ struct KernelPlan {
         Acc& acc = tp.acc;
         const IT* cap = tp.capture.data();
         const std::uint64_t probes_before = acc.probes();
+        const std::uint64_t keys_before = keys_resolved_of(acc);
         std::size_t cursor = 0;
         for (const PlannedTile& tile : tp.tiles) {
           for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
@@ -352,7 +393,8 @@ struct KernelPlan {
             VT* out_vals = c.vals.data() + off;
             if (row.captured) {
               const IT* slot_stream = cap + row.cap_off;
-              const std::size_t ns = replay_row<SR>(acc, a, b, i, slot_stream);
+              const std::size_t ns =
+                  replay_row<SR>(acc, a, b, i, slot_stream, core.replay_kind);
               gather_values(static_cast<const VT*>(acc.slot_values()),
                             slot_stream + ns,
                             static_cast<std::size_t>(row.nnz), out_vals);
@@ -370,9 +412,12 @@ struct KernelPlan {
         }
         total_probes.fetch_add(acc.probes() - probes_before,
                                std::memory_order_relaxed);
+        total_keys.fetch_add(keys_resolved_of(acc) - keys_before,
+                             std::memory_order_relaxed);
       }
     }
-    return total_probes.load(std::memory_order_relaxed);
+    return {total_probes.load(std::memory_order_relaxed),
+            total_keys.load(std::memory_order_relaxed)};
   }
 };
 
@@ -463,6 +508,8 @@ class SpGemmHandle {
         core_.part, opts, nrows, model::kDefaultPlanBudgetBytes, sizeof(IT));
     core_.budget_entries = cfg.budget_entries;
     core_.capture_enabled = cfg.capture_enabled;
+    core_.probe_batching = cfg.probe_batching;
+    core_.replay_kind = resolve_probe_kind(opts.probe);
     core_.tile_rows = cfg.tile_rows;
     detail::build_schedule(core_.schedule, core_.part, opts, cfg);
 
@@ -482,6 +529,7 @@ class SpGemmHandle {
     stats_.flop = core_.part.total_flop();
     stats_.nnz_out = core_.rpts.back();
     stats_.symbolic_probes = core_.symbolic_probes;
+    stats_.symbolic_keys = core_.symbolic_keys;
     stats_.probes = core_.symbolic_probes;
     stats_.tile_count = core_.tile_count;
     stats_.tile_steals = core_.schedule.steals();
@@ -605,11 +653,17 @@ class SpGemmHandle {
     return bytes;
   }
 
-  /// Measured hash collision factor of the inspected product (probes per
-  /// scalar multiplication) — the c of the cost model's Eq. 2.
+  /// Measured hash collision factor of the inspected product (probe
+  /// rounds per scalar multiplication) — the c of the cost model's Eq. 2.
+  /// The model defines c against per-key probing, where every key costs at
+  /// least one round; the batched pipeline's duplicate-in-flight shortcut
+  /// retires keys WITHOUT a round, so the raw round count is floored at
+  /// one per key to keep c >= 1 regardless of how the plan probed.
   [[nodiscard]] double collision_factor() const {
     const auto f = static_cast<double>(flop());
-    return f > 0.0 ? static_cast<double>(core_.symbolic_probes) / f : 1.0;
+    const auto rounds = static_cast<double>(
+        std::max(core_.symbolic_probes, core_.symbolic_keys));
+    return f > 0.0 ? rounds / f : 1.0;
   }
 
   /// Tile size (row cap) the plan settled on.
@@ -767,11 +821,14 @@ class SpGemmHandle {
     }
 
     std::uint64_t num_probes = 0;
+    std::uint64_t num_keys = 0;
     std::visit(
         [&](auto& kernel) {
           if constexpr (!std::is_same_v<std::decay_t<decltype(kernel)>,
                                         std::monostate>) {
-            num_probes = kernel.template numeric<SR>(core_, a, b, c);
+            const auto work = kernel.template numeric<SR>(core_, a, b, c);
+            num_probes = work.probes;
+            num_keys = work.keys;
           }
         },
         kernel_);
@@ -792,6 +849,7 @@ class SpGemmHandle {
     stats_.execute_ms = exec_timer.millis();
     stats_.numeric_ms = stats_.execute_ms;
     stats_.numeric_probes = num_probes;
+    stats_.numeric_keys = num_keys;
     stats_.probes = stats_.symbolic_probes + num_probes;
     stats_.executions = executions_;
     if (stats != nullptr) *stats = stats_;

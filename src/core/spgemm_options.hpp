@@ -64,6 +64,19 @@ enum class StructureReuse : std::uint8_t {
   kOff,
 };
 
+/// Whether the two-phase driver resolves symbolic/capture keys through the
+/// accumulators' batched multi-key probing pipeline (insert_tagged_batch:
+/// vectorized hashing, chunk prefetch one block ahead, in-flight duplicate
+/// shortcuts) instead of one insert per probe round.  Batched and per-key
+/// paths are bit-identical by contract; the knob exists for ablation
+/// (bench_abl_probing) and as a safety valve.  kAuto = on for kernels whose
+/// accumulator opts in (Hash, HashVector).
+enum class ProbeBatch : std::uint8_t {
+  kAuto,
+  kOn,
+  kOff,
+};
+
 /// Where the ExecutionSchedule's tile and capture budgets come from.
 enum class BudgetSource : std::uint8_t {
   /// The fixed cache-resident target (model::kTileCaptureTargetBytes) and
@@ -87,8 +100,14 @@ struct SpGemmOptions {
   int threads = 0;
   parallel::SchedulePolicy schedule =
       parallel::SchedulePolicy::kBalancedParallel;
-  /// SIMD probing override for HashVector (tests/ablation).
+  /// SIMD probing override for HashVector and the vectorized numeric
+  /// replay (tests/ablation).  The SPGEMM_FORCE_PROBE environment variable
+  /// overrides this in turn, and the result is clamped to what the build
+  /// and the host support (common/cpu_features.hpp).
   ProbeKind probe = ProbeKind::kAuto;
+  /// Batched multi-key probing for the symbolic/capture path (see
+  /// ProbeBatch).
+  ProbeBatch probe_batching = ProbeBatch::kAuto;
 
   // ---- ExecutionSchedule (parallel/execution_schedule.hpp) ---------------
   /// Rows per tile processed symbolic-then-numeric back to back.
@@ -150,12 +169,21 @@ struct SpGemmStats {
   std::uint64_t executions = 0;
   Offset flop = 0;           ///< scalar multiplications
   Offset nnz_out = 0;
-  std::uint64_t probes = 0;  ///< total accumulator probes, both phases
-  /// Per-phase probe split: the collision factor c of the cost model
-  /// (§4.2.4, Eq. 2) is probes per insertion *per phase*; summing only one
-  /// phase understates it by roughly half.
+  /// Total accumulator probe ROUNDS, both phases: table lines/slots
+  /// visited.  Batched probing resolves in-flight duplicate keys without a
+  /// round, so rounds alone under-report batched work — keys_resolved()
+  /// normalizes (one key per resolution request on every path).
+  std::uint64_t probes = 0;
+  /// Per-phase probe-round split: the collision factor c of the cost model
+  /// (§4.2.4, Eq. 2) is probe rounds per insertion *per phase*; summing
+  /// only one phase understates it by roughly half.
   std::uint64_t symbolic_probes = 0;
   std::uint64_t numeric_probes = 0;
+  /// Per-phase keys resolved (insert/accumulate requests) — identical for
+  /// per-key and batched probing, which makes the two paths' probe-round
+  /// counts comparable as rounds-per-key.
+  std::uint64_t symbolic_keys = 0;
+  std::uint64_t numeric_keys = 0;
   /// Tiled-driver observability: tiles processed, and how many rows had
   /// their symbolic structure captured and replayed (vs re-probed).
   std::uint64_t tile_count = 0;
@@ -167,6 +195,18 @@ struct SpGemmStats {
   /// Pooled-output pages rewritten by their owning thread after a
   /// steal-heavy build pass (SpGemmOptions::retouch_output_pages).
   std::uint64_t pages_retouched = 0;
+
+  [[nodiscard]] std::uint64_t keys_resolved() const {
+    return symbolic_keys + numeric_keys;
+  }
+
+  /// Average keys a probe round resolves (> 1 only under batched probing,
+  /// where duplicate-in-flight shortcuts retire keys without a round).
+  [[nodiscard]] double keys_per_round() const {
+    return probes > 0 ? static_cast<double>(keys_resolved()) /
+                            static_cast<double>(probes)
+                      : 0.0;
+  }
 
   [[nodiscard]] double reuse_hit_rate() const {
     return reuse_rows_total > 0

@@ -101,6 +101,9 @@ class AdaptiveDualAccumulator {
   [[nodiscard]] std::uint64_t probes() const {
     return hash_.probes() + spa_.probes();
   }
+  [[nodiscard]] std::uint64_t keys_resolved() const {
+    return hash_.keys_resolved() + spa_.keys_resolved();
+  }
 
  private:
   HashAccumulator<IT, VT> hash_;

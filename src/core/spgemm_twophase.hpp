@@ -70,6 +70,11 @@
 #include <utility>
 #include <vector>
 
+#if defined(__AVX512F__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "common/cpu_features.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "core/semiring.hpp"
@@ -117,6 +122,96 @@ inline void count_row(Acc& acc, const CsrMatrix<IT, VT>& a,
   }
 }
 
+/// Accumulators that implement the batch-capture contract (accumulator/
+/// hash_table.hpp): insert_tagged_batch must be bit-identical to per-key
+/// insert_tagged over the same stream.
+template <typename Acc, typename IT>
+concept BatchProbe = requires(Acc acc, const IT* keys, std::size_t n,
+                              IT* slots) {
+  acc.insert_tagged_batch(keys, n, slots);
+};
+
+/// Keys-resolved counter of an accumulator (0 for accumulators that do not
+/// track it) — the probe-round normalizer of SpGemmStats.
+template <typename Acc>
+inline std::uint64_t keys_resolved_of(const Acc& acc) {
+  if constexpr (requires { acc.keys_resolved(); }) {
+    return acc.keys_resolved();
+  } else {
+    return 0;
+  }
+}
+
+/// Resolve the per-thread batching decision AFTER the accumulator is
+/// prepared: kOn forces the batch pipeline, kOff forbids it, kAuto defers
+/// to the accumulator's table-size gate (accumulator/hash_table.hpp,
+/// kBatchMinTableBytes) — batching a cache-resident table just pays the
+/// stanza-copy pass for probes that were already cheap.
+template <typename Acc>
+inline bool thread_batches(ProbeBatch requested, const Acc& acc) {
+  switch (requested) {
+    case ProbeBatch::kOff:
+      return false;
+    case ProbeBatch::kOn:
+      return true;
+    default:
+      if constexpr (requires { acc.batch_worthwhile(); }) {
+        return acc.batch_worthwhile();
+      } else {
+        return true;
+      }
+  }
+}
+
+/// Stream row i's key stanzas into `key_scratch` (contiguous), then resolve
+/// them through the accumulator's batched multi-key probing pipeline in one
+/// call.  Same table state, same touched order, same tagged stream as
+/// capture_row() — only the probe-work shape changes.
+template <IndexType IT, ValueType VT, typename Acc>
+  requires BatchProbe<Acc, IT>
+inline std::size_t capture_row_batch(Acc& acc, const CsrMatrix<IT, VT>& a,
+                                     const CsrMatrix<IT, VT>& b,
+                                     std::size_t i, Offset row_flop,
+                                     IT* slot_stream,
+                                     mem::ThreadScratch<IT>& key_scratch) {
+  // Single-stanza rows (one A entry) are already a contiguous key stream
+  // in b.cols — probe them in place, no copy.
+  if (a.rpts[i + 1] - a.rpts[i] == 1) {
+    const auto k = static_cast<std::size_t>(
+        a.cols[static_cast<std::size_t>(a.rpts[i])]);
+    const auto off = static_cast<std::size_t>(b.rpts[k]);
+    const auto len = static_cast<std::size_t>(b.rpts[k + 1]) - off;
+    acc.insert_tagged_batch(b.cols.data() + off, len, slot_stream);
+    return len;
+  }
+  IT* keys = key_scratch.ensure(static_cast<std::size_t>(row_flop));
+  std::size_t ns = 0;
+  for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
+    const auto k =
+        static_cast<std::size_t>(a.cols[static_cast<std::size_t>(j)]);
+    const auto off = static_cast<std::size_t>(b.rpts[k]);
+    const auto len = static_cast<std::size_t>(b.rpts[k + 1]) - off;
+    std::copy_n(b.cols.data() + off, len, keys + ns);
+    ns += len;
+  }
+  acc.insert_tagged_batch(keys, ns, slot_stream);
+  return ns;
+}
+
+/// Batched variant of count_row(): the resolved slots go to thread scratch
+/// (rows over the capture budget need only the count).  insert() and
+/// insert_tagged() mutate the table identically, so counts agree.
+template <IndexType IT, ValueType VT, typename Acc>
+  requires BatchProbe<Acc, IT>
+inline void count_row_batch(Acc& acc, const CsrMatrix<IT, VT>& a,
+                            const CsrMatrix<IT, VT>& b, std::size_t i,
+                            Offset row_flop,
+                            mem::ThreadScratch<IT>& key_scratch,
+                            mem::ThreadScratch<IT>& slot_scratch) {
+  IT* slots = slot_scratch.ensure(static_cast<std::size_t>(row_flop));
+  capture_row_batch(acc, a, b, i, row_flop, slots, key_scratch);
+}
+
 /// Freeze the gather order of a captured row while the accumulator still
 /// holds it: writes `nnz` gather slots and the matching column indices
 /// (ascending by column when `sorted`).  `sort_buf` is caller scratch.
@@ -145,28 +240,103 @@ inline void record_gather(Acc& acc, std::size_t nnz, bool sorted, IT* gather,
   }
 }
 
+/// One stanza of the numeric replay: scatter SR::mul(av, bvals[l]) through
+/// the tagged slot stream (store when the tag is non-negative, fold into
+/// slot ~e otherwise).  `kind` selects the execution tier at runtime:
+///
+///   kAvx512 — gather/scatter over 8 doubles per round, with
+///     _mm256_conflict_epi32 guarding against two stream entries hitting
+///     the same slot in one round (conflicting rounds run the scalar loop,
+///     preserving the exact left-to-right fold order, so every tier is
+///     bit-identical);
+///   kAvx2   — 4x-unrolled scalar with the slot target prefetched a few
+///     entries ahead (no lane-crossing gather worth its latency at 256
+///     bits);
+///   kScalar — the classic loop.
+///
+/// Only PlusTimes over (int32, double) vectorizes; any other semiring or
+/// type combination runs the scalar/prefetch tiers.
+template <typename SR, IndexType IT, ValueType VT>
+inline void replay_stanza(VT* slot_vals, VT av, const VT* bvals,
+                          const IT* stream, std::size_t len, ProbeKind kind) {
+  const auto scalar_at = [&](std::size_t l) {
+    const VT v = SR::mul(av, bvals[l]);
+    const IT e = stream[l];
+    if (e >= 0) {
+      slot_vals[static_cast<std::size_t>(e)] = v;
+    } else {
+      SR::add_into(slot_vals[static_cast<std::size_t>(~e)], v);
+    }
+  };
+  std::size_t l = 0;
+#if defined(__AVX512F__) && defined(__AVX512CD__) && defined(__AVX512VL__)
+  if constexpr (std::is_same_v<IT, std::int32_t> &&
+                std::is_same_v<VT, double> && std::is_same_v<SR, PlusTimes>) {
+    if (kind == ProbeKind::kAvx512) {
+      const __m512d av_v = _mm512_set1_pd(av);
+      for (; l + 8 <= len; l += 8) {
+        const __m256i e = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(stream + l));
+        const __m256i sign = _mm256_srai_epi32(e, 31);
+        const __m256i slots = _mm256_xor_si256(e, sign);  // e >= 0 ? e : ~e
+        const __m256i conf = _mm256_conflict_epi32(slots);
+        if (!_mm256_testz_si256(conf, conf)) {
+          // Two entries target one slot: the fold order matters, run the
+          // round scalar.
+          for (std::size_t t = l; t < l + 8; ++t) scalar_at(t);
+          continue;
+        }
+        const __m512d v = _mm512_mul_pd(av_v, _mm512_loadu_pd(bvals + l));
+        const __m512d old = _mm512_i32gather_pd(slots, slot_vals, 8);
+        const auto tagged = static_cast<__mmask8>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(sign)));
+        _mm512_i32scatter_pd(slot_vals, slots,
+                             _mm512_mask_add_pd(v, tagged, old, v), 8);
+      }
+    }
+  }
+#endif
+  if (kind == ProbeKind::kAvx2) {
+    constexpr std::size_t kDist = 16;
+    const auto prefetch_at = [&](std::size_t t) {
+      const IT e = stream[t];
+      __builtin_prefetch(
+          slot_vals + static_cast<std::size_t>(e >= 0 ? e : ~e), 1);
+    };
+    for (; l + 4 <= len && l + kDist + 4 <= len; l += 4) {
+      prefetch_at(l + kDist);
+      prefetch_at(l + kDist + 1);
+      prefetch_at(l + kDist + 2);
+      prefetch_at(l + kDist + 3);
+      scalar_at(l);
+      scalar_at(l + 1);
+      scalar_at(l + 2);
+      scalar_at(l + 3);
+    }
+  }
+  for (; l < len; ++l) scalar_at(l);
+}
+
 /// Numeric replay of a captured row: one sequential read of the tagged slot
 /// stream, values scattered into the accumulator's slot array with zero
-/// probing.  Returns the stream length consumed.
+/// probing.  Returns the stream length consumed.  `kind` picks the
+/// replay_stanza() execution tier; every tier is bit-identical.
 template <typename SR, IndexType IT, ValueType VT, typename Acc>
 inline std::size_t replay_row(Acc& acc, const CsrMatrix<IT, VT>& a,
                               const CsrMatrix<IT, VT>& b, std::size_t i,
-                              const IT* slot_stream) {
+                              const IT* slot_stream,
+                              ProbeKind kind = ProbeKind::kScalar) {
   VT* slot_vals = acc.slot_values();
   std::size_t ns = 0;
   for (Offset j = a.rpts[i]; j < a.rpts[i + 1]; ++j) {
     const auto k =
         static_cast<std::size_t>(a.cols[static_cast<std::size_t>(j)]);
     const VT av = a.vals[static_cast<std::size_t>(j)];
-    for (Offset l = b.rpts[k]; l < b.rpts[k + 1]; ++l) {
-      const VT v = SR::mul(av, b.vals[static_cast<std::size_t>(l)]);
-      const IT e = slot_stream[ns++];
-      if (e >= 0) {
-        slot_vals[static_cast<std::size_t>(e)] = v;
-      } else {
-        SR::add_into(slot_vals[static_cast<std::size_t>(~e)], v);
-      }
-    }
+    const auto off = static_cast<std::size_t>(b.rpts[k]);
+    const auto len = static_cast<std::size_t>(b.rpts[k + 1]) - off;
+    replay_stanza<SR, IT, VT>(slot_vals, av, b.vals.data() + off,
+                              slot_stream + ns, len, kind);
+    ns += len;
   }
   return ns;
 }
@@ -204,6 +374,9 @@ inline void probe_row(Acc& acc, const CsrMatrix<IT, VT>& a,
 struct TileConfig {
   std::size_t budget_entries = 0;  ///< capture slots per thread
   bool capture_enabled = false;
+  /// Requested batching mode for the symbolic/capture path; kAuto defers
+  /// to each thread accumulator's table-size gate (thread_batches()).
+  ProbeBatch probe_batching = ProbeBatch::kAuto;
   std::size_t tile_rows = 0;     ///< row cap per tile
   Offset tile_flop_target = 0;   ///< flop cut target; 0 = row cap only
 };
@@ -218,6 +391,7 @@ inline TileConfig resolve_tile_config(const parallel::RowPartition& part,
                                       std::size_t default_budget_bytes,
                                       std::size_t bytes_per_slot) {
   TileConfig cfg;
+  cfg.probe_batching = opts.probe_batching;
   std::size_t budget_bytes = opts.reuse_budget_bytes;
   std::size_t derived_tile_rows = 0;
   if (opts.budget_source == BudgetSource::kMemoryModel) {
@@ -312,6 +486,12 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
       part, opts, nrows, model::kDefaultReuseBudgetBytes, sizeof(IT));
   const bool reuse_enabled = cfg.capture_enabled;
   const std::size_t budget_entries = cfg.budget_entries;
+  // Resolve the replay execution tier ONCE (env + ISA clamping); the
+  // parallel loops below dispatch on plain values.  The batching decision
+  // is per thread (its accumulator's table size is not known until
+  // prepare()).
+  constexpr bool kPolicyBatches = BatchProbe<typename Policy::Acc, IT>;
+  const ProbeKind replay_kind = resolve_probe_kind(opts.probe);
   parallel::ExecutionSchedule schedule;
   build_schedule(schedule, part, opts, cfg);
   const bool static_tiles =
@@ -337,6 +517,8 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
 
   std::atomic<std::uint64_t> total_sym_probes{0};
   std::atomic<std::uint64_t> total_num_probes{0};
+  std::atomic<std::uint64_t> total_sym_keys{0};
+  std::atomic<std::uint64_t> total_num_keys{0};
   std::atomic<std::uint64_t> total_tiles{0};
   std::atomic<std::uint64_t> total_rows_captured{0};
 
@@ -348,6 +530,8 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
       const auto utid = static_cast<std::size_t>(tid);
       auto acc = policy.make();
       policy.prepare(acc, schedule.sizing_max_row_flop(tid), b.ncols);
+      const bool batch_probes =
+          kPolicyBatches && thread_batches(cfg.probe_batching, acc);
 
       auto& scols = staged_cols[utid];
       auto& svals = staged_vals[utid];
@@ -370,12 +554,19 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
       mem::ThreadScratch<IT> capture_scratch;
       IT* cap =
           reuse_enabled ? capture_scratch.ensure(capture_entries) : nullptr;
+      // Stanza key buffer (and count-path slot sink) of the batched probing
+      // pipeline; grow-only per row.
+      mem::ThreadScratch<IT> key_scratch;
+      mem::ThreadScratch<IT> count_slot_scratch;
       std::vector<RowCapture<IT>> meta;
       std::vector<std::pair<IT, IT>> sort_buf;  // (col, slot) for sorted rows
 
       std::uint64_t last_probes = acc.probes();
+      std::uint64_t last_keys = keys_resolved_of(acc);
       std::uint64_t sym_probes = 0;
       std::uint64_t num_probes = 0;
+      std::uint64_t sym_keys = 0;
+      std::uint64_t num_keys = 0;
       std::uint64_t tiles_done = 0;
       std::uint64_t rows_captured = 0;
       Timer tile_timer;
@@ -402,7 +593,15 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
           row.stage_off = stage_off;
           row.cap_off = cap_used;
           if (row.captured) {
-            const std::size_t ns = capture_row(acc, a, b, i, cap + cap_used);
+            std::size_t ns;
+            if constexpr (kPolicyBatches) {
+              ns = batch_probes
+                       ? capture_row_batch(acc, a, b, i, row_flop,
+                                           cap + cap_used, key_scratch)
+                       : capture_row(acc, a, b, i, cap + cap_used);
+            } else {
+              ns = capture_row(acc, a, b, i, cap + cap_used);
+            }
             const std::size_t nnz = acc.count();
             row.nnz = static_cast<IT>(nnz);
             // Gather slots (and final column order) are fixed now, while
@@ -413,7 +612,16 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
             cap_used += ns + nnz;
             ++rows_captured;
           } else {
-            count_row(acc, a, b, i);
+            if constexpr (kPolicyBatches) {
+              if (batch_probes) {
+                count_row_batch(acc, a, b, i, row_flop, key_scratch,
+                                count_slot_scratch);
+              } else {
+                count_row(acc, a, b, i);
+              }
+            } else {
+              count_row(acc, a, b, i);
+            }
             row.nnz = static_cast<IT>(acc.count());
             scols.resize(stage_off + static_cast<std::size_t>(row.nnz));
           }
@@ -426,6 +634,9 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
           const std::uint64_t cur = acc.probes();
           sym_probes += cur - last_probes;
           last_probes = cur;
+          const std::uint64_t cur_keys = keys_resolved_of(acc);
+          sym_keys += cur_keys - last_keys;
+          last_keys = cur_keys;
         }
 
         // ---- Numeric over the tile (A/B rows still cache-hot). -------
@@ -439,7 +650,7 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
           if (row.captured) {
             const IT* slot_stream = cap + row.cap_off;
             const std::size_t ns =
-                replay_row<SR>(acc, a, b, i, slot_stream);
+                replay_row<SR>(acc, a, b, i, slot_stream, replay_kind);
             gather_values(static_cast<const VT*>(acc.slot_values()),
                           slot_stream + ns,
                           static_cast<std::size_t>(row.nnz),
@@ -461,6 +672,9 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
           const std::uint64_t cur = acc.probes();
           num_probes += cur - last_probes;
           last_probes = cur;
+          const std::uint64_t cur_keys = keys_resolved_of(acc);
+          num_keys += cur_keys - last_keys;
+          last_keys = cur_keys;
         }
 
         recs.push_back({r0, r1, stage_begin});
@@ -475,6 +689,8 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
 
       total_sym_probes.fetch_add(sym_probes, std::memory_order_relaxed);
       total_num_probes.fetch_add(num_probes, std::memory_order_relaxed);
+      total_sym_keys.fetch_add(sym_keys, std::memory_order_relaxed);
+      total_num_keys.fetch_add(num_keys, std::memory_order_relaxed);
       total_tiles.fetch_add(tiles_done, std::memory_order_relaxed);
       total_rows_captured.fetch_add(rows_captured,
                                     std::memory_order_relaxed);
@@ -535,6 +751,8 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
         total_sym_probes.load(std::memory_order_relaxed);
     stats->numeric_probes = total_num_probes.load(std::memory_order_relaxed);
     stats->probes = stats->symbolic_probes + stats->numeric_probes;
+    stats->symbolic_keys = total_sym_keys.load(std::memory_order_relaxed);
+    stats->numeric_keys = total_num_keys.load(std::memory_order_relaxed);
     stats->tile_count = total_tiles.load(std::memory_order_relaxed);
     stats->tile_steals = schedule.steals();
     stats->reuse_rows_captured =

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "accumulator/hash_table.hpp"
@@ -221,6 +223,127 @@ TEST(HashVecAccumulator, AllProbeKindsAgree) {
   for (std::size_t i = 1; i < results.size(); ++i) {
     EXPECT_EQ(results[i].first, results[0].first);
     EXPECT_EQ(results[i].second, results[0].second);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched multi-key probing: the batch-capture contract demands that
+// insert_tagged_batch be bit-identical to per-key insert_tagged — same slot
+// assignments, same touched order, same replayed values — at every probe
+// tier and for any split of the stream into batches.
+// ---------------------------------------------------------------------------
+
+std::size_t striding(std::size_t n) { return n < 4 ? 3 : n; }
+
+template <typename Acc>
+void check_batch_matches_perkey(Acc& per_key, Acc& batched,
+                                const std::vector<I>& keys, SplitMix64& rng,
+                                const char* what) {
+  const std::size_t n = keys.size();
+  std::vector<I> ref_slots(n);
+  std::vector<I> got_slots(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ref_slots[i] = per_key.insert_tagged(keys[i]);
+  }
+  // Random batch sizes exercise the vector blocks AND the scalar tails.
+  std::size_t off = 0;
+  while (off < n) {
+    const std::size_t len =
+        std::min<std::size_t>(n - off, 1 + rng.next_below(striding(n)));
+    batched.insert_tagged_batch(keys.data() + off, len, got_slots.data() + off);
+    off += len;
+  }
+  ASSERT_EQ(got_slots, ref_slots) << what;
+  ASSERT_EQ(batched.count(), per_key.count()) << what;
+  for (std::size_t i = 0; i < per_key.count(); ++i) {
+    ASSERT_EQ(batched.touched_slot(i), per_key.touched_slot(i))
+        << what << " touched " << i;
+  }
+  ASSERT_EQ(batched.keys_resolved(), per_key.keys_resolved()) << what;
+  // A batch may shed probe rounds (duplicate-in-flight shortcut), never add.
+  ASSERT_LE(batched.probes(), per_key.probes()) << what;
+
+  // Replay a value stream through both tagged slot streams and compare the
+  // extracted rows exactly (store on tag >= 0, fold on ~slot — the capture
+  // protocol of core/spgemm_twophase.hpp).
+  const auto replay = [&](Acc& acc, const std::vector<I>& slots) {
+    double* vals = acc.slot_values();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = 0.5 + static_cast<double>(i % 17);
+      const I e = slots[i];
+      if (e >= 0) {
+        vals[static_cast<std::size_t>(e)] = v;
+      } else {
+        vals[static_cast<std::size_t>(~e)] += v;
+      }
+    }
+    std::vector<I> cols(acc.count());
+    std::vector<double> out(acc.count());
+    acc.extract_unsorted(cols.data(), out.data());
+    return std::pair{cols, out};
+  };
+  const auto [ref_cols, ref_vals] = replay(per_key, ref_slots);
+  const auto [got_cols, got_vals] = replay(batched, got_slots);
+  EXPECT_EQ(got_cols, ref_cols) << what;
+  EXPECT_EQ(got_vals, ref_vals) << what;  // exact: same folds, same order
+}
+
+TEST(HashVecAccumulator, BatchedProbingMatchesPerKeyAllTiers) {
+  SplitMix64 rng(20260730);
+  for (int round = 0; round < 24; ++round) {
+    // Alternate randomized and duplicate-heavy (MCL-like) key streams; the
+    // tiny universes guarantee duplicates inside one vector block, driving
+    // the conflict/rotation shortcut paths.
+    const std::size_t universe = (round % 3 == 0)   ? 24
+                                 : (round % 3 == 1) ? 700
+                                                    : 60000;
+    const std::size_t n = 1 + rng.next_below(1200);
+    std::vector<I> keys(n);
+    for (auto& k : keys) k = static_cast<I>(rng.next_below(universe));
+    for (const ProbeKind kind :
+         {ProbeKind::kScalar, ProbeKind::kAvx2, ProbeKind::kAvx512}) {
+      HashVecAccumulator<I, double> per_key(kind);
+      HashVecAccumulator<I, double> batched(kind);
+      prepare_for(per_key, n, universe);
+      prepare_for(batched, n, universe);
+      check_batch_matches_perkey(per_key, batched, keys, rng,
+                                 probe_kind_name(kind));
+    }
+  }
+}
+
+TEST(HashAccumulator, BatchedProbingMatchesPerKey) {
+  SplitMix64 rng(4242);
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t universe = round % 2 == 0 ? 40 : 5000;
+    const std::size_t n = 1 + rng.next_below(800);
+    std::vector<I> keys(n);
+    for (auto& k : keys) k = static_cast<I>(rng.next_below(universe));
+    HashAccumulator<I, double> per_key;
+    HashAccumulator<I, double> batched;
+    prepare_for(per_key, n, universe);
+    prepare_for(batched, n, universe);
+    check_batch_matches_perkey(per_key, batched, keys, rng, "hash");
+  }
+}
+
+TEST(ProbeKindResolution, EnvForceOverridesAndClamps) {
+  // Save/restore any force the CI matrix leg set for this whole binary.
+  const char* prev = std::getenv("SPGEMM_FORCE_PROBE");
+  const std::string saved = prev != nullptr ? prev : "";
+  ASSERT_EQ(setenv("SPGEMM_FORCE_PROBE", "scalar", 1), 0);
+  EXPECT_EQ(resolve_probe_kind(ProbeKind::kAuto), ProbeKind::kScalar);
+  EXPECT_EQ(resolve_probe_kind(ProbeKind::kAvx512), ProbeKind::kScalar);
+  ASSERT_EQ(unsetenv("SPGEMM_FORCE_PROBE"), 0);
+  // Unforced: kAuto resolves to a concrete tier the host supports, and any
+  // request resolves to something no wider than that.
+  const ProbeKind widest = resolve_probe_kind(ProbeKind::kAuto);
+  EXPECT_NE(widest, ProbeKind::kAuto);
+  EXPECT_LE(static_cast<int>(resolve_probe_kind(ProbeKind::kAvx512)),
+            static_cast<int>(ProbeKind::kAvx512));
+  EXPECT_EQ(resolve_probe_kind(ProbeKind::kScalar), ProbeKind::kScalar);
+  if (prev != nullptr) {
+    ASSERT_EQ(setenv("SPGEMM_FORCE_PROBE", saved.c_str(), 1), 0);
   }
 }
 

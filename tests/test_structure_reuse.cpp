@@ -105,6 +105,20 @@ TEST_P(ReuseSweep, ReuseOnOffAndReferenceBitIdentical) {
   expect_bitwise_equal(with_reuse, without_reuse, "reuse on vs off");
   EXPECT_NO_THROW(with_reuse.validate());
 
+  // Batched vs per-key probing must be bit-identical too (the batch-capture
+  // contract of accumulator/hash_table.hpp) across kernels, sortedness,
+  // threads and tile schedules.  kOn overrides the table-size gate so the
+  // batch pipeline really runs on these small inputs; kOff forbids it.
+  opts.reuse = StructureReuse::kOn;
+  opts.probe_batching = ProbeBatch::kOn;
+  const Matrix batch_probed = multiply(a, a, opts);
+  expect_bitwise_equal(with_reuse, batch_probed, "forced-batch probing");
+  opts.probe_batching = ProbeBatch::kOff;
+  const Matrix per_key_probed = multiply(a, a, opts);
+  expect_bitwise_equal(with_reuse, per_key_probed,
+                       "batched vs per-key probing");
+  opts.probe_batching = ProbeBatch::kAuto;
+
   // Reuse observability: every row should be captured at the default
   // budget, and the replayed numeric phase must not probe.
   EXPECT_GT(on_stats.tile_count, 0u);
@@ -283,6 +297,25 @@ TEST(ReusePlanner, PlanMeasuresCollisionFactorAndTiles) {
   EXPECT_TRUE(plan.reuse_pays());
   EXPECT_EQ(stats.nnz_out, plan.nnz_out());
   EXPECT_GT(stats.plan_ms, 0.0);
+}
+
+TEST(ReusePlanner, CollisionFactorFlooredUnderBatchedProbing) {
+  // Every row shares the same few columns, so most keys in a 16-lane batch
+  // window duplicate an earlier lane and retire WITHOUT a probe round.
+  // The cost model's c is defined against per-key probing (>= one round
+  // per key); collision_factor() must floor the batched round count so
+  // reuse_pays() is not skewed on exactly these duplicate-heavy inputs.
+  std::vector<std::tuple<I, I, double>> trips;
+  for (I i = 0; i < 512; ++i) {
+    for (I j = 0; j < 8; ++j) trips.emplace_back(i, j, 1.0);
+  }
+  const Matrix a = csr_from_triplets<I, double>(512, 512, trips);
+  SpGemmOptions opts;
+  opts.algorithm = Algorithm::kHashVector;
+  opts.probe_batching = ProbeBatch::kOn;
+  SpGemmHandle<I, double> plan(a, a, opts);
+  EXPECT_GE(plan.collision_factor(), 1.0);
+  EXPECT_TRUE(plan.reuse_pays());
 }
 
 TEST(ReusePlanner, CostModelTileChoiceScalesWithDensity) {
