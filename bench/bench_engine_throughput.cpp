@@ -16,11 +16,14 @@
 // at scale 16 — the plan phase (symbolic + partition + capture + skeleton)
 // is the majority of a one-shot product, and the cache takes it off the
 // repeated path entirely.
+#include <chrono>
 #include <cstdio>
+#include <future>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/error.hpp"
 #include "engine/spgemm_engine.hpp"
 #include "matrix/rmat.hpp"
 
@@ -101,6 +104,100 @@ void report(JsonReporter& json, const std::string& config,
               rec.p99_ms);
 }
 
+/// QoS mix: the same request mix burst-submitted through admission control
+/// with a bounded queue, priorities (latency-sensitive smalls over bulk
+/// larges) and deadlines.  The dispatcher is paused during the burst so the
+/// backpressure decisions are deterministic: the queue fills, smalls
+/// displace larges, the overflow is shed typed (kShed), and two
+/// already-expired probe requests exercise the deadline accounting.  Smalls
+/// carry a generous real deadline (SPGEMM_BENCH_DEADLINE_MS, default 30s)
+/// so CI timing noise cannot flake the run — its purpose is marking them
+/// deadline-sensitive, which schedules the packed-small phase first.
+void run_qos_mix(JsonReporter& json, const std::string& mix_name, int threads,
+                 const engine::EngineOptions& base,
+                 const std::vector<Matrix>& large,
+                 const std::vector<Matrix>& small) {
+  engine::EngineOptions opts = base;
+  opts.max_queue = 8;
+  Engine eng(opts);
+  eng.pause();
+
+  const auto deadline =
+      Engine::Clock::now() +
+      std::chrono::milliseconds(
+          env::get_int("SPGEMM_BENCH_DEADLINE_MS", 30000));
+  std::vector<std::future<Engine::Product>> futures;
+  for (const Matrix& m : large) {
+    Engine::Request r;
+    r.a = &m;
+    r.b = &m;
+    r.priority = 0;  // bulk: first to go under pressure
+    futures.push_back(eng.submit(r));
+  }
+  for (const Matrix& m : small) {
+    for (int i = 0; i < kSmallPerRound; ++i) {
+      Engine::Request r;
+      r.a = &m;
+      r.b = &m;
+      r.priority = 1;
+      r.deadline = deadline;
+      futures.push_back(eng.submit(r));
+    }
+  }
+  // Two probes whose deadline has already passed: admitted (high priority),
+  // then failed typed at run time — deterministic deadline accounting.
+  for (int i = 0; i < 2; ++i) {
+    Engine::Request r;
+    r.a = &small.front();
+    r.b = &small.front();
+    r.priority = 2;
+    r.deadline = Engine::Clock::now() - std::chrono::milliseconds(1);
+    futures.push_back(eng.submit(r));
+  }
+
+  Timer timer;
+  eng.resume();
+  std::size_t delivered = 0;
+  std::size_t shed = 0;
+  std::size_t missed = 0;
+  std::vector<double> latencies;
+  for (auto& f : futures) {
+    try {
+      latencies.push_back(f.get().latency_ms);
+      ++delivered;
+    } catch (const SpGemmError& e) {
+      if (e.code() == ErrorCode::kShed) ++shed;
+      if (e.code() == ErrorCode::kDeadlineExceeded) ++missed;
+    }
+  }
+  const double drain_ms = timer.millis();
+  const auto es = eng.engine_stats();
+
+  BenchRecord rec;
+  rec.kernel = "qos-mix";
+  rec.matrix = mix_name;
+  rec.threads = threads;
+  rec.products_per_sec =
+      drain_ms > 0.0 ? 1e3 * static_cast<double>(delivered) / drain_ms : 0.0;
+  rec.p50_ms = latency_percentile(latencies, 0.50);
+  rec.p99_ms = latency_percentile(latencies, 0.99);
+  rec.shed = static_cast<long long>(es.shed);
+  rec.deadline_misses = static_cast<long long>(es.deadline_misses);
+  rec.retries = static_cast<long long>(es.retries);
+  rec.degraded_execs = static_cast<long long>(es.degraded_execs);
+  json.add(std::move(rec));
+
+  std::printf("\nqos mix (queue bound 8): %zu delivered, %zu shed, "
+              "%zu past-deadline of %zu submitted\n",
+              delivered, shed, missed, futures.size());
+  std::printf("engine stats: shed=%llu deadline_misses=%llu retries=%llu "
+              "degraded_execs=%llu\n",
+              static_cast<unsigned long long>(es.shed),
+              static_cast<unsigned long long>(es.deadline_misses),
+              static_cast<unsigned long long>(es.retries),
+              static_cast<unsigned long long>(es.degraded_execs));
+}
+
 }  // namespace
 
 int main() {
@@ -158,6 +255,8 @@ int main() {
           : 0.0;
   std::printf("steady-state speedup (cache-on / cache-off): %.2fx\n",
               speedup);
+
+  run_qos_mix(json, mix_name, threads, base, large, small);
 
   json.flush();
   return 0;

@@ -48,6 +48,14 @@ struct BenchRecord {
   double products_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  /// Resilience / QoS counters (bench_engine_throughput's qos row): requests
+  /// dropped by admission control, deadline misses (failed-before-run plus
+  /// delivered-late), memory-pressure ladder retries, and products served
+  /// degraded.  Zero for rows without admission control.
+  long long shed = 0;
+  long long deadline_misses = 0;
+  long long retries = 0;
+  long long degraded_execs = 0;
   /// Probe-work shape (bench_abl_probing): accumulator probe rounds and the
   /// average keys one round resolves (> 1 only under batched probing, where
   /// duplicate-in-flight shortcuts retire keys without a table round).
@@ -128,13 +136,16 @@ class JsonReporter {
           "\"executions\": %lld, \"tile_steals\": %lld, "
           "\"products_per_sec\": %.2f, \"p50_ms\": %.4f, "
           "\"p99_ms\": %.4f, \"probe_rounds\": %lld, "
-          "\"keys_per_round\": %.4f}%s\n",
+          "\"keys_per_round\": %.4f, \"shed\": %lld, "
+          "\"deadline_misses\": %lld, \"retries\": %lld, "
+          "\"degraded_execs\": %lld}%s\n",
           json_escape(r.kernel).c_str(), json_escape(r.matrix).c_str(),
           r.threads, r.total_ms, r.symbolic_ms, r.numeric_ms, r.mflops,
           r.reuse_hit_rate, static_cast<long long>(r.flop),
           static_cast<long long>(r.nnz_out), r.plan_ms, r.execute_ms,
           r.executions, r.tile_steals, r.products_per_sec, r.p50_ms,
-          r.p99_ms, r.probe_rounds, r.keys_per_round,
+          r.p99_ms, r.probe_rounds, r.keys_per_round, r.shed,
+          r.deadline_misses, r.retries, r.degraded_execs,
           i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");

@@ -1,0 +1,72 @@
+// Structured error taxonomy of the library.
+//
+// A serving tier cannot act on `std::runtime_error("...")`: a producer
+// draining futures needs to tell "your input was malformed" (give up) from
+// "the engine shed you under load" (resubmit later) from "memory pressure
+// defeated every fallback" (degrade the workload) without string-matching
+// what(). SpGemmError carries a stable ErrorCode for exactly that, and —
+// because it derives from std::runtime_error — travels losslessly through
+// std::promise/std::future rethrow and keeps legacy catch(std::runtime_error)
+// sites working.
+//
+// Throw-site conventions:
+//   kBadInput          malformed/mismatched caller input (dimensions, null
+//                      request pointers, corrupt MatrixMarket files,
+//                      executing an unplanned handle, structure drift)
+//   kOutOfMemory       allocation failure that survived the engine's whole
+//                      degradation ladder (engine/spgemm_engine.hpp)
+//   kDeadlineExceeded  the request's deadline passed before it could run
+//   kShed              admission control dropped the request under
+//                      backpressure (bounded queue / flop budget / priority)
+//   kEngineStopped     submitted to an engine that is draining for shutdown
+//   kInternal          invariant violation or an unclassified foreign
+//                      exception crossing the engine boundary
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace spgemm {
+
+enum class ErrorCode : std::uint8_t {
+  kBadInput,
+  kOutOfMemory,
+  kDeadlineExceeded,
+  kShed,
+  kEngineStopped,
+  kInternal,
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadInput:
+      return "bad-input";
+    case ErrorCode::kOutOfMemory:
+      return "out-of-memory";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ErrorCode::kShed:
+      return "shed";
+    case ErrorCode::kEngineStopped:
+      return "engine-stopped";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+class SpGemmError : public std::runtime_error {
+ public:
+  SpGemmError(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " +
+                           message),
+        code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace spgemm

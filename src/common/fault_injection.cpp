@@ -1,0 +1,137 @@
+#include "common/fault_injection.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+
+#include "common/env.hpp"
+
+namespace spgemm::fault {
+namespace {
+
+struct PointState {
+  std::atomic<std::uint64_t> passes{0};
+  std::atomic<std::uint64_t> triggered{0};
+  // Armed window [nth, nth + count); 0 = disarmed.  Guarded by g_mu for
+  // writes; reads on the trigger path are atomic snapshots.
+  std::atomic<std::uint64_t> nth{0};
+  std::atomic<std::uint64_t> count{0};
+};
+
+PointState g_state[kNumPoints];
+std::mutex g_mu;
+
+int index_of(const char* point) noexcept {
+  for (std::size_t i = 0; i < kNumPoints; ++i) {
+    if (std::strcmp(kPoints[i], point) == 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_armed{0};
+
+bool should_trigger(const char* point) noexcept {
+  const int idx = index_of(point);
+  // A macro naming an unregistered point is a programming error: the CI
+  // sweep could never reach it.  Debug builds refuse; release builds treat
+  // it as permanently disarmed.
+  assert(idx >= 0 && "fault point not listed in fault::kPoints");
+  if (idx < 0) return false;
+  PointState& st = g_state[idx];
+  const std::uint64_t pass =
+      st.passes.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t nth = st.nth.load(std::memory_order_relaxed);
+  if (nth == 0) return false;
+  const std::uint64_t count = st.count.load(std::memory_order_relaxed);
+  if (pass >= nth && pass < nth + count) {
+    st.triggered.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+bool arm(const std::string& point, std::uint64_t nth, std::uint64_t count) {
+  const int idx = index_of(point.c_str());
+  if (idx < 0 || nth == 0 || count == 0) return false;
+  std::lock_guard<std::mutex> lk(g_mu);
+  PointState& st = g_state[static_cast<std::size_t>(idx)];
+  const bool was_armed = st.nth.load(std::memory_order_relaxed) != 0;
+  st.passes.store(0, std::memory_order_relaxed);
+  st.nth.store(nth, std::memory_order_relaxed);
+  st.count.store(count, std::memory_order_relaxed);
+  if (!was_armed) detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool arm_spec(const std::string& spec) {
+  const std::size_t c1 = spec.find(':');
+  if (c1 == std::string::npos || c1 == 0) return false;
+  const std::string point = spec.substr(0, c1);
+  std::uint64_t nth = 0;
+  std::uint64_t count = 1;
+  try {
+    const std::size_t c2 = spec.find(':', c1 + 1);
+    if (c2 == std::string::npos) {
+      nth = std::stoull(spec.substr(c1 + 1));
+    } else {
+      nth = std::stoull(spec.substr(c1 + 1, c2 - c1 - 1));
+      count = std::stoull(spec.substr(c2 + 1));
+    }
+  } catch (...) {
+    return false;
+  }
+  return arm(point, nth, count);
+}
+
+bool arm_from_env() {
+  const std::string spec = env::get_string("SPGEMM_FAULT", "");
+  return !spec.empty() && arm_spec(spec);
+}
+
+void disarm(const std::string& point) {
+  const int idx = index_of(point.c_str());
+  if (idx < 0) return;
+  std::lock_guard<std::mutex> lk(g_mu);
+  PointState& st = g_state[static_cast<std::size_t>(idx)];
+  if (st.nth.load(std::memory_order_relaxed) != 0) {
+    st.nth.store(0, std::memory_order_relaxed);
+    st.count.store(0, std::memory_order_relaxed);
+    detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  for (PointState& st : g_state) {
+    if (st.nth.load(std::memory_order_relaxed) != 0) {
+      detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+    st.nth.store(0, std::memory_order_relaxed);
+    st.count.store(0, std::memory_order_relaxed);
+    st.passes.store(0, std::memory_order_relaxed);
+    st.triggered.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t passes(const std::string& point) {
+  const int idx = index_of(point.c_str());
+  return idx < 0 ? 0
+                 : g_state[static_cast<std::size_t>(idx)].passes.load(
+                       std::memory_order_relaxed);
+}
+
+std::uint64_t triggered(const std::string& point) {
+  const int idx = index_of(point.c_str());
+  return idx < 0 ? 0
+                 : g_state[static_cast<std::size_t>(idx)].triggered.load(
+                       std::memory_order_relaxed);
+}
+
+}  // namespace spgemm::fault

@@ -52,6 +52,8 @@
 #include <variant>
 #include <vector>
 
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "core/recipe.hpp"
@@ -450,8 +452,8 @@ class SpGemmHandle {
             SpGemmOptions opts = {}, SpGemmStats* stats = nullptr,
             const std::uint64_t* known_fingerprint = nullptr) {
     if (a.ncols != b.nrows) {
-      throw std::invalid_argument(
-          "SpGemmHandle::plan: inner dimensions disagree");
+      throw SpGemmError(ErrorCode::kBadInput,
+                        "SpGemmHandle::plan: inner dimensions disagree");
     }
     Timer plan_timer;
     requested_opts_ = opts;  // pre-resolution, for ensure_planned()
@@ -459,6 +461,10 @@ class SpGemmHandle {
     executions_ = 0;
     pooled_cols_ready_ = false;
     planned_ = false;
+    // Stands in for the partition / schedule / workspace / pooled-output
+    // allocations this call makes: every plan attempt passes it exactly
+    // once, which is what makes the engine's ladder tests deterministic.
+    SPGEMM_FAULT_ALLOC("handle.plan.alloc");
 
     if (opts.algorithm == Algorithm::kAuto) {
       opts.algorithm = recipe::select_for(
@@ -467,9 +473,9 @@ class SpGemmHandle {
       if (!is_two_phase(opts.algorithm)) opts.algorithm = Algorithm::kHash;
     }
     if (!is_two_phase(opts.algorithm)) {
-      throw std::invalid_argument(
-          "SpGemmHandle::plan: kernel has no symbolic phase to plan "
-          "(two-phase kernels only)");
+      throw SpGemmError(ErrorCode::kBadInput,
+                        "SpGemmHandle::plan: kernel has no symbolic phase to "
+                        "plan (two-phase kernels only)");
     }
 
     core_.opts = opts;
@@ -514,6 +520,7 @@ class SpGemmHandle {
     detail::build_schedule(core_.schedule, core_.part, opts, cfg);
 
     timer.reset();
+    SPGEMM_FAULT_RAISE("handle.plan.symbolic");
     emplace_kernel(b.ncols);
     std::visit(
         [&](auto& kernel) {
@@ -705,8 +712,8 @@ class SpGemmHandle {
   void verify_structure(const CsrMatrix<IT, VT>& a,
                         const CsrMatrix<IT, VT>& b) const {
     if (!structure_matches(a, b)) {
-      throw std::invalid_argument(
-          "SpGemmHandle: input structure differs from the plan");
+      throw SpGemmError(ErrorCode::kBadInput,
+                        "SpGemmHandle: input structure differs from the plan");
     }
   }
 
@@ -796,9 +803,11 @@ class SpGemmHandle {
                     CsrMatrix<IT, VT>& c, bool fill_skeleton,
                     bool into_pooled, SR /*sr*/, SpGemmStats* stats) {
     if (!planned_) {
-      throw std::logic_error("SpGemmHandle::execute: no plan — call plan()");
+      throw SpGemmError(ErrorCode::kBadInput,
+                        "SpGemmHandle::execute: no plan — call plan()");
     }
     check_structure(a, b);
+    SPGEMM_FAULT_RAISE("handle.execute.numeric");
     Timer exec_timer;
     parallel::ScopedNumThreads scoped(core_.opts.threads);
 

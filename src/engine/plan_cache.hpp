@@ -22,11 +22,19 @@
 //      evicted too: the cache never retains more than its budget while
 //      idle, even if that means a structure can never be cached.
 //
+// Poisoned-plan protocol: a Lease that dies WITHOUT release() — exception
+// unwind through plan/execute, or an explicit quarantine() — assumes the
+// worst: the handle may hold a half-built plan, so the entry is removed
+// from the serving map immediately (never re-served) and destroyed once its
+// last pin drops.  Pin accounting survives every path; debug builds assert
+// it returns to zero (total_pins) and that destruction finds no leaks.
+//
 // adopt()/release_handle() move whole handles across the cache boundary:
 // a caller that planned a handle by hand can donate it, and a caller that
 // wants exclusive ownership of a cached plan can take it out.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -35,7 +43,9 @@
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "common/fault_injection.hpp"
 #include "common/types.hpp"
 #include "core/spgemm_handle.hpp"
 
@@ -48,6 +58,9 @@ struct PlanCacheStats {
   std::uint64_t misses = 0;      ///< releases that had to (re)plan
   std::uint64_t evictions = 0;   ///< entries destroyed by the byte budget
   std::uint64_t inserts = 0;     ///< entries created (acquire miss / adopt)
+  /// Entries removed because a lease unwound without release() (the plan
+  /// may be half-built / poisoned) — never re-served.
+  std::uint64_t quarantined = 0;
   std::size_t retained_bytes = 0;  ///< current total plan+pool bytes
   std::size_t entries = 0;         ///< current entry count
 };
@@ -61,10 +74,19 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
+  ~PlanCache() {
+    // Every lease must have been consumed before the cache dies; a live pin
+    // here means a Lease outlived its cache — use-after-free in waiting.
+    assert(pins_total_ == 0 && "PlanCache destroyed with live pins");
+    assert(doomed_.empty() && "quarantined entries leaked");
+  }
+
   /// A pinned reference to one cached handle.  The pin blocks eviction; the
-  /// exec mutex serializes plan/execute on the handle.  Destroying a Lease
-  /// without release() (exception unwind) just unpins — the entry stays,
-  /// with its last accounted weight.
+  /// exec mutex serializes plan/execute on the handle.  RAII contract: a
+  /// Lease destroyed without release() (exception unwind mid plan/execute)
+  /// QUARANTINES the entry — the possibly poisoned plan is removed from the
+  /// serving map and never served again.  Finish successful uses with
+  /// cache.release(std::move(lease), was_hit, bytes).
   class Lease {
    public:
     Lease() = default;
@@ -75,13 +97,13 @@ class PlanCache {
           entry_(std::exchange(other.entry_, nullptr)) {}
     Lease& operator=(Lease&& other) noexcept {
       if (this != &other) {
-        unpin();
+        abandon();
         cache_ = std::exchange(other.cache_, nullptr);
         entry_ = std::exchange(other.entry_, nullptr);
       }
       return *this;
     }
-    ~Lease() { unpin(); }
+    ~Lease() { abandon(); }
 
     [[nodiscard]] SpGemmHandle<IT, VT>& handle() { return entry_->handle; }
     /// Hold this while planning or executing through handle(); only while
@@ -92,10 +114,9 @@ class PlanCache {
     friend class PlanCache;
     Lease(PlanCache* cache, Entry* entry) : cache_(cache), entry_(entry) {}
 
-    void unpin() {
+    void abandon() {
       if (cache_ == nullptr) return;
-      std::lock_guard<std::mutex> lk(cache_->mu_);
-      --entry_->pins;
+      cache_->abandon_entry(entry_);
       cache_ = nullptr;
       entry_ = nullptr;
     }
@@ -107,12 +128,14 @@ class PlanCache {
   /// Pin the entry for `key`, creating an empty (unplanned) one on first
   /// sight.  Whether the caller found a usable plan is its own discovery —
   /// ensure_planned_hashed under the exec mutex — and is reported back
-  /// through release()'s `was_hit`.
+  /// through release()'s `was_hit`.  May throw std::bad_alloc creating the
+  /// entry (nothing is mutated in that case).
   Lease acquire(std::uint64_t key) {
     std::lock_guard<std::mutex> lk(mu_);
     Entry* e = nullptr;
     auto it = map_.find(key);
     if (it == map_.end()) {
+      SPGEMM_FAULT_ALLOC("cache.insert");
       auto entry = std::make_unique<Entry>();
       entry->key = key;
       e = entry.get();
@@ -124,12 +147,14 @@ class PlanCache {
       e = it->second.get();
     }
     ++e->pins;
+    ++pins_total_;
     return Lease(this, e);
   }
 
-  /// Finish one use: account the handle's current weight (`bytes` must be
-  /// read under the exec mutex, before it is dropped), promote to LRU
-  /// front, unpin, and enforce the budget.
+  /// Finish one SUCCESSFUL use: account the handle's current weight
+  /// (`bytes` must be read under the exec mutex, before it is dropped),
+  /// promote to LRU front, unpin, and enforce the budget.  A lease dropped
+  /// without this call quarantines its entry instead.
   void release(Lease&& lease, bool was_hit, std::size_t bytes) {
     Entry* e = std::exchange(lease.entry_, nullptr);
     PlanCache* self = std::exchange(lease.cache_, nullptr);
@@ -140,12 +165,28 @@ class PlanCache {
     } else {
       ++stats_.misses;
     }
+    --e->pins;
+    --pins_total_;
+    if (e->doomed) {
+      // Another lease of this entry quarantined it while we executed; the
+      // plan must not re-enter the LRU.
+      if (e->pins == 0) erase_doomed(e);
+      return;
+    }
     stats_.retained_bytes -= e->bytes;
     e->bytes = bytes;
     stats_.retained_bytes += e->bytes;
     lru_.splice(lru_.begin(), lru_, e->lru_pos);
-    --e->pins;
     enforce_budget(e);
+  }
+
+  /// Explicitly evict the leased entry so its plan is never served again —
+  /// the spelled-out form of dropping the lease (poisoned-plan protocol).
+  void quarantine(Lease&& lease) {
+    Entry* e = std::exchange(lease.entry_, nullptr);
+    PlanCache* self = std::exchange(lease.cache_, nullptr);
+    if (e == nullptr || self != this) return;
+    abandon_entry(e);
   }
 
   /// Donate an externally planned handle.  A live (pinned) entry for the
@@ -189,11 +230,40 @@ class PlanCache {
     return handle;
   }
 
+  /// Evict unpinned entries, LRU tail first, until the retained total is at
+  /// most `target_bytes`.  The engine's memory-pressure ladder calls
+  /// shrink(0) — drop every cold plan — before retrying a failed
+  /// allocation.  Returns the bytes freed.
+  std::size_t shrink(std::size_t target_bytes) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::size_t before = stats_.retained_bytes;
+    bool evicted = true;
+    while (stats_.retained_bytes > target_bytes && evicted) {
+      evicted = false;
+      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        Entry* victim = *it;
+        if (victim->pins > 0) continue;
+        evict_entry(victim);
+        evicted = true;
+        break;
+      }
+    }
+    return before - stats_.retained_bytes;
+  }
+
   [[nodiscard]] PlanCacheStats stats() const {
     std::lock_guard<std::mutex> lk(mu_);
     PlanCacheStats out = stats_;
     out.entries = map_.size();
     return out;
+  }
+
+  /// Outstanding pins across all entries (including quarantined ones still
+  /// draining).  The resilience invariant every chaos test asserts: back to
+  /// zero whenever no batch is in flight.
+  [[nodiscard]] int total_pins() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return pins_total_;
   }
 
   [[nodiscard]] std::size_t budget_bytes() const { return budget_bytes_; }
@@ -204,12 +274,51 @@ class PlanCache {
     SpGemmHandle<IT, VT> handle;
     std::mutex exec_mu;
     int pins = 0;           ///< guarded by the cache mutex
+    bool doomed = false;    ///< quarantined: out of the map, dies at pin 0
     std::size_t bytes = 0;  ///< last accounted retained weight
     typename std::list<Entry*>::iterator lru_pos;
   };
 
+  /// A lease died without release(): unpin and quarantine (callers must NOT
+  /// hold mu_).
+  void abandon_entry(Entry* e) {
+    std::lock_guard<std::mutex> lk(mu_);
+    --e->pins;
+    --pins_total_;
+    ++stats_.quarantined;
+    doom_entry(e);
+  }
+
+  /// Remove the entry from the serving map/LRU immediately; destroy it now
+  /// if unpinned, else park it in doomed_ until its last pin drops (other
+  /// leases may still be executing through it).  Callers hold mu_.
+  void doom_entry(Entry* e) {
+    if (!e->doomed) {
+      e->doomed = true;
+      stats_.retained_bytes -= e->bytes;
+      e->bytes = 0;
+      auto it = map_.find(e->key);
+      // e was in the map until this call: doomed entries leave it at once,
+      // so the key still resolves to e here.
+      doomed_.push_back(std::move(it->second));
+      map_.erase(it);
+      lru_.erase(e->lru_pos);
+    }
+    if (e->pins == 0) erase_doomed(e);
+  }
+
+  void erase_doomed(Entry* e) {
+    for (auto it = doomed_.begin(); it != doomed_.end(); ++it) {
+      if (it->get() == e) {
+        doomed_.erase(it);
+        return;
+      }
+    }
+  }
+
   /// Destroy one unpinned entry (callers hold mu_).
   void evict_entry(Entry* victim) {
+    SPGEMM_FAULT_RAISE("cache.evict");
     stats_.retained_bytes -= victim->bytes;
     ++stats_.evictions;
     lru_.erase(victim->lru_pos);
@@ -250,6 +359,10 @@ class PlanCache {
   std::size_t budget_bytes_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Entry>> map_;
   std::list<Entry*> lru_;  ///< front = most recently used
+  /// Quarantined entries still pinned by in-flight leases; destroyed as the
+  /// last pin drops.
+  std::vector<std::unique_ptr<Entry>> doomed_;
+  int pins_total_ = 0;  ///< guarded by mu_
   PlanCacheStats stats_;
 };
 

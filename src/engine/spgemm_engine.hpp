@@ -27,6 +27,37 @@
 //     same structure always replans with the same thread count and its
 //     cached plan stays valid across batches.
 //
+// Resilience contract (this is a serving tier, so failure is an API):
+//
+//   * every failure crossing the engine boundary is a SpGemmError with a
+//     stable ErrorCode (common/error.hpp), carried losslessly through the
+//     futures — null/mismatched inputs are kBadInput, shutdown races are
+//     kEngineStopped, never a raw logic_error;
+//   * requests carry an optional DEADLINE and a PRIORITY.  A request whose
+//     deadline passes before it runs fails fast with kDeadlineExceeded; one
+//     that completes late still delivers (the work is done — wasting it
+//     helps nobody) and is counted in EngineStats::deadline_misses.  When
+//     any request in a batch carries a deadline, the packed-small phase
+//     runs before the large fan-outs: small latency-sensitive work must
+//     not queue behind a multi-second fan-out;
+//   * admission control: EngineOptions::max_queue bounds the submit queue
+//     by count and queue_flop_budget bounds it by estimated work.  Over
+//     either bound, the lowest-priority queued request is shed — its future
+//     fails with kShed (past-deadline victims fail kDeadlineExceeded) — and
+//     an arrival that cannot displace anything is shed itself.  Nothing is
+//     ever silently dropped: every accepted future resolves;
+//   * graceful degradation: a std::bad_alloc during plan/execute walks a
+//     bounded retry ladder — (1) evict every cold plan from the cache and
+//     retry, (2) re-plan with reuse capture off and tile/capture budgets
+//     derived from a quartered memory-model tier, (3) the same plus a
+//     single thread — before giving up with kOutOfMemory.  Degraded runs
+//     bypass the plan cache (a crippled plan must not be re-served after
+//     the pressure passes) and are counted in degraded_execs;
+//   * a plan whose plan/execute throws is QUARANTINED: the PlanCache lease
+//     unwinds into an eviction, the possibly half-built plan is never
+//     served again, and pin accounting stays exact (debug builds assert
+//     pins return to zero after every batch).
+//
 // Results come back as engine::Product values: the output matrix is COPIED
 // out of the serving handle (execute_into), so it stays valid after the
 // cache evicts or reuses the plan, and concurrent requests for the same
@@ -45,20 +76,23 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <future>
+#include <limits>
 #include <mutex>
 #include <numeric>
 #include <span>
-#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "core/semiring.hpp"
@@ -96,11 +130,34 @@ struct EngineOptions {
   /// Products at or below this many scalar multiplications are packed
   /// whole onto one worker; larger ones fan out across the pool.
   Offset small_flop_cutoff = Offset{1} << 15;
+  /// Admission control: maximum submitted-but-undispatched requests.
+  /// 0 = unbounded.  Over the bound, the lowest-priority queued request
+  /// (or the arrival itself) is shed with kShed.
+  std::size_t max_queue = 0;
+  /// Admission control by work: maximum total estimated flop the queue may
+  /// hold.  0 = unbounded.  A single request larger than the whole budget
+  /// is still admitted when the queue is empty — it could never run
+  /// otherwise.
+  Offset queue_flop_budget = 0;
+};
+
+/// Resilience counters of one engine; engine_stats() snapshots them.
+struct EngineStats {
+  std::uint64_t shed = 0;  ///< requests dropped by admission control
+  /// Deadlines not met: requests failed before running (their future gets
+  /// kDeadlineExceeded) plus products delivered after their deadline.
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t retries = 0;  ///< memory-pressure ladder retry attempts
+  /// Products served by a degraded configuration (reuse off, shrunken
+  /// budgets, possibly single-threaded).
+  std::uint64_t degraded_execs = 0;
 };
 
 template <IndexType IT, ValueType VT>
 class SpGemmEngine {
  public:
+  using Clock = std::chrono::steady_clock;
+
   /// One product admission.  `a`/`b` must outlive delivery; fingerprints
   /// are optional (structure_fingerprint values, NOT the pair hash).
   struct Request {
@@ -109,6 +166,13 @@ class SpGemmEngine {
     std::uint64_t fp_a = 0;
     std::uint64_t fp_b = 0;
     bool has_fingerprints = false;
+    /// Absolute deadline; Clock::time_point::max() (the default) = none.
+    /// Expired-before-run requests fail with kDeadlineExceeded; late
+    /// completions still deliver and count in deadline_misses.
+    Clock::time_point deadline = Clock::time_point::max();
+    /// Admission-control weight: under backpressure the lowest-priority
+    /// queued request is shed first.  Ignored when no bound is configured.
+    int priority = 0;
   };
 
   /// One delivered product.  `c` is owned by the Product (copied out of
@@ -118,7 +182,11 @@ class SpGemmEngine {
     SpGemmStats stats;
     bool cache_hit = false;     ///< served by replaying a retained plan
     bool packed_small = false;  ///< ran whole on a single worker
-    Offset flop = 0;            ///< admission-ordering flop count
+    /// Served by the memory-pressure ladder's degraded configuration
+    /// (reuse capture off, memory-model-shrunken budgets, possibly a
+    /// single thread).  Bit-identical to the normal result regardless.
+    bool degraded = false;
+    Offset flop = 0;  ///< admission-ordering flop count
     /// Service time for batch products; enqueue-to-delivery (queue wait
     /// included) for submitted ones.
     double latency_ms = 0.0;
@@ -136,13 +204,37 @@ class SpGemmEngine {
   SpGemmEngine& operator=(const SpGemmEngine&) = delete;
 
   /// Drains and delivers every submitted request before returning.
-  ~SpGemmEngine() {
+  ~SpGemmEngine() { stop(); }
+
+  /// Drain and deliver everything already queued, then retire the
+  /// dispatcher.  Idempotent; the destructor calls it.  Later submits fail
+  /// with kEngineStopped (their futures, not a throw); the synchronous
+  /// paths (multiply / run_batch) keep working — they never used the
+  /// dispatcher.
+  void stop() {
     {
       std::lock_guard<std::mutex> lk(queue_mu_);
       stopping_ = true;
+      paused_ = false;
     }
     queue_cv_.notify_all();
-    dispatcher_.join();
+    if (dispatcher_.joinable()) dispatcher_.join();
+  }
+
+  /// Hold the dispatcher: submitted requests accumulate — and admission
+  /// control sheds against the configured bounds — without being served.
+  /// Deterministic backpressure for tests and maintenance windows.
+  void pause() {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    paused_ = true;
+  }
+
+  void resume() {
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      paused_ = false;
+    }
+    queue_cv_.notify_all();
   }
 
   /// Enqueue one product for the dispatcher thread; delivery through the
@@ -160,17 +252,51 @@ class SpGemmEngine {
     return submit(Request{&a, &b, fp_a, fp_b, /*has_fingerprints=*/true});
   }
 
+  /// Admission: never throws and never silently drops.  The returned
+  /// future resolves to a Product or to a SpGemmError — kEngineStopped
+  /// after stop(), kShed when backpressure drops this request.
   std::future<Product> submit(Request req) {
     Pending pending;
     pending.req = req;
-    pending.enqueued = std::chrono::steady_clock::now();
+    pending.enqueued = Clock::now();
+    // Estimated work for the flop-budget bound.  Invalid inputs weigh 0
+    // here and fail with kBadInput at admission into the batch.
+    if (opts_.queue_flop_budget > 0 && req.a != nullptr && req.b != nullptr &&
+        req.a->ncols == req.b->nrows) {
+      pending.flop_est = model::estimate_flop(*req.a, *req.b);
+    }
     std::future<Product> fut = pending.promise.get_future();
+
+    std::vector<Pending> victims;  // fail their promises outside the lock
+    bool shed_incoming = false;
     {
       std::lock_guard<std::mutex> lk(queue_mu_);
       if (stopping_) {
-        throw std::logic_error("SpGemmEngine::submit: engine is stopping");
+        pending.promise.set_exception(std::make_exception_ptr(SpGemmError(
+            ErrorCode::kEngineStopped,
+            "SpGemmEngine::submit: engine is stopped")));
+        return fut;
       }
-      queue_.push_back(std::move(pending));
+      while (over_bound(pending.flop_est)) {
+        const std::size_t victim = pick_victim(req.priority);
+        if (victim == kNoVictim) {
+          shed_incoming = true;
+          break;
+        }
+        queued_flop_ -= queue_[victim].flop_est;
+        victims.push_back(std::move(queue_[victim]));
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+      if (!shed_incoming) {
+        queued_flop_ += pending.flop_est;
+        queue_.push_back(std::move(pending));
+      }
+    }
+    const auto now = Clock::now();
+    for (Pending& v : victims) shed_one(std::move(v), now);
+    if (shed_incoming) {
+      shed_one(std::move(pending), now);
+      return fut;
     }
     queue_cv_.notify_one();
     return fut;
@@ -178,8 +304,8 @@ class SpGemmEngine {
 
   /// Serve a whole batch on the calling thread: flop-ordered admission,
   /// large products fan out, small ones pack.  Results align with `reqs`
-  /// by index.  The first per-request failure (dimension mismatch, null
-  /// input) is rethrown after the batch completes.
+  /// by index.  The first per-request failure (always a SpGemmError) is
+  /// rethrown after the batch completes.
   std::vector<Product> run_batch(std::span<const Request> reqs) {
     const std::size_t n = reqs.size();
     std::vector<Product> products(n);
@@ -219,19 +345,111 @@ class SpGemmEngine {
   [[nodiscard]] const EngineOptions& options() const { return opts_; }
   [[nodiscard]] int pool_threads() const { return pool_threads_; }
 
+  [[nodiscard]] EngineStats engine_stats() const {
+    EngineStats s;
+    s.shed = shed_.load(std::memory_order_relaxed);
+    s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.degraded_execs = degraded_execs_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   struct Pending {
     Request req;
     std::promise<Product> promise;
     std::chrono::steady_clock::time_point enqueued;
+    Offset flop_est = 0;  ///< admission weight under queue_flop_budget
   };
+
+  static constexpr std::size_t kNoVictim =
+      std::numeric_limits<std::size_t>::max();
+  /// Ladder depth: attempt 0 is the normal config, 1 retries it after a
+  /// cache purge, 2 re-plans degraded, 3 adds the single-thread fallback.
+  static constexpr int kMaxAttempts = 3;
+
+  static bool has_deadline(const Request& r) {
+    return r.deadline != Clock::time_point::max();
+  }
+
+  /// Would admitting a request of weight `est` exceed a configured bound?
+  /// (callers hold queue_mu_)
+  bool over_bound(Offset est) const {
+    if (opts_.max_queue > 0 && queue_.size() + 1 > opts_.max_queue) {
+      return true;
+    }
+    return opts_.queue_flop_budget > 0 && !queue_.empty() &&
+           queued_flop_ + est > opts_.queue_flop_budget;
+  }
+
+  /// Choose what to shed: a queued request already past its deadline (its
+  /// work is unsalvageable), else the lowest-priority queued request
+  /// strictly below the arrival's priority.  kNoVictim = shed the arrival.
+  /// (callers hold queue_mu_)
+  std::size_t pick_victim(int incoming_priority) const {
+    const auto now = Clock::now();
+    std::size_t lowest = kNoVictim;
+    int lowest_priority = std::numeric_limits<int>::max();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const Request& r = queue_[i].req;
+      if (has_deadline(r) && now > r.deadline) return i;
+      if (r.priority < lowest_priority) {
+        lowest_priority = r.priority;
+        lowest = i;
+      }
+    }
+    return lowest_priority < incoming_priority ? lowest : kNoVictim;
+  }
+
+  /// Fail one shed request's future: kDeadlineExceeded when its deadline
+  /// had already passed (also a deadline miss), kShed otherwise.
+  void shed_one(Pending&& p, Clock::time_point now) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (has_deadline(p.req) && now > p.req.deadline) {
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      p.promise.set_exception(std::make_exception_ptr(SpGemmError(
+          ErrorCode::kDeadlineExceeded,
+          "SpGemmEngine: shed under backpressure past its deadline")));
+    } else {
+      p.promise.set_exception(std::make_exception_ptr(SpGemmError(
+          ErrorCode::kShed,
+          "SpGemmEngine: shed under backpressure (queue bound or flop "
+          "budget exceeded)")));
+    }
+  }
+
+  /// Lower any exception crossing the engine boundary to a SpGemmError so
+  /// futures and batch rethrows always carry a stable ErrorCode.
+  static std::exception_ptr classify(std::exception_ptr ep) noexcept {
+    try {
+      std::rethrow_exception(ep);
+    } catch (const SpGemmError&) {
+      return ep;
+    } catch (const std::bad_alloc&) {
+      return std::make_exception_ptr(SpGemmError(
+          ErrorCode::kOutOfMemory, "SpGemmEngine: allocation failed"));
+    } catch (const std::invalid_argument& e) {
+      return std::make_exception_ptr(
+          SpGemmError(ErrorCode::kBadInput, e.what()));
+    } catch (const std::exception& e) {
+      return std::make_exception_ptr(
+          SpGemmError(ErrorCode::kInternal, e.what()));
+    } catch (...) {
+      return std::make_exception_ptr(SpGemmError(
+          ErrorCode::kInternal, "SpGemmEngine: unclassified exception"));
+    }
+  }
 
   /// Admission + execution for one span of requests.  products/errors are
   /// parallel arrays of length n; a request that fails leaves its product
-  /// default-constructed and its error set.
+  /// default-constructed and its error set (always a SpGemmError).
   void process_batch(const Request* reqs, std::size_t n, Product* products,
                      std::exception_ptr* errors) {
     if (n == 0) return;
+    {
+      std::lock_guard<std::mutex> lk(batch_mu_);
+      ++inflight_batches_;
+    }
     std::vector<std::uint64_t> fp_a(n, 0);
     std::vector<std::uint64_t> fp_b(n, 0);
 
@@ -242,11 +460,12 @@ class SpGemmEngine {
       const Request& r = reqs[i];
       try {
         if (r.a == nullptr || r.b == nullptr) {
-          throw std::invalid_argument("SpGemmEngine: null request input");
+          throw SpGemmError(ErrorCode::kBadInput,
+                            "SpGemmEngine: null request input");
         }
         if (r.a->ncols != r.b->nrows) {
-          throw std::invalid_argument(
-              "SpGemmEngine: inner dimensions disagree");
+          throw SpGemmError(ErrorCode::kBadInput,
+                            "SpGemmEngine: inner dimensions disagree");
         }
         products[i].flop = model::estimate_flop(*r.a, *r.b);
         if (r.has_fingerprints) {
@@ -257,76 +476,177 @@ class SpGemmEngine {
           fp_b[i] = structure_fingerprint(*r.b);
         }
       } catch (...) {
-        errors[i] = std::current_exception();
+        errors[i] = classify(std::current_exception());
       }
     }
 
-    // Flop-ordered admission, largest first.
+    // Admission order: priority first, then flop, largest first.
     std::vector<std::size_t> order(n);
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t x, std::size_t y) {
+                       if (reqs[x].priority != reqs[y].priority) {
+                         return reqs[x].priority > reqs[y].priority;
+                       }
                        return products[x].flop > products[y].flop;
                      });
 
-    // Large products: one at a time, the whole pool fanning out through
-    // each handle's ExecutionSchedule.
+    std::vector<std::size_t> large;
     std::vector<std::size_t> small;
+    large.reserve(n);
     small.reserve(n);
+    bool any_deadline = false;
     for (const std::size_t i : order) {
       if (errors[i]) continue;
-      if (products[i].flop > opts_.small_flop_cutoff) {
-        run_one(reqs[i], fp_a[i], fp_b[i], pool_threads_, products[i],
-                errors[i]);
-      } else {
-        small.push_back(i);
-      }
+      any_deadline = any_deadline || has_deadline(reqs[i]);
+      (products[i].flop > opts_.small_flop_cutoff ? large : small)
+          .push_back(i);
     }
 
-    // Small products: packed whole onto single workers, still largest
-    // first so the tail of the dynamic schedule stays short.
-    if (!small.empty()) {
+    // Large products: one at a time, the whole pool fanning out through
+    // each handle's ExecutionSchedule.  Small products: packed whole onto
+    // single workers, still largest first so the tail of the dynamic
+    // schedule stays short.  Largest-first keeps the pool busy — UNLESS
+    // some request carries a deadline, in which case the cheap packed
+    // phase runs first: latency-sensitive small work must not wait out a
+    // multi-second fan-out.
+    auto run_large = [&] {
+      for (const std::size_t i : large) {
+        if (!admit_deadline(reqs[i], errors[i])) continue;
+        run_one(reqs[i], fp_a[i], fp_b[i], pool_threads_, products[i],
+                errors[i]);
+        finish_deadline(reqs[i], errors[i]);
+      }
+    };
+    auto run_small = [&] {
+      if (small.empty()) return;
 #pragma omp parallel for schedule(dynamic, 1) num_threads(pool_threads_)
       for (std::size_t j = 0; j < small.size(); ++j) {
         const std::size_t i = small[j];
+        if (!admit_deadline(reqs[i], errors[i])) continue;
         run_one(reqs[i], fp_a[i], fp_b[i], /*threads=*/1, products[i],
                 errors[i]);
         products[i].packed_small = true;
+        finish_deadline(reqs[i], errors[i]);
+      }
+    };
+    if (any_deadline) {
+      run_small();
+      run_large();
+    } else {
+      run_large();
+      run_small();
+    }
+
+    {
+      // Pin-accounting invariant: once no batch is in flight, every lease
+      // has been consumed (released or quarantined), so the cache holds no
+      // pins.  The counter and the sample share batch_mu_, making the
+      // check exact under concurrent run_batch callers.
+      std::lock_guard<std::mutex> lk(batch_mu_);
+      --inflight_batches_;
+      if (inflight_batches_ == 0) {
+        assert(cache_.total_pins() == 0 &&
+               "PlanCache pins leaked past a batch");
       }
     }
   }
 
-  /// Plan-or-replay one product through the cache (or a throwaway handle
-  /// when the cache is off) and copy the result out.  noexcept boundary:
-  /// exceptions land in `error` — never escape into an OpenMP region.
+  /// Deadline gate before running: a request already past its deadline
+  /// fails kDeadlineExceeded without burning pool time.
+  bool admit_deadline(const Request& r, std::exception_ptr& error) {
+    if (error) return false;
+    if (has_deadline(r) && Clock::now() > r.deadline) {
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      error = std::make_exception_ptr(SpGemmError(
+          ErrorCode::kDeadlineExceeded,
+          "SpGemmEngine: deadline passed before the request could run"));
+      return false;
+    }
+    return true;
+  }
+
+  /// Late completion: the product still delivers, the miss is counted.
+  void finish_deadline(const Request& r, const std::exception_ptr& error) {
+    if (!error && has_deadline(r) && Clock::now() > r.deadline) {
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Plan-or-replay one product, walking the memory-pressure ladder on
+  /// bad_alloc, and copy the result out.  noexcept boundary: exceptions
+  /// land in `error` as SpGemmErrors — never escape into an OpenMP region.
   void run_one(const Request& r, std::uint64_t fp_a, std::uint64_t fp_b,
                int threads, Product& out, std::exception_ptr& error) noexcept {
     try {
       Timer timer;
-      SpGemmOptions opts = opts_.plan;
-      opts.threads = threads;
-      if (!opts_.cache_enabled) {
-        const std::uint64_t pair = pair_structure_hash(fp_a, fp_b);
-        SpGemmHandle<IT, VT> handle;
-        handle.plan(*r.a, *r.b, opts, nullptr, &pair);
-        handle.execute_into(*r.a, *r.b, out.c, PlusTimes{}, &out.stats);
-      } else {
-        typename PlanCache<IT, VT>::Lease lease =
-            cache_.acquire(pair_structure_hash(fp_a, fp_b));
-        std::size_t bytes = 0;
-        {
-          std::lock_guard<std::mutex> lk(lease.exec_mutex());
-          out.cache_hit = !lease.handle().ensure_planned_hashed(
-              *r.a, *r.b, fp_a, fp_b, opts);
-          lease.handle().execute_into(*r.a, *r.b, out.c, PlusTimes{},
-                                      &out.stats);
-          bytes = lease.handle().retained_bytes();
+      int attempt = 0;
+      for (;;) {
+        try {
+          execute_attempt(r, fp_a, fp_b, threads, attempt, out);
+          break;
+        } catch (const std::bad_alloc&) {
+          if (attempt >= kMaxAttempts) {
+            throw SpGemmError(
+                ErrorCode::kOutOfMemory,
+                "SpGemmEngine: allocation failed after cache purge, "
+                "degraded re-plan and single-thread fallback");
+          }
+          ++attempt;
+          retries_.fetch_add(1, std::memory_order_relaxed);
+          if (attempt == 1) cache_.shrink(0);
         }
-        cache_.release(std::move(lease), out.cache_hit, bytes);
+      }
+      if (attempt >= 2) {
+        out.degraded = true;
+        degraded_execs_.fetch_add(1, std::memory_order_relaxed);
       }
       out.latency_ms = timer.millis();
     } catch (...) {
-      error = std::current_exception();
+      error = classify(std::current_exception());
+    }
+  }
+
+  /// One rung of the ladder.  Attempts 0/1 run the normal configuration
+  /// (1 = after the cache purge); attempt 2 re-plans with reuse capture
+  /// off and budgets derived from a quartered memory-model tier; attempt 3
+  /// quarters again and falls back to a single thread.  Degraded rungs
+  /// bypass the plan cache — a crippled plan cached under the structure's
+  /// key would keep being re-served long after the pressure passed.
+  void execute_attempt(const Request& r, std::uint64_t fp_a,
+                       std::uint64_t fp_b, int threads, int attempt,
+                       Product& out) {
+    SpGemmOptions opts = opts_.plan;
+    opts.threads = threads;
+    const bool degraded = attempt >= 2;
+    if (degraded) {
+      opts.reuse = StructureReuse::kOff;
+      opts.budget_source = BudgetSource::kMemoryModel;
+      opts.fast_tier = model::degraded_tier(opts_.plan.fast_tier, attempt - 1);
+      if (attempt >= kMaxAttempts) opts.threads = 1;
+    }
+    out.cache_hit = false;
+    if (!opts_.cache_enabled || degraded) {
+      const std::uint64_t pair = pair_structure_hash(fp_a, fp_b);
+      SpGemmHandle<IT, VT> handle;
+      handle.plan(*r.a, *r.b, opts, nullptr, &pair);
+      handle.execute_into(*r.a, *r.b, out.c, PlusTimes{}, &out.stats);
+    } else {
+      // Lease RAII: an exception from here on unwinds into a quarantine —
+      // the possibly half-built plan leaves the cache and is never served
+      // again; only the release() below puts the entry back on the LRU.
+      typename PlanCache<IT, VT>::Lease lease =
+          cache_.acquire(pair_structure_hash(fp_a, fp_b));
+      std::size_t bytes = 0;
+      {
+        std::lock_guard<std::mutex> lk(lease.exec_mutex());
+        out.cache_hit = !lease.handle().ensure_planned_hashed(
+            *r.a, *r.b, fp_a, fp_b, opts);
+        lease.handle().execute_into(*r.a, *r.b, out.c, PlusTimes{},
+                                    &out.stats);
+        bytes = lease.handle().retained_bytes();
+      }
+      cache_.release(std::move(lease), out.cache_hit, bytes);
     }
   }
 
@@ -336,13 +656,15 @@ class SpGemmEngine {
   void dispatch_loop() {
     std::unique_lock<std::mutex> lk(queue_mu_);
     for (;;) {
-      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      queue_cv_.wait(
+          lk, [&] { return stopping_ || (!queue_.empty() && !paused_); });
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
       }
       std::vector<Pending> batch = std::move(queue_);
       queue_.clear();
+      queued_flop_ = 0;
       lk.unlock();
 
       const std::size_t n = batch.size();
@@ -372,10 +694,20 @@ class SpGemmEngine {
   int pool_threads_;
   PlanCache<IT, VT> cache_;
 
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> deadline_misses_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> degraded_execs_{0};
+
+  std::mutex batch_mu_;
+  int inflight_batches_ = 0;  ///< guarded by batch_mu_
+
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::vector<Pending> queue_;
+  Offset queued_flop_ = 0;  ///< guarded by queue_mu_
   bool stopping_ = false;
+  bool paused_ = false;
   std::thread dispatcher_;  ///< last member: joins before the rest dies
 };
 

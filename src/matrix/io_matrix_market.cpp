@@ -17,30 +17,33 @@ std::string lowercase(std::string s) {
 MmHeader read_mm_header(std::istream& in) {
   std::string banner;
   if (!std::getline(in, banner)) {
-    throw std::runtime_error("matrix market: empty stream");
+    throw SpGemmError(ErrorCode::kBadInput, "matrix market: empty stream");
   }
   std::istringstream bs(lowercase(banner));
   std::string tag, object, format, field, symmetry;
   bs >> tag >> object >> format >> field >> symmetry;
   if (tag != "%%matrixmarket" || object != "matrix") {
-    throw std::runtime_error("matrix market: bad banner: " + banner);
+    throw SpGemmError(ErrorCode::kBadInput,
+                      "matrix market: bad banner: " + banner);
   }
   if (format != "coordinate") {
-    throw std::runtime_error("matrix market: only coordinate supported");
+    throw SpGemmError(ErrorCode::kBadInput,
+                      "matrix market: only coordinate supported");
   }
   MmHeader h;
   if (field == "pattern") {
     h.pattern = true;
   } else if (field != "real" && field != "integer" && field != "double") {
-    throw std::runtime_error("matrix market: unsupported field: " + field);
+    throw SpGemmError(ErrorCode::kBadInput,
+                      "matrix market: unsupported field: " + field);
   }
   if (symmetry == "symmetric") {
     h.symmetric = true;
   } else if (symmetry == "skew-symmetric") {
     h.skew = true;
   } else if (symmetry != "general") {
-    throw std::runtime_error("matrix market: unsupported symmetry: " +
-                             symmetry);
+    throw SpGemmError(ErrorCode::kBadInput,
+                      "matrix market: unsupported symmetry: " + symmetry);
   }
 
   std::string line;
@@ -48,12 +51,22 @@ MmHeader read_mm_header(std::istream& in) {
     if (line.empty() || line[0] == '%') continue;
     std::istringstream ls(line);
     ls >> h.nrows >> h.ncols >> h.entries;
+    // ls.fail() also covers values overflowing int64 (failbit on overflow).
     if (ls.fail() || h.nrows < 0 || h.ncols < 0 || h.entries < 0) {
-      throw std::runtime_error("matrix market: bad size line: " + line);
+      throw SpGemmError(ErrorCode::kBadInput,
+                        "matrix market: bad size line: " + line);
+    }
+    // More entries than the shape can hold is corruption, and catching it
+    // here keeps a hostile size line from driving a huge reserve().
+    if (static_cast<double>(h.entries) >
+        static_cast<double>(h.nrows) * static_cast<double>(h.ncols)) {
+      throw SpGemmError(ErrorCode::kBadInput,
+                        "matrix market: entry count exceeds matrix shape: " +
+                            line);
     }
     return h;
   }
-  throw std::runtime_error("matrix market: missing size line");
+  throw SpGemmError(ErrorCode::kBadInput, "matrix market: missing size line");
 }
 
 }  // namespace spgemm::io

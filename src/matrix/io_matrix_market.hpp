@@ -5,13 +5,21 @@
 // symmetry general/symmetric/skew-symmetric.  Pattern entries get value 1.
 // Symmetric inputs are expanded to full storage (both triangles), matching
 // how SpGEMM codes consume them.
+//
+// Hardened against hostile/corrupt files: every malformed condition —
+// truncated banner or body, overflowing size line, an entry count larger
+// than the matrix could hold, out-of-range (or 0-based) indices, NaN or
+// infinite values — throws SpGemmError{kBadInput} (a runtime_error), and a
+// failed read never leaks partial state: the matrix is built locally and
+// returned only on full success.
 #pragma once
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/csr.hpp"
@@ -29,7 +37,7 @@ struct MmHeader {
 };
 
 /// Parse the banner + size line from a stream positioned at the top.
-/// Throws std::runtime_error on malformed input.
+/// Throws SpGemmError{kBadInput} on malformed input.
 MmHeader read_mm_header(std::istream& in);
 
 template <IndexType IT, ValueType VT>
@@ -52,10 +60,21 @@ CsrMatrix<IT, VT> read_matrix_market(std::istream& in) {
     ls >> r >> c;
     if (!h.pattern) ls >> v;
     if (ls.fail()) {
-      throw std::runtime_error("matrix market: malformed entry line");
+      throw SpGemmError(ErrorCode::kBadInput,
+                        "matrix market: malformed entry line: " + line);
+    }
+    // Indices are 1-based on disk; 0 or past the declared shape means a
+    // corrupt file, and silently wrapping them would corrupt the CSR.
+    if (r < 1 || r > h.nrows || c < 1 || c > h.ncols) {
+      throw SpGemmError(ErrorCode::kBadInput,
+                        "matrix market: entry index out of range: " + line);
+    }
+    if (!std::isfinite(v)) {
+      throw SpGemmError(ErrorCode::kBadInput,
+                        "matrix market: non-finite value: " + line);
     }
     ++seen;
-    const IT ri = static_cast<IT>(r - 1);  // 1-based on disk
+    const IT ri = static_cast<IT>(r - 1);
     const IT ci = static_cast<IT>(c - 1);
     coo.push_back(ri, ci, static_cast<VT>(v));
     if ((h.symmetric || h.skew) && ri != ci) {
@@ -63,7 +82,7 @@ CsrMatrix<IT, VT> read_matrix_market(std::istream& in) {
     }
   }
   if (seen != h.entries) {
-    throw std::runtime_error("matrix market: truncated file");
+    throw SpGemmError(ErrorCode::kBadInput, "matrix market: truncated file");
   }
   return csr_from_coo(std::move(coo));
 }
@@ -71,7 +90,9 @@ CsrMatrix<IT, VT> read_matrix_market(std::istream& in) {
 template <IndexType IT, ValueType VT>
 CsrMatrix<IT, VT> read_matrix_market(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) {
+    throw SpGemmError(ErrorCode::kBadInput, "cannot open " + path);
+  }
   return read_matrix_market<IT, VT>(in);
 }
 
@@ -93,7 +114,10 @@ void write_matrix_market(std::ostream& out, const CsrMatrix<IT, VT>& a) {
 template <IndexType IT, ValueType VT>
 void write_matrix_market(const std::string& path, const CsrMatrix<IT, VT>& a) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  if (!out) {
+    throw SpGemmError(ErrorCode::kBadInput,
+                      "cannot open " + path + " for writing");
+  }
   write_matrix_market(out, a);
 }
 

@@ -11,6 +11,8 @@
 #include <new>
 #include <utility>
 
+#include "common/fault_injection.hpp"
+
 namespace spgemm::mem {
 
 inline constexpr std::size_t kCacheLineBytes = 64;
@@ -65,6 +67,7 @@ class AlignedBuffer {
  private:
   void allocate(std::size_t count, std::size_t alignment) {
     if (count == 0) return;
+    SPGEMM_FAULT_ALLOC("mem.aligned.alloc");
     // Round the byte size up to a multiple of the alignment as required by
     // std::aligned_alloc.
     std::size_t bytes = count * sizeof(T);

@@ -7,8 +7,34 @@
 #include <new>
 #include <vector>
 
+#include "common/fault_injection.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace spgemm::mem {
 namespace {
+
+/// Injected allocation faults must not fire inside an OpenMP parallel
+/// region: an exception cannot cross the region boundary, so a trigger
+/// there would terminate the process instead of exercising a recovery
+/// path.  A real allocation failure inside a region is equally
+/// non-recoverable today — the fault framework deliberately restricts
+/// itself to the failures the library can actually survive.
+///
+/// omp_get_level(), not omp_in_parallel(): a team-of-one region (single
+/// core, OMP_NUM_THREADS=1) is *inactive* per the spec, so
+/// omp_in_parallel() reports 0 inside it — but a throw there still has
+/// to unwind through libgomp's outlined-function call and terminates.
+/// The nesting level counts enclosing regions regardless of team size.
+bool fault_injectable_here() noexcept {
+#ifdef _OPENMP
+  return omp_get_level() == 0;
+#else
+  return true;
+#endif
+}
 
 constexpr std::size_t kMinClassBytes = 64;          // one cache line
 constexpr std::size_t kMaxClassBytes = 64u << 20;   // 64 MB
@@ -62,6 +88,7 @@ class Arena {
   /// Carve a fresh run of `count` blocks of class `cls`; returns the list
   /// head, blocks linked through FreeNode.
   FreeNode* carve(int cls, std::size_t count) {
+    if (fault_injectable_here()) SPGEMM_FAULT_ALLOC("mem.pool.carve");
     const std::size_t stride = kHeaderBytes + class_bytes(cls);
     const std::size_t total = stride * count;
     void* raw = std::aligned_alloc(kHeaderBytes, total);
@@ -149,6 +176,7 @@ void* pool_malloc(std::size_t bytes) {
   if (cls < 0) {
     // Oversize: fall through to the system allocator, still headered so
     // pool_free can route it correctly.
+    if (fault_injectable_here()) SPGEMM_FAULT_ALLOC("mem.pool.oversize");
     g_stats.oversize.fetch_add(1, std::memory_order_relaxed);
     auto* raw = static_cast<std::byte*>(
         ::operator new(bytes + kHeaderBytes, std::align_val_t(kHeaderBytes)));

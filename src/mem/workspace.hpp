@@ -34,7 +34,11 @@ class ThreadScratch {
   /// preserved on growth (kernels fully reinitialize their scratch).
   T* ensure(std::size_t count) {
     if (count > capacity_) {
+      // Drop the old block *and the pointer* before allocating: if
+      // pool_malloc throws, the destructor must not free a stale pointer.
       pool_free(data_);
+      data_ = nullptr;
+      capacity_ = 0;
       data_ = static_cast<T*>(pool_malloc(count * sizeof(T)));
       capacity_ = count;
     }

@@ -43,6 +43,14 @@ TierParams knl_mcdram_cache();
 /// knl_mcdram_cache() instead.
 TierParams host_fast_tier();
 
+/// Progressively smaller fast-tier model for the serving engine's
+/// memory-pressure degradation ladder (engine/spgemm_engine.hpp): step k
+/// models the same tier with 1/4^k the capacity, floored at 1 MB, so
+/// derive_schedule_budgets yields smaller tiles and capture budgets on each
+/// retry.  Latency and bandwidth are unchanged — under memory pressure the
+/// tier is not slower, there is just less of it to claim.
+TierParams degraded_tier(const TierParams& base, int step);
+
 /// Aggregate bandwidth for stanza transfers of `stanza_bytes`.
 double stanza_bandwidth_gbps(const TierParams& tier, double stanza_bytes,
                              int threads);

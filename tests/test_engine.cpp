@@ -321,9 +321,20 @@ TEST(EngineBatch, RejectsDimensionMismatch) {
   const Matrix a = unit_valued_rmat(5, 4, 9);
   const Matrix b = csr_identity<I, double>(a.nrows + 3);
   Engine eng;
-  EXPECT_THROW(eng.multiply(a, b), std::invalid_argument);
+  try {
+    eng.multiply(a, b);
+    FAIL() << "engine accepted mismatched inner dimensions";
+  } catch (const SpGemmError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadInput);
+  }
   auto fut = eng.submit(a, b);
-  EXPECT_THROW(fut.get(), std::invalid_argument);
+  try {
+    fut.get();
+    FAIL() << "future delivered a mismatched product";
+  } catch (const SpGemmError& e) {
+    // The ErrorCode crosses the promise/future boundary losslessly.
+    EXPECT_EQ(e.code(), ErrorCode::kBadInput);
+  }
 }
 
 // ---------------------------------------------------------------------------

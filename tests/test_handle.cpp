@@ -239,11 +239,9 @@ TEST(Handle, RejectsStructureDrift) {
   SpGemmHandle<I, double> handle(a, a);
   const Matrix other = unit_valued_rmat(6, 4, 8);
   Matrix out;
-  EXPECT_THROW(handle.execute_into(other, other, out),
-               std::invalid_argument);
+  EXPECT_THROW(handle.execute_into(other, other, out), SpGemmError);
   const Matrix wrong_dims = unit_valued_rmat(5, 4, 7);
-  EXPECT_THROW(handle.execute_into(wrong_dims, wrong_dims, out),
-               std::invalid_argument);
+  EXPECT_THROW(handle.execute_into(wrong_dims, wrong_dims, out), SpGemmError);
   // The failed attempts must not poison the handle.
   EXPECT_NO_THROW(handle.execute(a, a));
 }
@@ -257,8 +255,7 @@ TEST(Handle, FingerprintCatchesEqualNnzDriftInACopy) {
       4, 4, Triplets{{0, 0, 1.0}, {0, 3, 1.0}, {1, 2, 1.0}});
   SpGemmHandle<I, double> handle(a, a);
   Matrix out;
-  EXPECT_THROW(handle.execute_into(drifted, drifted, out),
-               std::invalid_argument);
+  EXPECT_THROW(handle.execute_into(drifted, drifted, out), SpGemmError);
   // A value-identical copy at a different address passes the full check.
   const Matrix copy = a;
   EXPECT_NO_THROW(handle.execute_into(copy, copy, out));
@@ -269,18 +266,23 @@ TEST(Handle, FingerprintCatchesEqualNnzDriftInACopy) {
 TEST(Handle, RejectsDimensionMismatchAtPlan) {
   const auto a = csr_identity<I, double>(3);
   const auto b = csr_identity<I, double>(4);
-  EXPECT_THROW((SpGemmHandle<I, double>(a, b)), std::invalid_argument);
+  try {
+    SpGemmHandle<I, double> handle(a, b);
+    FAIL() << "plan accepted mismatched inner dimensions";
+  } catch (const SpGemmError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadInput);
+  }
 }
 
 TEST(Handle, RejectsOnePhaseKernelsAndUnplannedExecute) {
   const auto a = csr_identity<I, double>(8);
   SpGemmOptions opts;
   opts.algorithm = Algorithm::kHeap;  // no symbolic phase to plan
-  EXPECT_THROW((SpGemmHandle<I, double>(a, a, opts)), std::invalid_argument);
+  EXPECT_THROW((SpGemmHandle<I, double>(a, a, opts)), SpGemmError);
   SpGemmHandle<I, double> unplanned;
   EXPECT_FALSE(unplanned.planned());
   Matrix out;
-  EXPECT_THROW(unplanned.execute_into(a, a, out), std::logic_error);
+  EXPECT_THROW(unplanned.execute_into(a, a, out), SpGemmError);
 }
 
 TEST(Handle, AutoResolvesToATwoPhaseKernel) {

@@ -235,5 +235,74 @@ TEST(MmRoundTrip, OneBasedCornerEntries) {
   EXPECT_NO_THROW(second.validate());
 }
 
+// ---------------------------------------------------------------------------
+// Malformed-input corpus: every corrupt file fails with a typed
+// SpGemmError{kBadInput} — never an index crash, never a silently wrapped
+// matrix — and the reader holds no state a failed read could leak.
+// ---------------------------------------------------------------------------
+
+void expect_bad_input(const std::string& label, const std::string& content) {
+  std::istringstream in(content);
+  try {
+    read_matrix_market<I, double>(in);
+    FAIL() << label << ": corrupt file was accepted";
+  } catch (const SpGemmError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadInput) << label << ": " << e.what();
+  } catch (const std::exception& e) {
+    FAIL() << label << ": wrong exception type: " << e.what();
+  }
+}
+
+TEST(MmMalformedCorpus, TruncatedHeaders) {
+  expect_bad_input("empty file", "");
+  expect_bad_input("banner cut mid-word", "%%MatrixM");
+  expect_bad_input("banner missing fields", "%%MatrixMarket matrix\n1 1 0\n");
+  expect_bad_input("banner without size line",
+                   "%%MatrixMarket matrix coordinate real general\n"
+                   "% only comments follow\n");
+}
+
+TEST(MmMalformedCorpus, NonFiniteValues) {
+  const std::string banner =
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n";
+  expect_bad_input("nan value", banner + "1 1 nan\n");
+  expect_bad_input("inf value", banner + "1 2 inf\n");
+  expect_bad_input("overflowing literal", banner + "1 1 1e400\n");
+}
+
+TEST(MmMalformedCorpus, OutOfRangeIndices) {
+  const std::string banner =
+      "%%MatrixMarket matrix coordinate real general\n3 3 1\n";
+  expect_bad_input("row past nrows", banner + "4 1 1.0\n");
+  expect_bad_input("col past ncols", banner + "1 4 1.0\n");
+  expect_bad_input("zero row (0-based file)", banner + "0 1 1.0\n");
+  expect_bad_input("negative col", banner + "1 -2 1.0\n");
+}
+
+TEST(MmMalformedCorpus, SizeLineAbuse) {
+  const std::string banner =
+      "%%MatrixMarket matrix coordinate real general\n";
+  expect_bad_input("nrows overflows int64",
+                   banner + "99999999999999999999999999 1 1\n1 1 1.0\n");
+  expect_bad_input("negative entry count", banner + "2 2 -1\n");
+  expect_bad_input("entries exceed shape", banner + "2 2 9\n1 1 1.0\n");
+  expect_bad_input("non-numeric size line", banner + "two 2 1\n1 1 1.0\n");
+}
+
+TEST(MmMalformedCorpus, ReaderStaysUsableAfterFailure) {
+  // The reader is stateless: a failed read leaks nothing that could
+  // corrupt the next one.
+  std::istringstream bad("%%MatrixMarket matrix coordinate real general\n"
+                         "2 2 1\n"
+                         "9 9 1.0\n");
+  EXPECT_THROW((read_matrix_market<I, double>(bad)), SpGemmError);
+  std::istringstream good("%%MatrixMarket matrix coordinate real general\n"
+                          "2 2 1\n"
+                          "2 1 3.5\n");
+  const auto m = read_matrix_market<I, double>(good);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_EQ(m.to_dense(), (std::vector<double>{0, 0, 3.5, 0}));
+}
+
 }  // namespace
 }  // namespace spgemm::io
