@@ -61,6 +61,12 @@ struct BenchRecord {
   /// duplicate-in-flight shortcuts retire keys without a table round).
   long long probe_rounds = 0;
   double keys_per_round = 0.0;
+  /// Out-of-core metrics (bench_block_sharded): shard spills to disk, the
+  /// fraction of shard accesses served from DRAM, and the plan-cache hit
+  /// share of the run's engine requests.  Zero for monolithic rows.
+  long long spills = 0;
+  double in_core_rate = 0.0;
+  double cache_hit_share = 0.0;
 };
 
 /// Percentile of a latency sample by nearest-rank (q in [0, 1]); the shared
@@ -138,14 +144,16 @@ class JsonReporter {
           "\"p99_ms\": %.4f, \"probe_rounds\": %lld, "
           "\"keys_per_round\": %.4f, \"shed\": %lld, "
           "\"deadline_misses\": %lld, \"retries\": %lld, "
-          "\"degraded_execs\": %lld}%s\n",
+          "\"degraded_execs\": %lld, \"spills\": %lld, "
+          "\"in_core_rate\": %.4f, \"cache_hit_share\": %.4f}%s\n",
           json_escape(r.kernel).c_str(), json_escape(r.matrix).c_str(),
           r.threads, r.total_ms, r.symbolic_ms, r.numeric_ms, r.mflops,
           r.reuse_hit_rate, static_cast<long long>(r.flop),
           static_cast<long long>(r.nnz_out), r.plan_ms, r.execute_ms,
           r.executions, r.tile_steals, r.products_per_sec, r.p50_ms,
           r.p99_ms, r.probe_rounds, r.keys_per_round, r.shed,
-          r.deadline_misses, r.retries, r.degraded_execs,
+          r.deadline_misses, r.retries, r.degraded_execs, r.spills,
+          r.in_core_rate, r.cache_hit_share,
           i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");

@@ -12,6 +12,7 @@
 
 #include "core/multiply.hpp"
 #include "matrix/ops.hpp"
+#include "shard/sharded_spgemm.hpp"
 
 namespace spgemm::apps {
 
@@ -76,6 +77,22 @@ CsrMatrix<IT, VT> cosine_similarity(const CsrMatrix<IT, VT>& a,
   const CsrMatrix<IT, VT> normalized_t = transpose(normalized);
   const CsrMatrix<IT, VT> product =
       multiply(normalized, normalized_t, opts, stats);
+  return prune(product, params.threshold, params.drop_diagonal);
+}
+
+/// Out-of-core cosine similarity: the Â Â^T product runs through the
+/// block-sharded driver (shard/sharded_spgemm.hpp), so corpora whose
+/// similarity working state exceeds DRAM — the regime the paper's §1
+/// motivation actually lives in — stream under `sharded`'s memory budget
+/// instead of failing.  The normalized matrix and its transpose are built
+/// in full (they are input-sized; the product is what explodes).
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> cosine_similarity(const CsrMatrix<IT, VT>& a,
+                                    shard::ShardedSpGemm<IT, VT>& sharded,
+                                    const SimilarityParams& params = {}) {
+  const CsrMatrix<IT, VT> normalized = normalize_rows(a);
+  const CsrMatrix<IT, VT> normalized_t = transpose(normalized);
+  const CsrMatrix<IT, VT> product = sharded.multiply(normalized, normalized_t);
   return prune(product, params.threshold, params.drop_diagonal);
 }
 

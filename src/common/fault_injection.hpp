@@ -61,6 +61,8 @@ inline constexpr const char* kPoints[] = {
     "handle.execute.numeric",  // before the numeric pass (spgemm_handle)
     "cache.insert",            // PlanCache entry creation (plan_cache.hpp)
     "cache.evict",             // PlanCache eviction path (plan_cache.hpp)
+    "shard.spill.write",       // ShardStore spill write-out (shard/shard_store.hpp)
+    "shard.load.map",          // ShardStore load/map read-back (shard/shard_store.hpp)
 };
 inline constexpr std::size_t kNumPoints = sizeof(kPoints) / sizeof(kPoints[0]);
 

@@ -1,9 +1,19 @@
 // Sparse matrix addition: C = alpha*A + beta*B.
 //
 // The natural companion primitive of SpGEMM (AMG coarse-operator sums,
-// A = L + U reassembly, residual updates).  Sorted inputs take a linear
-// two-pointer row merge; unsorted inputs go through the hash accumulator,
-// reusing the same machinery as the kernels.
+// A = L + U reassembly, residual updates, and the sharded driver's C-block
+// accumulation).  Sorted inputs take a linear two-pointer row merge;
+// unsorted inputs go through the hash accumulator, reusing the same
+// machinery as the kernels.
+//
+// Two entry points share one implementation:
+//   add(a, b)         allocates and returns a fresh C;
+//   add_into(a, b, c) writes into a caller-kept C with GROW-ONLY resizes —
+//                     a destination reused across many adds (the sharded
+//                     driver ping-pongs two of them per C block) stops
+//                     allocating once its buffers have grown to the largest
+//                     union seen, and its data pointers stay stable.
+// `c` must not alias `a` or `b`.
 #pragma once
 
 #include <omp.h>
@@ -17,18 +27,29 @@
 
 namespace spgemm {
 
+/// C = alpha*A + beta*B into a caller-provided destination.  Grow-only:
+/// c's buffers are resized but never shrunk, so repeated accumulations into
+/// the same destination reallocate only while the union size still grows.
+/// c must be a distinct object from a and b.
 template <IndexType IT, ValueType VT>
-CsrMatrix<IT, VT> add(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
-                      VT alpha = VT{1}, VT beta = VT{1}, int threads = 0) {
+void add_into(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+              CsrMatrix<IT, VT>& c, VT alpha = VT{1}, VT beta = VT{1},
+              int threads = 0) {
   if (a.nrows != b.nrows || a.ncols != b.ncols) {
     throw std::invalid_argument("add: dimension mismatch");
+  }
+  if (&c == &a || &c == &b) {
+    throw std::invalid_argument("add_into: c must not alias an input");
   }
   const int nthreads = parallel::resolve_threads(threads);
   parallel::ScopedNumThreads scoped(threads);
   const auto nrows = static_cast<std::size_t>(a.nrows);
   const bool merged_path = a.claims_sorted() && b.claims_sorted();
 
-  CsrMatrix<IT, VT> c(a.nrows, a.ncols);
+  c.nrows = a.nrows;
+  c.ncols = a.ncols;
+  c.rpts.resize(nrows + 1);
+  c.rpts[0] = 0;
 
   if (merged_path) {
     // Pass 1: count union sizes per row.
@@ -83,7 +104,7 @@ CsrMatrix<IT, VT> add(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
       }
     }
     c.sortedness = Sortedness::kSorted;
-    return c;
+    return;
   }
 
   // Unsorted path: hash-accumulate both rows (two-phase, like the kernels).
@@ -133,6 +154,13 @@ CsrMatrix<IT, VT> add(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
     }
   }
   c.sortedness = Sortedness::kSorted;
+}
+
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> add(const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+                      VT alpha = VT{1}, VT beta = VT{1}, int threads = 0) {
+  CsrMatrix<IT, VT> c;
+  add_into(a, b, c, alpha, beta, threads);
   return c;
 }
 

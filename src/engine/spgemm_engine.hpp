@@ -85,6 +85,7 @@
 #include <exception>
 #include <future>
 #include <limits>
+#include <map>
 #include <mutex>
 #include <numeric>
 #include <span>
@@ -141,6 +142,17 @@ struct EngineOptions {
   Offset queue_flop_budget = 0;
 };
 
+/// Per-tenant attribution: requests carrying a non-negative Request::tenant
+/// id are accounted here, so a multi-tenant caller can see who consumed the
+/// pool and who was shed — the budget question the aggregate counters
+/// cannot answer.
+struct TenantEngineStats {
+  std::uint64_t shed = 0;             ///< this tenant's shed requests
+  std::uint64_t deadline_misses = 0;  ///< failed-before-run plus late
+  std::uint64_t products = 0;         ///< products delivered
+  Offset flop = 0;                    ///< estimated flop of delivered products
+};
+
 /// Resilience counters of one engine; engine_stats() snapshots them.
 struct EngineStats {
   std::uint64_t shed = 0;  ///< requests dropped by admission control
@@ -151,6 +163,8 @@ struct EngineStats {
   /// Products served by a degraded configuration (reuse off, shrunken
   /// budgets, possibly single-threaded).
   std::uint64_t degraded_execs = 0;
+  /// Attribution by Request::tenant for requests that set one (id >= 0).
+  std::map<int, TenantEngineStats> tenants;
 };
 
 template <IndexType IT, ValueType VT>
@@ -173,6 +187,10 @@ class SpGemmEngine {
     /// Admission-control weight: under backpressure the lowest-priority
     /// queued request is shed first.  Ignored when no bound is configured.
     int priority = 0;
+    /// Optional tenant id for per-tenant budget attribution (ids are
+    /// caller-assigned).  Negative (the default) = unattributed: the
+    /// request only moves the aggregate counters.
+    int tenant = -1;
   };
 
   /// One delivered product.  `c` is owned by the Product (copied out of
@@ -351,6 +369,10 @@ class SpGemmEngine {
     s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
     s.retries = retries_.load(std::memory_order_relaxed);
     s.degraded_execs = degraded_execs_.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(tenant_mu_);
+      s.tenants = tenant_stats_;
+    }
     return s;
   }
 
@@ -401,12 +423,25 @@ class SpGemmEngine {
     return lowest_priority < incoming_priority ? lowest : kNoVictim;
   }
 
+  /// Per-tenant attribution sink: runs `fn` on the tenant's stats record
+  /// when the request names one.  Mutex-guarded — attribution sites run on
+  /// producer threads, the dispatcher and OpenMP workers alike.
+  template <class Fn>
+  void note_tenant(int tenant, Fn&& fn) {
+    if (tenant < 0) return;
+    std::lock_guard<std::mutex> lk(tenant_mu_);
+    fn(tenant_stats_[tenant]);
+  }
+
   /// Fail one shed request's future: kDeadlineExceeded when its deadline
   /// had already passed (also a deadline miss), kShed otherwise.
   void shed_one(Pending&& p, Clock::time_point now) {
     shed_.fetch_add(1, std::memory_order_relaxed);
+    note_tenant(p.req.tenant, [](TenantEngineStats& t) { ++t.shed; });
     if (has_deadline(p.req) && now > p.req.deadline) {
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      note_tenant(p.req.tenant,
+                  [](TenantEngineStats& t) { ++t.deadline_misses; });
       p.promise.set_exception(std::make_exception_ptr(SpGemmError(
           ErrorCode::kDeadlineExceeded,
           "SpGemmEngine: shed under backpressure past its deadline")));
@@ -516,6 +551,7 @@ class SpGemmEngine {
         run_one(reqs[i], fp_a[i], fp_b[i], pool_threads_, products[i],
                 errors[i]);
         finish_deadline(reqs[i], errors[i]);
+        finish_tenant(reqs[i], products[i], errors[i]);
       }
     };
     auto run_small = [&] {
@@ -528,6 +564,7 @@ class SpGemmEngine {
                 errors[i]);
         products[i].packed_small = true;
         finish_deadline(reqs[i], errors[i]);
+        finish_tenant(reqs[i], products[i], errors[i]);
       }
     };
     if (any_deadline) {
@@ -558,6 +595,8 @@ class SpGemmEngine {
     if (error) return false;
     if (has_deadline(r) && Clock::now() > r.deadline) {
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      note_tenant(r.tenant,
+                  [](TenantEngineStats& t) { ++t.deadline_misses; });
       error = std::make_exception_ptr(SpGemmError(
           ErrorCode::kDeadlineExceeded,
           "SpGemmEngine: deadline passed before the request could run"));
@@ -570,7 +609,19 @@ class SpGemmEngine {
   void finish_deadline(const Request& r, const std::exception_ptr& error) {
     if (!error && has_deadline(r) && Clock::now() > r.deadline) {
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      note_tenant(r.tenant,
+                  [](TenantEngineStats& t) { ++t.deadline_misses; });
     }
+  }
+
+  /// Successful delivery: charge the product's estimated flop to its tenant.
+  void finish_tenant(const Request& r, const Product& p,
+                     const std::exception_ptr& error) {
+    if (error) return;
+    note_tenant(r.tenant, [&](TenantEngineStats& t) {
+      ++t.products;
+      t.flop += p.flop;
+    });
   }
 
   /// Plan-or-replay one product, walking the memory-pressure ladder on
@@ -698,6 +749,9 @@ class SpGemmEngine {
   std::atomic<std::uint64_t> deadline_misses_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> degraded_execs_{0};
+
+  mutable std::mutex tenant_mu_;
+  std::map<int, TenantEngineStats> tenant_stats_;  ///< guarded by tenant_mu_
 
   std::mutex batch_mu_;
   int inflight_batches_ = 0;  ///< guarded by batch_mu_

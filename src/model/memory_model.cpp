@@ -115,6 +115,87 @@ std::vector<AccessComponent> spgemm_access_mix(AccessPattern pattern,
   return mix;
 }
 
+std::size_t csr_bytes_estimate(std::size_t nnz, std::size_t nrows,
+                               std::size_t bytes_per_entry) {
+  return nnz * bytes_per_entry + (nrows + 1) * sizeof(Offset);
+}
+
+std::size_t monolithic_bytes_estimate(Offset flop, std::size_t nrows,
+                                      std::size_t bytes_per_entry) {
+  const auto f = static_cast<std::size_t>(std::max<Offset>(flop, 0));
+  // Output upper bound (nnz(C) <= flop) plus ~1/8 of it again for the
+  // accumulator tables and capture scratch the plan claims alongside.
+  const std::size_t out = csr_bytes_estimate(f, nrows, bytes_per_entry);
+  return out + out / 8;
+}
+
+BlockGrid choose_block_grid(Offset nnz_a, Offset nnz_b, Offset flop,
+                            std::size_t nrows, std::size_t ncols,
+                            std::size_t inner_dim,
+                            std::size_t memory_budget_bytes,
+                            const TierParams& tier,
+                            std::size_t bytes_per_entry) {
+  BlockGrid grid;
+  if (nrows == 0 || ncols == 0 || inner_dim == 0) return grid;
+  std::size_t budget = memory_budget_bytes;
+  if (budget == 0) {
+    budget = static_cast<std::size_t>(tier.capacity_gb * 0.5 * 1e9);
+  }
+  budget = std::max<std::size_t>(budget, std::size_t{64} << 10);
+
+  const auto a_nnz = static_cast<std::size_t>(std::max<Offset>(nnz_a, 0));
+  const auto b_nnz = static_cast<std::size_t>(std::max<Offset>(nnz_b, 0));
+  const auto f = static_cast<std::size_t>(std::max<Offset>(flop, 0));
+
+  // Working set of one C-block request at grid (gr, gc): the A row panel
+  // (1/gr of A), the B column panel (1/gc of B) and the C block's
+  // flop-bound output estimate.  Half the budget is reserved for the shard
+  // store's resident set, so the request targets the other half.
+  const std::size_t target = budget / 2;
+  auto working_set = [&](std::size_t gr, std::size_t gc) {
+    const std::size_t a_panel =
+        csr_bytes_estimate(a_nnz / gr + 1, nrows / gr + 1, bytes_per_entry);
+    const std::size_t b_panel =
+        csr_bytes_estimate(b_nnz / gc + 1, inner_dim, bytes_per_entry);
+    const std::size_t c_block = csr_bytes_estimate(
+        f / (gr * gc) + 1, nrows / gr + 1, bytes_per_entry);
+    return a_panel + b_panel + c_block + c_block / 8;
+  };
+
+  // Refine the grid square-ish: double whichever axis buys the larger
+  // working-set reduction until the request fits or both axes hit their
+  // dimension clamp (best effort past that).
+  std::size_t gr = 1;
+  std::size_t gc = 1;
+  while (working_set(gr, gc) > target) {
+    const bool can_r = gr * 2 <= nrows;
+    const bool can_c = gc * 2 <= ncols;
+    if (!can_r && !can_c) break;
+    if (can_r && (!can_c || working_set(gr * 2, gc) <= working_set(gr, gc * 2))) {
+      gr *= 2;
+    } else {
+      gc *= 2;
+    }
+  }
+  grid.grid_rows = gr;
+  grid.grid_cols = gc;
+
+  // Inner splitting: one operand shard is the spill/load granule; keep it
+  // at or below 1/8 of the budget so the store can always make eviction
+  // progress without spilling the block it is about to use.
+  const std::size_t shard_target = std::max<std::size_t>(budget / 8, 1);
+  const std::size_t a_stripe =
+      csr_bytes_estimate(a_nnz / gr + 1, nrows / gr + 1, bytes_per_entry);
+  const std::size_t b_stripe =
+      csr_bytes_estimate(b_nnz / gc + 1, inner_dim, bytes_per_entry);
+  const std::size_t widest = std::max(a_stripe, b_stripe);
+  std::size_t gi = (widest + shard_target - 1) / shard_target;
+  gi = std::max<std::size_t>(gi, 1);
+  gi = std::min(gi, inner_dim);
+  grid.grid_inner = gi;
+  return grid;
+}
+
 double mcdram_speedup(AccessPattern pattern, double flop, double nnz_out,
                       double edge_factor, bool sorted_output,
                       double working_set_gb, int threads) {

@@ -91,4 +91,46 @@ double mcdram_speedup(AccessPattern pattern, double flop, double nnz_out,
                       double edge_factor, bool sorted_output,
                       double working_set_gb, int threads = 64);
 
+// ---- Block-sharded execution sizing (shard/) ------------------------------
+
+/// A 2D blocking decision for the sharded driver (shard/sharded_spgemm.hpp):
+/// C is computed as a grid_rows x grid_cols grid of blocks, A is stored as
+/// grid_rows x grid_inner block-CSR shards and B as grid_inner x grid_cols.
+struct BlockGrid {
+  std::size_t grid_rows = 1;
+  std::size_t grid_cols = 1;
+  /// Storage splitting of the inner (k) dimension — the spill granularity
+  /// of the operand shards; the C grid itself is grid_rows x grid_cols.
+  std::size_t grid_inner = 1;
+};
+
+/// Rough DRAM footprint of one CSR body: nnz entries (index + value) plus
+/// the row-pointer array.  The common currency of every blocking estimate.
+std::size_t csr_bytes_estimate(std::size_t nnz, std::size_t nrows,
+                               std::size_t bytes_per_entry);
+
+/// Conservative extra-DRAM estimate of a monolithic A*B: the output's upper
+/// bound (nnz(C) <= flop) plus one entry of accumulator scratch per flop
+/// share.  This is what the budget gate of shard::multiply_in_core tests a
+/// caller-set memory budget against — inputs are caller-owned and excluded.
+std::size_t monolithic_bytes_estimate(Offset flop, std::size_t nrows,
+                                      std::size_t bytes_per_entry);
+
+/// Choose the block grid for one sharded product under a memory budget:
+/// the per-C-block working set (one A row panel + one B column panel + the
+/// C block's flop-bound output estimate) must fit inside half the budget
+/// (the other half stays with the shard store's resident set), and the
+/// inner dimension is split so one operand shard stays at or below 1/8 of
+/// the budget — the spill/load granule.  `memory_budget_bytes` == 0 derives
+/// the budget from half the tier's capacity.  Monotone: a smaller budget
+/// never yields a coarser grid.  Grid counts never exceed the matrix
+/// dimensions and are best-effort: at the dimension clamp the working set
+/// may still exceed a pathologically small budget.
+BlockGrid choose_block_grid(Offset nnz_a, Offset nnz_b, Offset flop,
+                            std::size_t nrows, std::size_t ncols,
+                            std::size_t inner_dim,
+                            std::size_t memory_budget_bytes,
+                            const TierParams& tier,
+                            std::size_t bytes_per_entry = 12);
+
 }  // namespace spgemm::model

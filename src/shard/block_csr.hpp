@@ -1,0 +1,218 @@
+// BlockCsrMatrix — a 2D grid of CSR shards cut from one CsrMatrix.
+//
+// The storage layer of the out-of-core tier (DBCSR's blocked layout,
+// applied to CSR shards instead of dense blocks): block (bi, bj) holds the
+// submatrix of rows [bi*row_block, ...) and columns [bj*col_block, ...)
+// with LOCAL indices, so each shard is a self-contained CsrMatrix that can
+// be multiplied, spilled to disk and reloaded independently.  Trailing
+// blocks are short when the dimension is not divisible by the block size;
+// the grid never contains a zero-width stripe (grid counts are
+// ceil(dim / block)).
+//
+// cut_blocks / assemble_blocks are exact inverses for sorted matrices: a
+// sorted row's entries are distributed to column blocks in ascending order
+// and concatenated back in the same order, preserving every byte of
+// cols/vals.  For unsorted rows the round trip is the same matrix up to a
+// stable within-row permutation (entries grouped by column block); callers
+// that need bit-exact round trips sort first.
+#pragma once
+
+#include <omp.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "matrix/csr.hpp"
+
+namespace spgemm::shard {
+
+/// The block cut of one matrix: block sizes plus the derived grid counts.
+template <IndexType IT>
+struct Blocking {
+  IT row_block = 0;  ///< rows per stripe (last stripe may be shorter)
+  IT col_block = 0;
+  IT grid_rows = 0;  ///< ceil(nrows / row_block)
+  IT grid_cols = 0;
+
+  static Blocking of(IT nrows, IT ncols, IT row_block, IT col_block) {
+    Blocking b;
+    b.row_block = std::max<IT>(row_block, 1);
+    b.col_block = std::max<IT>(col_block, 1);
+    b.grid_rows = nrows > 0 ? (nrows + b.row_block - 1) / b.row_block : 1;
+    b.grid_cols = ncols > 0 ? (ncols + b.col_block - 1) / b.col_block : 1;
+    return b;
+  }
+
+  /// Blocking with the requested grid COUNTS (clamped to the dimensions);
+  /// block sizes are the ceilings, so every stripe is non-empty.
+  static Blocking grid(IT nrows, IT ncols, std::size_t grid_rows,
+                       std::size_t grid_cols) {
+    const IT gr = std::max<IT>(
+        1, std::min<IT>(static_cast<IT>(grid_rows), std::max<IT>(nrows, 1)));
+    const IT gc = std::max<IT>(
+        1, std::min<IT>(static_cast<IT>(grid_cols), std::max<IT>(ncols, 1)));
+    return of(nrows, ncols, std::max<IT>((nrows + gr - 1) / gr, 1),
+              std::max<IT>((ncols + gc - 1) / gc, 1));
+  }
+
+  bool operator==(const Blocking&) const = default;
+};
+
+template <IndexType IT, ValueType VT>
+struct BlockCsrMatrix {
+  using index_type = IT;
+  using value_type = VT;
+
+  IT nrows = 0;
+  IT ncols = 0;
+  Blocking<IT> blocking;
+  /// grid_rows x grid_cols shards, row-major.  Shard (bi, bj) has local
+  /// dimensions (rows of stripe bi) x (cols of stripe bj).
+  std::vector<CsrMatrix<IT, VT>> blocks;
+
+  [[nodiscard]] std::size_t grid_rows() const {
+    return static_cast<std::size_t>(blocking.grid_rows);
+  }
+  [[nodiscard]] std::size_t grid_cols() const {
+    return static_cast<std::size_t>(blocking.grid_cols);
+  }
+
+  [[nodiscard]] CsrMatrix<IT, VT>& block(std::size_t bi, std::size_t bj) {
+    return blocks[bi * grid_cols() + bj];
+  }
+  [[nodiscard]] const CsrMatrix<IT, VT>& block(std::size_t bi,
+                                               std::size_t bj) const {
+    return blocks[bi * grid_cols() + bj];
+  }
+
+  /// Global row range [begin, end) of stripe bi.
+  [[nodiscard]] std::pair<IT, IT> row_range(std::size_t bi) const {
+    const IT begin = static_cast<IT>(bi) * blocking.row_block;
+    return {begin, std::min<IT>(begin + blocking.row_block, nrows)};
+  }
+  [[nodiscard]] std::pair<IT, IT> col_range(std::size_t bj) const {
+    const IT begin = static_cast<IT>(bj) * blocking.col_block;
+    return {begin, std::min<IT>(begin + blocking.col_block, ncols)};
+  }
+
+  [[nodiscard]] Offset nnz() const {
+    Offset total = 0;
+    for (const auto& b : blocks) total += b.nnz();
+    return total;
+  }
+};
+
+/// Cut `a` into the 2D block-CSR grid described by `blocking`.  Shards keep
+/// a's within-row entry order restricted to their column stripe (exact for
+/// sorted inputs) and inherit its sortedness claim.
+template <IndexType IT, ValueType VT>
+BlockCsrMatrix<IT, VT> cut_blocks(const CsrMatrix<IT, VT>& a,
+                                  const Blocking<IT>& blocking) {
+  BlockCsrMatrix<IT, VT> out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  out.blocking = blocking;
+  const auto gr = out.grid_rows();
+  const auto gc = out.grid_cols();
+  out.blocks.resize(gr * gc);
+
+  // One stripe per task: count each shard's per-row nnz, then fill with
+  // localized columns.  Entry order within (row, column block) is a's.
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t bi = 0; bi < gr; ++bi) {
+    const auto [r0, r1] = out.row_range(bi);
+    const auto local_rows = static_cast<IT>(r1 - r0);
+    for (std::size_t bj = 0; bj < gc; ++bj) {
+      const auto [c0, c1] = out.col_range(bj);
+      CsrMatrix<IT, VT> blk(local_rows, static_cast<IT>(c1 - c0));
+      blk.sortedness = a.sortedness;
+      out.block(bi, bj) = std::move(blk);
+    }
+    for (IT r = r0; r < r1; ++r) {
+      for (Offset j = a.row_begin(r); j < a.row_end(r); ++j) {
+        const IT col = a.cols[static_cast<std::size_t>(j)];
+        const auto bj = static_cast<std::size_t>(col / blocking.col_block);
+        ++out.block(bi, bj).rpts[static_cast<std::size_t>(r - r0) + 1];
+      }
+    }
+    for (std::size_t bj = 0; bj < gc; ++bj) {
+      CsrMatrix<IT, VT>& blk = out.block(bi, bj);
+      for (std::size_t i = 0; i < static_cast<std::size_t>(local_rows); ++i) {
+        blk.rpts[i + 1] += blk.rpts[i];
+      }
+      blk.cols.resize(static_cast<std::size_t>(blk.nnz()));
+      blk.vals.resize(static_cast<std::size_t>(blk.nnz()));
+    }
+    std::vector<Offset> cursor(gc, 0);
+    for (IT r = r0; r < r1; ++r) {
+      for (std::size_t bj = 0; bj < gc; ++bj) {
+        cursor[bj] = out.block(bi, bj).row_begin(r - r0);
+      }
+      for (Offset j = a.row_begin(r); j < a.row_end(r); ++j) {
+        const IT col = a.cols[static_cast<std::size_t>(j)];
+        const auto bj = static_cast<std::size_t>(col / blocking.col_block);
+        CsrMatrix<IT, VT>& blk = out.block(bi, bj);
+        const auto slot = static_cast<std::size_t>(cursor[bj]++);
+        blk.cols[slot] =
+            col - static_cast<IT>(bj) * blocking.col_block;
+        blk.vals[slot] = a.vals[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return out;
+}
+
+/// Inverse of cut_blocks: concatenate every stripe's shards back into one
+/// CsrMatrix with global column indices, column blocks in ascending order.
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> assemble_blocks(const BlockCsrMatrix<IT, VT>& blocked) {
+  CsrMatrix<IT, VT> out(blocked.nrows, blocked.ncols);
+  const auto gr = blocked.grid_rows();
+  const auto gc = blocked.grid_cols();
+
+  bool all_sorted = true;
+  for (const auto& b : blocked.blocks) {
+    all_sorted = all_sorted && b.claims_sorted();
+  }
+
+  for (std::size_t bi = 0; bi < gr; ++bi) {
+    const auto [r0, r1] = blocked.row_range(bi);
+    for (IT r = r0; r < r1; ++r) {
+      Offset row_nnz = 0;
+      for (std::size_t bj = 0; bj < gc; ++bj) {
+        row_nnz += blocked.block(bi, bj).row_nnz(r - r0);
+      }
+      out.rpts[static_cast<std::size_t>(r) + 1] = row_nnz;
+    }
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(out.nrows); ++i) {
+    out.rpts[i + 1] += out.rpts[i];
+  }
+  out.cols.resize(static_cast<std::size_t>(out.nnz()));
+  out.vals.resize(static_cast<std::size_t>(out.nnz()));
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t bi = 0; bi < gr; ++bi) {
+    const auto [r0, r1] = blocked.row_range(bi);
+    for (IT r = r0; r < r1; ++r) {
+      auto slot = static_cast<std::size_t>(
+          out.rpts[static_cast<std::size_t>(r)]);
+      for (std::size_t bj = 0; bj < gc; ++bj) {
+        const CsrMatrix<IT, VT>& blk = blocked.block(bi, bj);
+        const IT offset =
+            static_cast<IT>(bj) * blocked.blocking.col_block;
+        for (Offset j = blk.row_begin(r - r0); j < blk.row_end(r - r0);
+             ++j, ++slot) {
+          out.cols[slot] = blk.cols[static_cast<std::size_t>(j)] + offset;
+          out.vals[slot] = blk.vals[static_cast<std::size_t>(j)];
+        }
+      }
+    }
+  }
+  out.sortedness = all_sorted ? Sortedness::kSorted : Sortedness::kUnsorted;
+  return out;
+}
+
+}  // namespace spgemm::shard

@@ -2,7 +2,7 @@
 //
 //   #include "spgemm/spgemm.hpp"
 //
-// The library is organized as four tiers, all running the same two-phase
+// The library is organized as five tiers, all running the same two-phase
 // kernel machinery underneath:
 //
 //   1. One-shot: multiply(a, b, opts) / multiply_over<SR>(a, b, opts).
@@ -37,12 +37,20 @@
 //      handle's ExecutionSchedule, small ones are packed whole onto
 //      single workers.
 //
-//   4. Applications (apps/): AMG Galerkin products with handle-based
+//   4. Out-of-core: shard::ShardedSpGemm (shard/sharded_spgemm.hpp).
+//      Products whose working state exceeds DRAM (or a caller-set byte
+//      budget) run as a 2D walk over block-CSR shards
+//      (shard/block_csr.hpp): each C block is served by the engine while
+//      a ShardStore (shard/shard_store.hpp) spills cold shards to disk
+//      and pins hot ones, the blocking chosen by the memory model.  The
+//      default panel mode is bit-identical to the monolithic product.
+//
+//   5. Applications (apps/): AMG Galerkin products with handle-based
 //      re-assembly (GalerkinReassembler, optionally serving all levels
 //      through one shared engine), Markov clustering with replan-on-drift
 //      (optionally streaming its expansions through an engine), triangle
 //      counting, multi-source BFS, similarity joins — each built on
-//      tiers 1-3.
+//      tiers 1-4.
 //
 // Individual headers remain includable on their own for faster builds.
 #pragma once
@@ -69,3 +77,6 @@
 #include "matrix/triangular.hpp"
 #include "model/cost_model.hpp"
 #include "model/memory_model.hpp"
+#include "shard/block_csr.hpp"
+#include "shard/shard_store.hpp"
+#include "shard/sharded_spgemm.hpp"

@@ -35,6 +35,7 @@
 #include "matrix/rmat.hpp"
 #include "mem/aligned.hpp"
 #include "mem/pool_allocator.hpp"
+#include "shard/sharded_spgemm.hpp"
 
 namespace spgemm {
 namespace {
@@ -361,6 +362,27 @@ TEST(Resilience, EnvDrivenFaultSweepWorkload) {
       EXPECT_EQ(eng.cache().total_pins(), 0);
     }
   }  // engine destruction under an armed fault must also be clean
+
+  // The sharded driver's spill/load path — the only workload that
+  // traverses shard.spill.write and shard.load.map.  A tiny budget forces
+  // the store to spill, so the sweep exercises both points; unfaulted runs
+  // must match the oracle exactly (unit values -> exact sums).
+  {
+    Engine eng;
+    shard::ShardedOptions sopts;
+    sopts.memory_budget_bytes = std::size_t{32} << 10;
+    shard::ShardedSpGemm<I, double> driver(eng, sopts);
+    try {
+      const Matrix c = driver.multiply(big, big);
+      expect_bitwise_equal(c, oracle_big, "env sweep sharded");
+      EXPECT_GT(driver.stats().spills, 0u)
+          << "budget too large to exercise the spill path";
+    } catch (const SpGemmError& e) {
+      EXPECT_TRUE(e.code() == ErrorCode::kInternal ||
+                  e.code() == ErrorCode::kOutOfMemory)
+          << error_code_name(e.code());
+    }
+  }
   if (armed) fault::disarm_all();
 }
 

@@ -54,6 +54,66 @@ TEST(SpAdd, DimensionMismatchThrows) {
   EXPECT_THROW(add(a, b), std::invalid_argument);
 }
 
+TEST(SpAdd, AddIntoRejectsAliasedDestination) {
+  auto a = csr_identity<I, double>(3);
+  const auto b = csr_identity<I, double>(3);
+  EXPECT_THROW(add_into(a, b, a), std::invalid_argument);
+  Matrix c;
+  EXPECT_NO_THROW(add_into(a, b, c));
+  EXPECT_EQ(c.nnz(), 3);
+}
+
+TEST(SpAdd, AddIntoMatchesAddOnBothPaths) {
+  const auto g = rmat_matrix<I, double>(RmatParams::er(7, 4, 11));
+  const auto h = rmat_matrix<I, double>(RmatParams::er(7, 4, 12));
+  // Sorted (merge) path.
+  const Matrix sum = add(g, h, 1.5, -0.5);
+  Matrix into;
+  add_into(g, h, into, 1.5, -0.5);
+  EXPECT_EQ(into.rpts, sum.rpts);
+  EXPECT_EQ(into.cols, sum.cols);
+  EXPECT_EQ(into.vals, sum.vals);
+  // Unsorted (hash) path must agree with the merge path.
+  Matrix gu = g;
+  gu.sortedness = Sortedness::kUnsorted;
+  Matrix unsorted_sum;
+  add_into(gu, h, unsorted_sum, 1.5, -0.5);
+  EXPECT_EQ(unsorted_sum.rpts, sum.rpts);
+  EXPECT_EQ(unsorted_sum.cols, sum.cols);
+  for (std::size_t i = 0; i < sum.vals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(unsorted_sum.vals[i], sum.vals[i]);
+  }
+}
+
+// The sharded driver's accumulation contract (like test_handle's replay
+// test): a destination reused across rounds stops reallocating once its
+// buffers have grown to the largest union — data pointers stay put.
+TEST(SpAdd, AddIntoReusedDestinationKeepsPointersStable) {
+  auto a = rmat_matrix<I, double>(RmatParams::er(8, 6, 13));
+  auto b = rmat_matrix<I, double>(RmatParams::er(8, 6, 14));
+  Matrix c;
+  add_into(a, b, c);
+  const Offset first_nnz = c.nnz();
+  const Offset* rpts_ptr = c.rpts.data();
+  const I* cols_ptr = c.cols.data();
+  const double* vals_ptr = c.vals.data();
+  for (int round = 0; round < 4; ++round) {
+    for (auto& v : a.vals) v *= 1.5;
+    for (auto& v : b.vals) v *= -0.5;
+    add_into(a, b, c);
+    EXPECT_EQ(c.nnz(), first_nnz) << "structure must be stable";
+    EXPECT_EQ(c.rpts.data(), rpts_ptr) << "round " << round;
+    EXPECT_EQ(c.cols.data(), cols_ptr) << "round " << round;
+    EXPECT_EQ(c.vals.data(), vals_ptr) << "round " << round;
+  }
+  // A smaller union must also reuse the grown buffers (grow-only).
+  const auto tiny = csr_from_triplets<I, double>(
+      a.nrows, a.ncols, Triplets{{0, 0, 1.0}});
+  add_into(tiny, tiny, c);
+  EXPECT_EQ(c.cols.data(), cols_ptr) << "shrinking union reallocated";
+  EXPECT_EQ(c.nnz(), 1);
+}
+
 TEST(SpAdd, LowerPlusUpperRebuildsOffDiagonal) {
   RmatParams p = RmatParams::er(7, 4, 99);
   p.symmetric = true;
