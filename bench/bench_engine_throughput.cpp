@@ -16,6 +16,7 @@
 // at scale 16 — the plan phase (symbolic + partition + capture + skeleton)
 // is the majority of a one-shot product, and the cache takes it off the
 // repeated path entirely.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -104,6 +105,132 @@ void report(JsonReporter& json, const std::string& config,
               rec.p99_ms);
 }
 
+/// Mixed-stream: ONE large recurring structure plus a stream of small
+/// requests submitted together — the tail-latency workload the
+/// work-conserving scheduler exists for.  Under the drain-ordered baseline
+/// (work_conserving off) every small in the burst waits out the large
+/// fan-out, so the small p99/p999 is the large product's service time;
+/// under lanes the overlay packs the smalls onto the workers the lane is
+/// not holding and the small tail collapses to roughly a single small
+/// multiply.  Percentiles are over the SMALL requests only (the large's
+/// latency is the same either way and would pin p999); throughput counts
+/// everything.  Round 0 (cold plans) is excluded from the steady numbers.
+struct StreamResult {
+  double steady_products_per_sec = 0.0;
+  std::vector<double> small_latencies_ms;
+  double overlay_occupancy = 0.0;
+};
+
+StreamResult serve_stream(const engine::EngineOptions& opts, Matrix& big,
+                          std::vector<Matrix>& small, int smalls_per_round) {
+  Engine eng(opts);
+  StreamResult out;
+  double steady_ms = 0.0;
+  std::size_t steady_products = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (auto& v : big.vals) v *= 1.0001;
+    for (auto& m : small) {
+      for (auto& v : m.vals) v *= 1.0001;
+    }
+    // Pause so the whole burst lands in one dispatch — the arrival pattern
+    // (smalls stuck behind a large) is deterministic, not a timing race.
+    eng.pause();
+    std::vector<std::future<Engine::Product>> futures;
+    futures.push_back(eng.submit(big, big));
+    for (int i = 0; i < smalls_per_round; ++i) {
+      const Matrix& m = small[static_cast<std::size_t>(i) % small.size()];
+      futures.push_back(eng.submit(m, m));
+    }
+    Timer timer;
+    eng.resume();
+    std::vector<double> latencies;
+    latencies.reserve(futures.size());
+    for (auto& f : futures) latencies.push_back(f.get().latency_ms);
+    const double round_ms = timer.millis();
+    if (round > 0) {
+      steady_ms += round_ms;
+      steady_products += futures.size();
+      out.small_latencies_ms.insert(out.small_latencies_ms.end(),
+                                    latencies.begin() + 1, latencies.end());
+    }
+  }
+  out.steady_products_per_sec =
+      steady_ms > 0.0 ? 1e3 * static_cast<double>(steady_products) / steady_ms
+                      : 0.0;
+  const auto es = eng.engine_stats();
+  out.overlay_occupancy =
+      es.lane_busy_ms > 0.0 ? es.overlay_busy_ms / es.lane_busy_ms : 0.0;
+  return out;
+}
+
+void run_mixed_stream(JsonReporter& json, const std::string& mix_name,
+                      int threads, const engine::EngineOptions& base,
+                      int scale) {
+  const int smalls_per_round = 32;
+  // The row needs clear separation between the large's service time and the
+  // AGGREGATE small work — the lanes tail is bounded below by the latter.
+  // At reduced CI scales the large gets two extra levels (capped at the
+  // default 16) and the smalls sit seven levels below the large.
+  const int big_scale = scale <= 14 ? scale + 2 : scale;
+  const int small_scale = std::max(4, big_scale - 9);
+  Matrix big = rmat_matrix<I, double>(RmatParams::g500(big_scale, 8, 900));
+  // Each small in the stream is a DISTINCT structure: repeated structures
+  // would serialize on their cached plan's exec mutex and the measured tail
+  // would be lease contention, not scheduling order.
+  std::vector<Matrix> small;
+  small.reserve(static_cast<std::size_t>(smalls_per_round));
+  for (int i = 0; i < smalls_per_round; ++i) {
+    small.push_back(
+        rmat_matrix<I, double>(RmatParams::g500(small_scale, 8, 2000 + i)));
+  }
+  // This row measures scheduling order, not kernel scaling: give the
+  // scheduler a real pool even on small CI boxes.  Both the drain baseline
+  // and the lanes run get the same width, so oversubscription (std::thread
+  // overlay + OMP lane timesharing the same cores) cancels out of the
+  // comparison.
+  const int mix_threads = std::max(threads, 8);
+  std::printf("\nmixed stream: 1 large (scale %d) + %d distinct smalls "
+              "(scale %d) per round, %d rounds, %d workers "
+              "(percentiles over smalls, steady rounds only)\n",
+              big_scale, smalls_per_round, small_scale, kRounds, mix_threads);
+  std::printf("%-18s %12s %12s %12s %12s %10s\n", "config", "steady/s",
+              "p50 ms", "p99 ms", "p999 ms", "overlay");
+  struct Variant {
+    const char* name;
+    bool lanes;
+    bool cache;
+  };
+  const Variant variants[] = {
+      {"mixed-drain", false, true},
+      {"mixed-lanes", true, true},
+      {"mixed-drain-cold", false, false},
+      {"mixed-lanes-cold", true, false},
+  };
+  for (const Variant& v : variants) {
+    engine::EngineOptions opts = base;
+    // One pool: the mixed burst must meet ONE scheduler, not shard across
+    // dispatchers — this row measures lanes vs drain, not routing.
+    opts.pools = 1;
+    opts.threads = mix_threads;
+    opts.work_conserving = v.lanes;
+    opts.cache_enabled = v.cache;
+    const StreamResult r = serve_stream(opts, big, small, smalls_per_round);
+    BenchRecord rec;
+    rec.kernel = v.name;
+    rec.matrix = mix_name;
+    rec.threads = mix_threads;
+    rec.products_per_sec = r.steady_products_per_sec;
+    rec.p50_ms = latency_percentile(r.small_latencies_ms, 0.50);
+    rec.p99_ms = latency_percentile(r.small_latencies_ms, 0.99);
+    rec.p999_ms = latency_percentile(r.small_latencies_ms, 0.999);
+    rec.overlay_occupancy = r.overlay_occupancy;
+    json.add(rec);
+    std::printf("%-18s %12.2f %12.2f %12.2f %12.2f %10.3f\n", v.name,
+                rec.products_per_sec, rec.p50_ms, rec.p99_ms, rec.p999_ms,
+                rec.overlay_occupancy);
+  }
+}
+
 /// QoS mix: the same request mix burst-submitted through admission control
 /// with a bounded queue, priorities (latency-sensitive smalls over bulk
 /// larges) and deadlines.  The dispatcher is paused during the burst so the
@@ -119,6 +246,9 @@ void run_qos_mix(JsonReporter& json, const std::string& mix_name, int threads,
                  const std::vector<Matrix>& small) {
   engine::EngineOptions opts = base;
   opts.max_queue = 8;
+  // One pool: the shed/displace arithmetic below assumes every submit
+  // contends for the same queue bound.
+  opts.pools = 1;
   Engine eng(opts);
   eng.pause();
 
@@ -255,6 +385,8 @@ int main() {
           : 0.0;
   std::printf("steady-state speedup (cache-on / cache-off): %.2fx\n",
               speedup);
+
+  run_mixed_stream(json, mix_name, threads, base, scale);
 
   run_qos_mix(json, mix_name, threads, base, large, small);
 

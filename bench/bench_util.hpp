@@ -48,6 +48,14 @@ struct BenchRecord {
   double products_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  /// Extreme tail (bench_engine_throughput's mixed-stream rows): the
+  /// latency a small request pays when it lands behind a large fan-out —
+  /// the metric the work-conserving scheduler exists to fix.
+  double p999_ms = 0.0;
+  /// Average overlay workers kept busy per second of large-lane execution
+  /// (overlay_busy_ms / lane_busy_ms from EngineStats).  Zero for rows
+  /// without the lane scheduler.
+  double overlay_occupancy = 0.0;
   /// Resilience / QoS counters (bench_engine_throughput's qos row): requests
   /// dropped by admission control, deadline misses (failed-before-run plus
   /// delivered-late), memory-pressure ladder retries, and products served
@@ -141,7 +149,8 @@ class JsonReporter {
           "\"nnz_out\": %lld, \"plan_ms\": %.4f, \"execute_ms\": %.4f, "
           "\"executions\": %lld, \"tile_steals\": %lld, "
           "\"products_per_sec\": %.2f, \"p50_ms\": %.4f, "
-          "\"p99_ms\": %.4f, \"probe_rounds\": %lld, "
+          "\"p99_ms\": %.4f, \"p999_ms\": %.4f, "
+          "\"overlay_occupancy\": %.4f, \"probe_rounds\": %lld, "
           "\"keys_per_round\": %.4f, \"shed\": %lld, "
           "\"deadline_misses\": %lld, \"retries\": %lld, "
           "\"degraded_execs\": %lld, \"spills\": %lld, "
@@ -151,7 +160,8 @@ class JsonReporter {
           r.reuse_hit_rate, static_cast<long long>(r.flop),
           static_cast<long long>(r.nnz_out), r.plan_ms, r.execute_ms,
           r.executions, r.tile_steals, r.products_per_sec, r.p50_ms,
-          r.p99_ms, r.probe_rounds, r.keys_per_round, r.shed,
+          r.p99_ms, r.p999_ms, r.overlay_occupancy, r.probe_rounds,
+          r.keys_per_round, r.shed,
           r.deadline_misses, r.retries, r.degraded_execs, r.spills,
           r.in_core_rate, r.cache_hit_share,
           i + 1 < records_.size() ? "," : "");

@@ -330,6 +330,7 @@ struct KernelPlan {
         total_tiles.fetch_add(tiles_done, std::memory_order_relaxed);
         total_captured.fetch_add(captured_count, std::memory_order_relaxed);
       }
+      core.schedule.worker_done();
     }
 
     core.rpts[nrows] = 0;
@@ -375,6 +376,7 @@ struct KernelPlan {
                       const CsrMatrix<IT, VT>& b, CsrMatrix<IT, VT>& c) {
     std::atomic<std::uint64_t> total_probes{0};
     std::atomic<std::uint64_t> total_keys{0};
+    core.schedule.reset_occupancy();
 #pragma omp parallel num_threads(core.nthreads)
     {
       const int tid = omp_get_thread_num();
@@ -417,6 +419,7 @@ struct KernelPlan {
         total_keys.fetch_add(keys_resolved_of(acc) - keys_before,
                              std::memory_order_relaxed);
       }
+      core.schedule.worker_done();
     }
     return {total_probes.load(std::memory_order_relaxed),
             total_keys.load(std::memory_order_relaxed)};
@@ -682,6 +685,16 @@ class SpGemmHandle {
   /// whose frozen assignment every execute() replays.
   [[nodiscard]] const parallel::ExecutionSchedule& schedule() const {
     return core_.schedule;
+  }
+
+  /// Engine lanes hook: mirror per-pass worker exits into `sink` so the
+  /// serving engine can widen its small-product overlay as this handle's
+  /// plan/execute workers drain (ExecutionSchedule::set_exit_sink).  The
+  /// sink must outlive every pass run while attached; detach with nullptr
+  /// before it dies.  Callers serialize on the handle's execution anyway
+  /// (the engine holds the plan-cache exec mutex), so this needs no lock.
+  void set_pass_exit_sink(std::atomic<int>* sink) {
+    core_.schedule.set_exit_sink(sink);
   }
 
   /// Fraction of rows whose slot stream was captured (replayable).

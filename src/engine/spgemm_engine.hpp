@@ -1,5 +1,5 @@
 // SpGemmEngine — a concurrent SpGEMM serving layer: fingerprint-keyed plan
-// cache + flop-ordered batch/stream executor over one worker pool.
+// cache + a work-conserving lane scheduler over shard-affine worker pools.
 //
 // PR 2/3 built the per-product machinery (SpGemmHandle, structure
 // fingerprints, the shared ExecutionSchedule); this engine is the layer
@@ -17,15 +17,41 @@
 //     count (model::estimate_flop, O(nnz(A)) per request) so the worker
 //     pool never idles behind one giant product:
 //       - LARGE products (flop > EngineOptions::small_flop_cutoff) run
-//         one at a time, largest first, each fanning out across the whole
-//         pool through its handle's ExecutionSchedule;
-//       - SMALL products are packed whole onto single workers — one OpenMP
-//         region, dynamic assignment, each worker planning/executing with
-//         threads = 1 — so a thousand tiny products cost a thousand
-//         single-threaded multiplies, not a thousand barriers.
-//     A structure's size class is a function of its flop estimate, so the
-//     same structure always replans with the same thread count and its
-//     cached plan stays valid across batches.
+//         one at a time, largest first, each fanning out through its
+//         handle's ExecutionSchedule on an EXECUTION LANE — a bounded
+//         worker subset whose width model::choose_lane_width derives from
+//         the product's flop and the memory model's per-thread budgets;
+//       - SMALL products are packed whole onto single workers (each
+//         planning/executing with threads = 1) — so a thousand tiny
+//         products cost a thousand single-threaded multiplies, not a
+//         thousand barriers.  Deadline-bearing smalls run earliest-
+//         deadline-first; the rest keep largest-first flop order.
+//     WORK CONSERVATION (EngineOptions::work_conserving, default on):
+//     while a large product's lane runs, a concurrent OVERLAY packs the
+//     queued small products onto the workers the lane is not using right
+//     now — including workers that finish their share of a pass early
+//     (ExecutionSchedule reports per-pass worker exits) — so small
+//     requests no longer wait for the big one to drain.  Off = the
+//     drain-ordered phases of the original engine, kept as the bench
+//     baseline.
+//     A structure's size class AND lane width are functions of its flop
+//     estimate and the engine's configuration, so the same structure
+//     always replans with the same thread count and its cached plan stays
+//     valid across batches.  (Caveat: run_batch sizes lanes against the
+//     full worker width while the submit path sizes them against one
+//     pool's width — mixing both paths for the same large structure on a
+//     multi-pool engine replans it per path.)
+//
+//   * shards the submit dispatcher into N WORKER POOLS with PlanCache
+//     shard affinity: requests route by fingerprint hash, so repeated
+//     products keep hitting the pool — and the NUMA node — that planned
+//     them.  N defaults to the detected NUMA node count
+//     (model::choose_engine_pools); the SPGEMM_ENGINE_POOLS environment
+//     variable or EngineOptions::pools override it so single-node CI
+//     exercises the multi-pool path.  A pool whose queue is empty steals
+//     the back half of a busy pool's backlog — cross-pool stealing only
+//     happens when the thief is otherwise idle, so affinity is preserved
+//     until skew would leave workers idle.
 //
 // Resilience contract (this is a serving tier, so failure is an API):
 //
@@ -36,16 +62,18 @@
 //   * requests carry an optional DEADLINE and a PRIORITY.  A request whose
 //     deadline passes before it runs fails fast with kDeadlineExceeded; one
 //     that completes late still delivers (the work is done — wasting it
-//     helps nobody) and is counted in EngineStats::deadline_misses.  When
-//     any request in a batch carries a deadline, the packed-small phase
-//     runs before the large fan-outs: small latency-sensitive work must
-//     not queue behind a multi-second fan-out;
-//   * admission control: EngineOptions::max_queue bounds the submit queue
-//     by count and queue_flop_budget bounds it by estimated work.  Over
-//     either bound, the lowest-priority queued request is shed — its future
-//     fails with kShed (past-deadline victims fail kDeadlineExceeded) — and
-//     an arrival that cannot displace anything is shed itself.  Nothing is
-//     ever silently dropped: every accepted future resolves;
+//     helps nobody) and is counted in EngineStats::deadline_misses.  Under
+//     the work-conserving scheduler small latency-sensitive work overlays
+//     a large fan-out instead of queueing behind it; in drain mode (and
+//     its degenerate batches) the packed-small phase still runs first
+//     whenever any request in the batch carries a deadline;
+//   * admission control: EngineOptions::max_queue bounds each pool's
+//     submit queue by count and queue_flop_budget bounds it by estimated
+//     work.  Over either bound, the lowest-priority queued request of that
+//     pool is shed — its future fails with kShed (past-deadline victims
+//     fail kDeadlineExceeded) — and an arrival that cannot displace
+//     anything is shed itself.  Nothing is ever silently dropped: every
+//     accepted future resolves;
 //   * graceful degradation: a std::bad_alloc during plan/execute walks a
 //     bounded retry ladder — (1) evict every cold plan from the cache and
 //     retry, (2) re-plan with reuse capture off and tile/capture budgets
@@ -56,7 +84,9 @@
 //   * a plan whose plan/execute throws is QUARANTINED: the PlanCache lease
 //     unwinds into an eviction, the possibly half-built plan is never
 //     served again, and pin accounting stays exact (debug builds assert
-//     pins return to zero after every batch).
+//     pins return to zero after every batch);
+//   * pause() freezes every pool's dispatcher — and therefore every lane —
+//     deterministically at batch granularity; resume()/stop() release them.
 //
 // Results come back as engine::Product values: the output matrix is COPIED
 // out of the serving handle (execute_into), so it stays valid after the
@@ -76,6 +106,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -83,9 +114,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <future>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <numeric>
 #include <span>
@@ -93,6 +126,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
@@ -110,14 +144,25 @@ namespace spgemm::engine {
 
 struct EngineOptions {
   /// Base plan/execute options for every product the engine serves.
-  /// `plan.threads` is overridden per size class (pool width for large
+  /// `plan.threads` is overridden per size class (lane width for large
   /// products, 1 for packed small ones); set `threads` below to size the
   /// pool itself.
   SpGemmOptions plan;
-  /// Worker-pool width; 0 = the OpenMP default.  Resolved once at
-  /// construction so size-class decisions stay stable for the engine's
+  /// Worker width across ALL pools; 0 = the OpenMP default.  Resolved once
+  /// at construction so size-class decisions stay stable for the engine's
   /// lifetime.
   int threads = 0;
+  /// Dispatcher pool count.  0 = auto: the SPGEMM_ENGINE_POOLS environment
+  /// variable when set, else the detected NUMA node count
+  /// (model::choose_engine_pools); an explicit value here beats both.
+  /// Clamped so every pool keeps at least one worker.
+  int pools = 0;
+  /// Work-conserving lane scheduler: large products fan out on a bounded
+  /// lane while queued small products overlay the remaining workers.
+  /// false = the original drain-ordered phases (large fan-outs at full
+  /// width, then packed smalls) — the tail-latency baseline the
+  /// bench_engine_throughput mixed-stream row compares against.
+  bool work_conserving = true;
   /// Serve repeated structures from the plan cache.  Off = every request
   /// plans fresh (the baseline bench_engine_throughput compares against).
   bool cache_enabled = true;
@@ -129,16 +174,16 @@ struct EngineOptions {
   /// live in ordinary DRAM; pass a smaller tier to serve from MCDRAM/LLC.
   model::TierParams cache_tier = model::knl_ddr();
   /// Products at or below this many scalar multiplications are packed
-  /// whole onto one worker; larger ones fan out across the pool.
+  /// whole onto one worker; larger ones fan out across a lane.
   Offset small_flop_cutoff = Offset{1} << 15;
-  /// Admission control: maximum submitted-but-undispatched requests.
-  /// 0 = unbounded.  Over the bound, the lowest-priority queued request
-  /// (or the arrival itself) is shed with kShed.
+  /// Admission control: maximum submitted-but-undispatched requests PER
+  /// POOL.  0 = unbounded.  Over the bound, the lowest-priority request
+  /// queued on that pool (or the arrival itself) is shed with kShed.
   std::size_t max_queue = 0;
-  /// Admission control by work: maximum total estimated flop the queue may
-  /// hold.  0 = unbounded.  A single request larger than the whole budget
-  /// is still admitted when the queue is empty — it could never run
-  /// otherwise.
+  /// Admission control by work: maximum total estimated flop one pool's
+  /// queue may hold.  0 = unbounded.  A single request larger than the
+  /// whole budget is still admitted when that queue is empty — it could
+  /// never run otherwise.
   Offset queue_flop_budget = 0;
 };
 
@@ -153,7 +198,8 @@ struct TenantEngineStats {
   Offset flop = 0;                    ///< estimated flop of delivered products
 };
 
-/// Resilience counters of one engine; engine_stats() snapshots them.
+/// Resilience + scheduler counters of one engine; engine_stats() snapshots
+/// them.
 struct EngineStats {
   std::uint64_t shed = 0;  ///< requests dropped by admission control
   /// Deadlines not met: requests failed before running (their future gets
@@ -163,6 +209,21 @@ struct EngineStats {
   /// Products served by a degraded configuration (reuse off, shrunken
   /// budgets, possibly single-threaded).
   std::uint64_t degraded_execs = 0;
+  // ---- Work-conserving scheduler ------------------------------------------
+  /// Large products run on an execution lane (work_conserving engines).
+  std::uint64_t lane_execs = 0;
+  /// Sum of the lane widths chosen; avg width = lane_width_sum/lane_execs.
+  std::uint64_t lane_width_sum = 0;
+  /// Wall-clock the large lane spent executing (the overlay window).
+  double lane_busy_ms = 0.0;
+  /// Small products completed WHILE a large lane was running.
+  std::uint64_t overlay_execs = 0;
+  /// Worker-time those overlay products consumed; overlay occupancy =
+  /// overlay_busy_ms / lane_busy_ms (average overlay workers kept busy
+  /// per lane-second).
+  double overlay_busy_ms = 0.0;
+  /// Requests taken from another pool's queue by an idle pool.
+  std::uint64_t pool_steals = 0;
   /// Attribution by Request::tenant for requests that set one (id >= 0).
   std::map<int, TenantEngineStats> tenants;
 };
@@ -200,10 +261,16 @@ class SpGemmEngine {
     SpGemmStats stats;
     bool cache_hit = false;     ///< served by replaying a retained plan
     bool packed_small = false;  ///< ran whole on a single worker
+    /// Ran on the small-product overlay WHILE a large lane was executing
+    /// (implies packed_small; only set by work-conserving engines).
+    bool overlay = false;
     /// Served by the memory-pressure ladder's degraded configuration
     /// (reuse capture off, memory-model-shrunken budgets, possibly a
     /// single thread).  Bit-identical to the normal result regardless.
     bool degraded = false;
+    /// Thread count the product planned/executed with: 1 for packed
+    /// smalls, the lane width for larges (full width in drain mode).
+    int threads_used = 0;
     Offset flop = 0;  ///< admission-ordering flop count
     /// Service time for batch products; enqueue-to-delivery (queue wait
     /// included) for submitted ones.
@@ -213,10 +280,27 @@ class SpGemmEngine {
   explicit SpGemmEngine(EngineOptions opts = {})
       : opts_(std::move(opts)),
         pool_threads_(parallel::resolve_threads(opts_.threads)),
+        npools_(model::choose_engine_pools(
+            opts_.pools > 0
+                ? opts_.pools
+                : static_cast<int>(env::get_int("SPGEMM_ENGINE_POOLS", 0)),
+            pool_threads_)),
         cache_(opts_.cache_budget_bytes > 0
                    ? opts_.cache_budget_bytes
-                   : model::derive_cache_budget_bytes(opts_.cache_tier)),
-        dispatcher_([this] { dispatch_loop(); }) {}
+                   : model::derive_cache_budget_bytes(opts_.cache_tier)) {
+    pools_.reserve(static_cast<std::size_t>(npools_));
+    for (int p = 0; p < npools_; ++p) {
+      auto pool = std::make_unique<Pool>();
+      // Equal worker split; the first (pool_threads_ % npools_) pools take
+      // the remainder so no worker is stranded.
+      pool->width = pool_threads_ / npools_ + (p < pool_threads_ % npools_);
+      pool->width = std::max(1, pool->width);
+      pools_.push_back(std::move(pool));
+    }
+    for (auto& pool : pools_) {
+      pool->worker = std::thread([this, p = pool.get()] { pool_loop(*p); });
+    }
+  }
 
   SpGemmEngine(const SpGemmEngine&) = delete;
   SpGemmEngine& operator=(const SpGemmEngine&) = delete;
@@ -224,11 +308,11 @@ class SpGemmEngine {
   /// Drains and delivers every submitted request before returning.
   ~SpGemmEngine() { stop(); }
 
-  /// Drain and deliver everything already queued, then retire the
-  /// dispatcher.  Idempotent; the destructor calls it.  Later submits fail
-  /// with kEngineStopped (their futures, not a throw); the synchronous
-  /// paths (multiply / run_batch) keep working — they never used the
-  /// dispatcher.
+  /// Drain and deliver everything already queued, then retire the pool
+  /// dispatchers.  Idempotent; the destructor calls it.  Later submits
+  /// fail with kEngineStopped (their futures, not a throw); the
+  /// synchronous paths (multiply / run_batch) keep working — they never
+  /// used the dispatchers.
   void stop() {
     {
       std::lock_guard<std::mutex> lk(queue_mu_);
@@ -236,12 +320,16 @@ class SpGemmEngine {
       paused_ = false;
     }
     queue_cv_.notify_all();
-    if (dispatcher_.joinable()) dispatcher_.join();
+    for (auto& pool : pools_) {
+      if (pool->worker.joinable()) pool->worker.join();
+    }
   }
 
-  /// Hold the dispatcher: submitted requests accumulate — and admission
-  /// control sheds against the configured bounds — without being served.
-  /// Deterministic backpressure for tests and maintenance windows.
+  /// Hold every pool's dispatcher: submitted requests accumulate — and
+  /// admission control sheds against the configured bounds — without being
+  /// served.  Lanes already in flight finish their batch; no new lane or
+  /// overlay work starts.  Deterministic backpressure for tests and
+  /// maintenance windows.
   void pause() {
     std::lock_guard<std::mutex> lk(queue_mu_);
     paused_ = true;
@@ -255,7 +343,7 @@ class SpGemmEngine {
     queue_cv_.notify_all();
   }
 
-  /// Enqueue one product for the dispatcher thread; delivery through the
+  /// Enqueue one product for a pool dispatcher; delivery through the
   /// future.  Safe to call from any number of producer threads.
   std::future<Product> submit(const CsrMatrix<IT, VT>& a,
                               const CsrMatrix<IT, VT>& b) {
@@ -285,6 +373,7 @@ class SpGemmEngine {
     }
     std::future<Product> fut = pending.promise.get_future();
 
+    Pool& pool = *pools_[route_pool(req)];
     std::vector<Pending> victims;  // fail their promises outside the lock
     bool shed_incoming = false;
     {
@@ -295,19 +384,20 @@ class SpGemmEngine {
             "SpGemmEngine::submit: engine is stopped")));
         return fut;
       }
-      while (over_bound(pending.flop_est)) {
-        const std::size_t victim = pick_victim(req.priority);
+      while (over_bound(pool, pending.flop_est)) {
+        const std::size_t victim = pick_victim(pool, req.priority);
         if (victim == kNoVictim) {
           shed_incoming = true;
           break;
         }
-        queued_flop_ -= queue_[victim].flop_est;
-        victims.push_back(std::move(queue_[victim]));
-        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+        pool.queued_flop -= pool.queue[victim].flop_est;
+        victims.push_back(std::move(pool.queue[victim]));
+        pool.queue.erase(pool.queue.begin() +
+                         static_cast<std::ptrdiff_t>(victim));
       }
       if (!shed_incoming) {
-        queued_flop_ += pending.flop_est;
-        queue_.push_back(std::move(pending));
+        pool.queued_flop += pending.flop_est;
+        pool.queue.push_back(std::move(pending));
       }
     }
     const auto now = Clock::now();
@@ -316,19 +406,23 @@ class SpGemmEngine {
       shed_one(std::move(pending), now);
       return fut;
     }
-    queue_cv_.notify_one();
+    // Wake every dispatcher: the routed pool to serve, idle pools so they
+    // can steal if the routed one is already busy.
+    queue_cv_.notify_all();
     return fut;
   }
 
   /// Serve a whole batch on the calling thread: flop-ordered admission,
-  /// large products fan out, small ones pack.  Results align with `reqs`
-  /// by index.  The first per-request failure (always a SpGemmError) is
-  /// rethrown after the batch completes.
+  /// large products fan out on lanes, small ones pack (overlaying the
+  /// lanes when work-conserving).  Results align with `reqs` by index.
+  /// The first per-request failure (always a SpGemmError) is rethrown
+  /// after the batch completes.
   std::vector<Product> run_batch(std::span<const Request> reqs) {
     const std::size_t n = reqs.size();
     std::vector<Product> products(n);
     std::vector<std::exception_ptr> errors(n);
-    process_batch(reqs.data(), n, products.data(), errors.data());
+    process_batch(reqs.data(), n, products.data(), errors.data(),
+                  pool_threads_, nullptr);
     for (const std::exception_ptr& err : errors) {
       if (err) std::rethrow_exception(err);
     }
@@ -341,7 +435,7 @@ class SpGemmEngine {
     const Request req{&a, &b};
     Product product;
     std::exception_ptr error;
-    process_batch(&req, 1, &product, &error);
+    process_batch(&req, 1, &product, &error, pool_threads_, nullptr);
     if (error) std::rethrow_exception(error);
     return product;
   }
@@ -353,7 +447,7 @@ class SpGemmEngine {
     const Request req{&a, &b, fp_a, fp_b, /*has_fingerprints=*/true};
     Product product;
     std::exception_ptr error;
-    process_batch(&req, 1, &product, &error);
+    process_batch(&req, 1, &product, &error, pool_threads_, nullptr);
     if (error) std::rethrow_exception(error);
     return product;
   }
@@ -362,6 +456,24 @@ class SpGemmEngine {
   [[nodiscard]] PlanCache<IT, VT>& cache() { return cache_; }
   [[nodiscard]] const EngineOptions& options() const { return opts_; }
   [[nodiscard]] int pool_threads() const { return pool_threads_; }
+  /// Resolved dispatcher pool count (>= 1).
+  [[nodiscard]] int pools() const { return npools_; }
+  /// Worker width of pool `p`.
+  [[nodiscard]] int pool_width(int p) const {
+    return pools_[static_cast<std::size_t>(p)]->width;
+  }
+  /// Thread count a large product of `flop` scalar multiplications plans
+  /// with on a lane of `width` workers (run_batch/multiply use the full
+  /// pool_threads() width; the submit path uses one pool's width).
+  /// Deterministic so cached plans revalidate — see choose_lane_width.
+  [[nodiscard]] int lane_width_for(Offset flop, int width) const {
+    if (!opts_.work_conserving) return width;
+    const int cap = std::max(1, width - overlay_reserve(width));
+    return std::min(
+        model::choose_lane_width(flop, opts_.plan.fast_tier, width,
+                                 sizeof(IT)),
+        cap);
+  }
 
   [[nodiscard]] EngineStats engine_stats() const {
     EngineStats s;
@@ -369,9 +481,26 @@ class SpGemmEngine {
     s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
     s.retries = retries_.load(std::memory_order_relaxed);
     s.degraded_execs = degraded_execs_.load(std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lk(tenant_mu_);
-      s.tenants = tenant_stats_;
+    s.lane_execs = lane_execs_.load(std::memory_order_relaxed);
+    s.lane_width_sum = lane_width_sum_.load(std::memory_order_relaxed);
+    s.lane_busy_ms =
+        static_cast<double>(lane_busy_us_.load(std::memory_order_relaxed)) /
+        1000.0;
+    s.overlay_execs = overlay_execs_.load(std::memory_order_relaxed);
+    s.overlay_busy_ms =
+        static_cast<double>(
+            overlay_busy_us_.load(std::memory_order_relaxed)) /
+        1000.0;
+    s.pool_steals = pool_steals_.load(std::memory_order_relaxed);
+    for (const TenantShard& shard : tenant_shards_) {
+      std::lock_guard<std::mutex> lk(shard.mu);
+      for (const auto& [id, t] : shard.stats) {
+        TenantEngineStats& agg = s.tenants[id];
+        agg.shed += t.shed;
+        agg.deadline_misses += t.deadline_misses;
+        agg.products += t.products;
+        agg.flop += t.flop;
+      }
     }
     return s;
   }
@@ -384,36 +513,107 @@ class SpGemmEngine {
     Offset flop_est = 0;  ///< admission weight under queue_flop_budget
   };
 
+  /// One dispatcher pool.  Queue state (queue, queued_flop, busy) is
+  /// guarded by the engine-wide queue_mu_ — queue operations are tiny and
+  /// rare next to the products they admit, and one mutex keeps
+  /// pause/stop/shed and cross-pool stealing free of lock-order hazards.
+  struct Pool {
+    int width = 1;               ///< worker threads of this pool's lanes
+    std::vector<Pending> queue;  ///< guarded by queue_mu_
+    Offset queued_flop = 0;      ///< guarded by queue_mu_
+    bool busy = false;  ///< dispatcher is executing a batch (queue_mu_)
+    std::thread worker;
+  };
+
   static constexpr std::size_t kNoVictim =
       std::numeric_limits<std::size_t>::max();
   /// Ladder depth: attempt 0 is the normal config, 1 retries it after a
   /// cache purge, 2 re-plans degraded, 3 adds the single-thread fallback.
   static constexpr int kMaxAttempts = 3;
+  static constexpr std::size_t kTenantShards = 16;
+
+  /// Lane-occupancy handshake between the large lane and the overlay: the
+  /// lane stores how many workers its current pass occupies, the handle's
+  /// ExecutionSchedule increments `exited` as those workers finish their
+  /// share (engine-owned sink; zeroed at each pass start).
+  struct LaneHooks {
+    std::atomic<int>* occupied = nullptr;
+    std::atomic<int>* exited = nullptr;
+  };
 
   static bool has_deadline(const Request& r) {
     return r.deadline != Clock::time_point::max();
   }
 
-  /// Would admitting a request of weight `est` exceed a configured bound?
-  /// (callers hold queue_mu_)
-  bool over_bound(Offset est) const {
-    if (opts_.max_queue > 0 && queue_.size() + 1 > opts_.max_queue) {
+  /// Workers held back from large lanes for the small-product overlay:
+  /// roughly a quarter of the pool, at least one once there are two
+  /// workers.  An engine constant (not load-dependent) so lane widths stay
+  /// a pure function of flop and configuration.
+  static int overlay_reserve(int width) {
+    if (width <= 1) return 0;
+    return std::max(1, width / 4);
+  }
+
+  static std::uint64_t to_us(double ms) {
+    return ms > 0.0 ? static_cast<std::uint64_t>(ms * 1000.0) : 0;
+  }
+
+  /// Pool affinity for one request.  With caller fingerprints the pair
+  /// hash routes directly (the PlanCache key, so repeats stay pool-local).
+  /// Without them, an O(1) structural sample stands in: dims, nnz and a
+  /// few probed entries — stable across value updates, and a rare
+  /// collision merely co-locates two structures on one pool.  Hashing the
+  /// full structure here would put an O(nnz) pass on every producer
+  /// thread; the batch admission pass keeps doing that in parallel.
+  [[nodiscard]] std::size_t route_pool(const Request& r) const {
+    if (npools_ <= 1 || r.a == nullptr || r.b == nullptr) return 0;
+    std::uint64_t key = 0;
+    if (r.has_fingerprints) {
+      key = pair_structure_hash(r.fp_a, r.fp_b);
+    } else {
+      FnvHasher h;
+      for (const CsrMatrix<IT, VT>* m : {r.a, r.b}) {
+        h.mix(static_cast<std::uint64_t>(m->nrows));
+        h.mix(static_cast<std::uint64_t>(m->ncols));
+        h.mix(static_cast<std::uint64_t>(m->cols.size()));
+        const std::size_t nnz = m->cols.size();
+        if (nnz > 0) {
+          h.mix(static_cast<std::uint64_t>(m->cols[0]));
+          h.mix(static_cast<std::uint64_t>(m->cols[nnz / 2]));
+          h.mix(static_cast<std::uint64_t>(m->cols[nnz - 1]));
+        }
+        const std::size_t nrpts = m->rpts.size();
+        if (nrpts > 0) {
+          h.mix(static_cast<std::uint64_t>(m->rpts[nrpts / 2]));
+        }
+      }
+      key = h.value();
+    }
+    // Fold the high bits in so low-entropy keys still spread.
+    return static_cast<std::size_t>((key ^ (key >> 32)) %
+                                    static_cast<std::uint64_t>(npools_));
+  }
+
+  /// Would admitting a request of weight `est` exceed a configured bound
+  /// on this pool?  (callers hold queue_mu_)
+  bool over_bound(const Pool& pool, Offset est) const {
+    if (opts_.max_queue > 0 && pool.queue.size() + 1 > opts_.max_queue) {
       return true;
     }
-    return opts_.queue_flop_budget > 0 && !queue_.empty() &&
-           queued_flop_ + est > opts_.queue_flop_budget;
+    return opts_.queue_flop_budget > 0 && !pool.queue.empty() &&
+           pool.queued_flop + est > opts_.queue_flop_budget;
   }
 
   /// Choose what to shed: a queued request already past its deadline (its
   /// work is unsalvageable), else the lowest-priority queued request
   /// strictly below the arrival's priority.  kNoVictim = shed the arrival.
   /// (callers hold queue_mu_)
-  std::size_t pick_victim(int incoming_priority) const {
+  std::size_t pick_victim(const Pool& pool, int incoming_priority) const {
     const auto now = Clock::now();
     std::size_t lowest = kNoVictim;
     int lowest_priority = std::numeric_limits<int>::max();
-    for (std::size_t i = 0; i < queue_.size(); ++i) {
-      const Request& r = queue_[i].req;
+    for (std::size_t i = 0; i < pool.queue.size(); ++i) {
+      const Request& r = pool.queue[i].req;
       if (has_deadline(r) && now > r.deadline) return i;
       if (r.priority < lowest_priority) {
         lowest_priority = r.priority;
@@ -424,13 +624,20 @@ class SpGemmEngine {
   }
 
   /// Per-tenant attribution sink: runs `fn` on the tenant's stats record
-  /// when the request names one.  Mutex-guarded — attribution sites run on
-  /// producer threads, the dispatcher and OpenMP workers alike.
+  /// when the request names one.  Sharded by the calling thread's id —
+  /// attribution sites run on producer threads, pool dispatchers, OpenMP
+  /// workers and overlay threads alike, and a single global mutex here
+  /// measurably serialized the packed-small phase.  engine_stats() folds
+  /// the shards.
   template <class Fn>
   void note_tenant(int tenant, Fn&& fn) {
     if (tenant < 0) return;
-    std::lock_guard<std::mutex> lk(tenant_mu_);
-    fn(tenant_stats_[tenant]);
+    const std::size_t shard =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+        (kTenantShards - 1);
+    TenantShard& s = tenant_shards_[shard];
+    std::lock_guard<std::mutex> lk(s.mu);
+    fn(s.stats[tenant]);
   }
 
   /// Fail one shed request's future: kDeadlineExceeded when its deadline
@@ -475,11 +682,16 @@ class SpGemmEngine {
     }
   }
 
-  /// Admission + execution for one span of requests.  products/errors are
-  /// parallel arrays of length n; a request that fails leaves its product
-  /// default-constructed and its error set (always a SpGemmError).
+  /// Admission + execution for one span of requests on `width` workers.
+  /// products/errors are parallel arrays of length n; a request that fails
+  /// leaves its product default-constructed and its error set (always a
+  /// SpGemmError).  `on_done(i)` — when non-null — fires exactly once per
+  /// request as it settles (product complete or error final), from
+  /// whichever worker finished it: the streaming-delivery hook that lets
+  /// overlay products resolve their futures while a lane is still running.
   void process_batch(const Request* reqs, std::size_t n, Product* products,
-                     std::exception_ptr* errors) {
+                     std::exception_ptr* errors, int width,
+                     const std::function<void(std::size_t)>& on_done) {
     if (n == 0) return;
     {
       std::lock_guard<std::mutex> lk(batch_mu_);
@@ -490,7 +702,7 @@ class SpGemmEngine {
 
     // Admission pass: validate, count flop, fingerprint.  All O(nnz) per
     // request and embarrassingly parallel across requests.
-#pragma omp parallel for schedule(dynamic) num_threads(pool_threads_)
+#pragma omp parallel for schedule(dynamic) num_threads(width)
     for (std::size_t i = 0; i < n; ++i) {
       const Request& r = reqs[i];
       try {
@@ -528,6 +740,7 @@ class SpGemmEngine {
 
     std::vector<std::size_t> large;
     std::vector<std::size_t> small;
+    std::vector<char> scheduled(n, 0);
     large.reserve(n);
     small.reserve(n);
     bool any_deadline = false;
@@ -536,43 +749,155 @@ class SpGemmEngine {
       any_deadline = any_deadline || has_deadline(reqs[i]);
       (products[i].flop > opts_.small_flop_cutoff ? large : small)
           .push_back(i);
+      scheduled[i] = 1;
     }
 
-    // Large products: one at a time, the whole pool fanning out through
-    // each handle's ExecutionSchedule.  Small products: packed whole onto
-    // single workers, still largest first so the tail of the dynamic
-    // schedule stays short.  Largest-first keeps the pool busy — UNLESS
-    // some request carries a deadline, in which case the cheap packed
-    // phase runs first: latency-sensitive small work must not wait out a
-    // multi-second fan-out.
-    auto run_large = [&] {
-      for (const std::size_t i : large) {
-        if (!admit_deadline(reqs[i], errors[i])) continue;
-        run_one(reqs[i], fp_a[i], fp_b[i], pool_threads_, products[i],
-                errors[i]);
-        finish_deadline(reqs[i], errors[i]);
-        finish_tenant(reqs[i], products[i], errors[i]);
-      }
+    // EDF inside the packed-small phase: deadline-bearing smalls run
+    // earliest-deadline-first, ahead of the deadline-free rest (which keep
+    // the priority+flop admission order) — flop order was missing
+    // avoidable deadlines.
+    std::stable_sort(small.begin(), small.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       const bool dx = has_deadline(reqs[x]);
+                       const bool dy = has_deadline(reqs[y]);
+                       if (dx != dy) return dx;
+                       return dx && reqs[x].deadline < reqs[y].deadline;
+                     });
+
+    const auto settle = [&](std::size_t i) {
+      if (on_done) on_done(i);
     };
-    auto run_small = [&] {
-      if (small.empty()) return;
-#pragma omp parallel for schedule(dynamic, 1) num_threads(pool_threads_)
-      for (std::size_t j = 0; j < small.size(); ++j) {
-        const std::size_t i = small[j];
-        if (!admit_deadline(reqs[i], errors[i])) continue;
+
+    const auto run_small_one = [&](std::size_t i) {
+      if (admit_deadline(reqs[i], errors[i])) {
         run_one(reqs[i], fp_a[i], fp_b[i], /*threads=*/1, products[i],
-                errors[i]);
+                errors[i], nullptr);
         products[i].packed_small = true;
         finish_deadline(reqs[i], errors[i]);
         finish_tenant(reqs[i], products[i], errors[i]);
       }
+      settle(i);
     };
-    if (any_deadline) {
-      run_small();
-      run_large();
+
+    // Large products: one at a time, largest first, each fanning out
+    // through its handle's ExecutionSchedule on `lane_width_for(flop)`
+    // workers (the full width in drain mode — lane_width_for collapses).
+    const auto run_large_one = [&](std::size_t i, const LaneHooks* hooks) {
+      if (admit_deadline(reqs[i], errors[i])) {
+        const int lw = lane_width_for(products[i].flop, width);
+        run_one(reqs[i], fp_a[i], fp_b[i], lw, products[i], errors[i],
+                hooks);
+        if (!errors[i] && hooks != nullptr) {
+          lane_execs_.fetch_add(1, std::memory_order_relaxed);
+          lane_width_sum_.fetch_add(static_cast<std::uint64_t>(lw),
+                                    std::memory_order_relaxed);
+          lane_busy_us_.fetch_add(to_us(products[i].latency_ms),
+                                  std::memory_order_relaxed);
+        }
+        finish_deadline(reqs[i], errors[i]);
+        finish_tenant(reqs[i], products[i], errors[i]);
+      }
+      settle(i);
+    };
+
+    const bool lanes = opts_.work_conserving && width > 1 &&
+                       !large.empty() && !small.empty();
+    if (lanes) {
+      // Work-conserving lanes: the calling thread drives the large lane;
+      // overlay workers pack smalls onto whatever the lane is not holding
+      // RIGHT NOW — width minus (occupied - exited), which grows as lane
+      // workers finish their share of a pass and jumps to the full width
+      // between lane products.  Overlay worker w only draws work while
+      // w < allowed, so lane + overlay never oversubscribe the width.
+      std::atomic<std::size_t> small_next{0};
+      std::atomic<int> lane_occupied{0};
+      std::atomic<int> lane_exited{0};
+      LaneHooks hooks{&lane_occupied, &lane_exited};
+
+      const auto overlay_worker = [&](int w) {
+        for (;;) {
+          if (small_next.load(std::memory_order_relaxed) >= small.size()) {
+            break;
+          }
+          const int held =
+              std::max(0, lane_occupied.load(std::memory_order_relaxed) -
+                              lane_exited.load(std::memory_order_relaxed));
+          if (w >= width - held) {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+            continue;
+          }
+          const std::size_t j =
+              small_next.fetch_add(1, std::memory_order_relaxed);
+          if (j >= small.size()) break;
+          const std::size_t i = small[j];
+          const bool overlapped = held > 0;
+          if (admit_deadline(reqs[i], errors[i])) {
+            run_one(reqs[i], fp_a[i], fp_b[i], /*threads=*/1, products[i],
+                    errors[i], nullptr);
+            products[i].packed_small = true;
+            if (!errors[i] && overlapped) {
+              products[i].overlay = true;
+              overlay_execs_.fetch_add(1, std::memory_order_relaxed);
+              overlay_busy_us_.fetch_add(to_us(products[i].latency_ms),
+                                         std::memory_order_relaxed);
+            }
+            finish_deadline(reqs[i], errors[i]);
+            finish_tenant(reqs[i], products[i], errors[i]);
+          }
+          settle(i);
+        }
+      };
+
+      // Pre-charge the occupancy with the first lane's width: overlay
+      // workers must gate (and attribute overlap) against the lane from
+      // their very first claim, not only after the lane thread has entered
+      // the kernel and published its own count.
+      lane_occupied.store(lane_width_for(products[large.front()].flop, width),
+                          std::memory_order_relaxed);
+
+      std::vector<std::thread> overlay;
+      const int n_overlay =
+          static_cast<int>(std::min<std::size_t>(
+              static_cast<std::size_t>(width), small.size()));
+      overlay.reserve(static_cast<std::size_t>(n_overlay));
+      for (int w = 0; w < n_overlay; ++w) {
+        overlay.emplace_back(overlay_worker, w);
+      }
+      for (const std::size_t i : large) {
+        run_large_one(i, &hooks);
+        lane_occupied.store(0, std::memory_order_relaxed);
+      }
+      for (std::thread& t : overlay) t.join();
     } else {
-      run_large();
-      run_small();
+      // Drain-ordered phases (work_conserving off, or a degenerate batch:
+      // one size class only / one worker).  Largest-first keeps the pool
+      // busy — UNLESS some request carries a deadline, in which case the
+      // cheap packed phase runs first: latency-sensitive small work must
+      // not wait out a multi-second fan-out.
+      const LaneHooks* hooks = opts_.work_conserving ? &drain_hooks_ : nullptr;
+      const auto run_large_phase = [&] {
+        for (const std::size_t i : large) run_large_one(i, hooks);
+      };
+      const auto run_small_phase = [&] {
+        if (small.empty()) return;
+#pragma omp parallel for schedule(dynamic, 1) num_threads(width)
+        for (std::size_t j = 0; j < small.size(); ++j) {
+          run_small_one(small[j]);
+        }
+      };
+      if (any_deadline) {
+        run_small_phase();
+        run_large_phase();
+      } else {
+        run_large_phase();
+        run_small_phase();
+      }
+    }
+
+    // Requests that never reached a size class (admission-pass failures)
+    // still settle exactly once.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!scheduled[i]) settle(i);
     }
 
     {
@@ -628,13 +953,14 @@ class SpGemmEngine {
   /// bad_alloc, and copy the result out.  noexcept boundary: exceptions
   /// land in `error` as SpGemmErrors — never escape into an OpenMP region.
   void run_one(const Request& r, std::uint64_t fp_a, std::uint64_t fp_b,
-               int threads, Product& out, std::exception_ptr& error) noexcept {
+               int threads, Product& out, std::exception_ptr& error,
+               const LaneHooks* hooks) noexcept {
     try {
       Timer timer;
       int attempt = 0;
       for (;;) {
         try {
-          execute_attempt(r, fp_a, fp_b, threads, attempt, out);
+          execute_attempt(r, fp_a, fp_b, threads, attempt, out, hooks);
           break;
         } catch (const std::bad_alloc&) {
           if (attempt >= kMaxAttempts) {
@@ -666,7 +992,7 @@ class SpGemmEngine {
   /// key would keep being re-served long after the pressure passed.
   void execute_attempt(const Request& r, std::uint64_t fp_a,
                        std::uint64_t fp_b, int threads, int attempt,
-                       Product& out) {
+                       Product& out, const LaneHooks* hooks) {
     SpGemmOptions opts = opts_.plan;
     opts.threads = threads;
     const bool degraded = attempt >= 2;
@@ -676,10 +1002,19 @@ class SpGemmEngine {
       opts.fast_tier = model::degraded_tier(opts_.plan.fast_tier, attempt - 1);
       if (attempt >= kMaxAttempts) opts.threads = 1;
     }
+    // Publish this attempt's true occupancy (the ladder may have dropped
+    // to one thread) before any pass can run.
+    if (hooks != nullptr && hooks->occupied != nullptr) {
+      hooks->exited->store(0, std::memory_order_relaxed);
+      hooks->occupied->store(opts.threads, std::memory_order_relaxed);
+    }
+    std::atomic<int>* sink = hooks != nullptr ? hooks->exited : nullptr;
     out.cache_hit = false;
+    out.threads_used = opts.threads;
     if (!opts_.cache_enabled || degraded) {
       const std::uint64_t pair = pair_structure_hash(fp_a, fp_b);
       SpGemmHandle<IT, VT> handle;
+      handle.set_pass_exit_sink(sink);
       handle.plan(*r.a, *r.b, opts, nullptr, &pair);
       handle.execute_into(*r.a, *r.b, out.c, PlusTimes{}, &out.stats);
     } else {
@@ -691,31 +1026,81 @@ class SpGemmEngine {
       std::size_t bytes = 0;
       {
         std::lock_guard<std::mutex> lk(lease.exec_mutex());
+        // Attach (or detach, when this run carries no hooks) the exit
+        // sink BEFORE any pass: a cached handle may still point at a dead
+        // batch's counter from its previous serving.  Detach again after —
+        // the sink's atomics die with this batch, the handle does not.
+        lease.handle().set_pass_exit_sink(sink);
         out.cache_hit = !lease.handle().ensure_planned_hashed(
             *r.a, *r.b, fp_a, fp_b, opts);
         lease.handle().execute_into(*r.a, *r.b, out.c, PlusTimes{},
                                     &out.stats);
+        lease.handle().set_pass_exit_sink(nullptr);
         bytes = lease.handle().retained_bytes();
       }
       cache_.release(std::move(lease), out.cache_hit, bytes);
     }
   }
 
-  /// Dispatcher: drain whatever has accumulated since the last wake-up
-  /// into one batch — natural batching under load, immediate service when
-  /// idle — and deliver through the promises.
-  void dispatch_loop() {
-    std::unique_lock<std::mutex> lk(queue_mu_);
-    for (;;) {
-      queue_cv_.wait(
-          lk, [&] { return stopping_ || (!queue_.empty() && !paused_); });
-      if (queue_.empty()) {
-        if (stopping_) return;
+  /// Any pool holding queued requests?  (callers hold queue_mu_)
+  [[nodiscard]] bool any_backlog() const {
+    for (const auto& pool : pools_) {
+      if (!pool->queue.empty()) return true;
+    }
+    return false;
+  }
+
+  /// Move the back half of the longest BUSY pool's backlog into `self`
+  /// (callers hold queue_mu_, self.queue empty).  Only busy victims: an
+  /// idle pool is about to serve its own queue, and stealing from it would
+  /// defeat affinity for nothing.
+  void try_steal(Pool& self) {
+    Pool* victim = nullptr;
+    for (const auto& pool : pools_) {
+      if (pool.get() == &self || !pool->busy || pool->queue.empty()) {
         continue;
       }
-      std::vector<Pending> batch = std::move(queue_);
-      queue_.clear();
-      queued_flop_ = 0;
+      if (victim == nullptr || pool->queue.size() > victim->queue.size()) {
+        victim = pool.get();
+      }
+    }
+    if (victim == nullptr) return;
+    const std::size_t take = (victim->queue.size() + 1) / 2;
+    const std::size_t keep = victim->queue.size() - take;
+    for (std::size_t k = keep; k < victim->queue.size(); ++k) {
+      victim->queued_flop -= victim->queue[k].flop_est;
+      self.queued_flop += victim->queue[k].flop_est;
+      self.queue.push_back(std::move(victim->queue[k]));
+    }
+    victim->queue.resize(keep);
+    pool_steals_.fetch_add(static_cast<std::uint64_t>(take),
+                           std::memory_order_relaxed);
+  }
+
+  /// One pool's dispatcher: drain whatever has accumulated on this pool
+  /// since the last wake-up into one batch — natural batching under load,
+  /// immediate service when idle — steal from a busy sibling when this
+  /// pool is empty, and deliver each promise AS ITS PRODUCT SETTLES (an
+  /// overlay small resolves its future while the lane is still running —
+  /// the whole point of work conservation).
+  void pool_loop(Pool& self) {
+    std::unique_lock<std::mutex> lk(queue_mu_);
+    for (;;) {
+      queue_cv_.wait(lk, [&] {
+        return stopping_ || (!paused_ && any_backlog());
+      });
+      if (self.queue.empty() && !paused_) try_steal(self);
+      if (self.queue.empty()) {
+        if (stopping_ && !any_backlog()) return;
+        // Backlog belongs to a non-stealable (momentarily idle) sibling;
+        // give it a beat to claim its own queue.
+        queue_cv_.wait_for(lk, std::chrono::milliseconds(1));
+        continue;
+      }
+      std::vector<Pending> batch = std::move(self.queue);
+      self.queue.clear();
+      self.queued_flop = 0;
+      self.busy = true;
       lk.unlock();
 
       const std::size_t n = batch.size();
@@ -723,46 +1108,64 @@ class SpGemmEngine {
       std::vector<Product> products(n);
       std::vector<std::exception_ptr> errors(n);
       for (std::size_t i = 0; i < n; ++i) reqs[i] = batch[i].req;
-      process_batch(reqs.data(), n, products.data(), errors.data());
+      process_batch(
+          reqs.data(), n, products.data(), errors.data(), self.width,
+          [&](std::size_t i) {
+            if (errors[i]) {
+              batch[i].promise.set_exception(errors[i]);
+            } else {
+              products[i].latency_ms =
+                  std::chrono::duration<double, std::milli>(
+                      Clock::now() - batch[i].enqueued)
+                      .count();
+              batch[i].promise.set_value(std::move(products[i]));
+            }
+          });
 
-      const auto now = std::chrono::steady_clock::now();
-      for (std::size_t i = 0; i < n; ++i) {
-        if (errors[i]) {
-          batch[i].promise.set_exception(errors[i]);
-        } else {
-          products[i].latency_ms =
-              std::chrono::duration<double, std::milli>(now -
-                                                        batch[i].enqueued)
-                  .count();
-          batch[i].promise.set_value(std::move(products[i]));
-        }
-      }
       lk.lock();
+      self.busy = false;
     }
   }
 
   EngineOptions opts_;
   int pool_threads_;
+  int npools_;
   PlanCache<IT, VT> cache_;
 
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> deadline_misses_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> degraded_execs_{0};
+  std::atomic<std::uint64_t> lane_execs_{0};
+  std::atomic<std::uint64_t> lane_width_sum_{0};
+  std::atomic<std::uint64_t> lane_busy_us_{0};
+  std::atomic<std::uint64_t> overlay_execs_{0};
+  std::atomic<std::uint64_t> overlay_busy_us_{0};
+  std::atomic<std::uint64_t> pool_steals_{0};
 
-  mutable std::mutex tenant_mu_;
-  std::map<int, TenantEngineStats> tenant_stats_;  ///< guarded by tenant_mu_
+  /// Occupancy sink for drain-mode large runs in a work-conserving engine
+  /// (no overlay listens, but execute_attempt still publishes) — keeps the
+  /// hooks-vs-no-hooks distinction meaning "lanes stats" only.
+  std::atomic<int> drain_occupied_{0};
+  std::atomic<int> drain_exited_{0};
+  LaneHooks drain_hooks_{&drain_occupied_, &drain_exited_};
+
+  struct TenantShard {
+    mutable std::mutex mu;
+    std::map<int, TenantEngineStats> stats;  ///< guarded by mu
+  };
+  std::array<TenantShard, kTenantShards> tenant_shards_;
 
   std::mutex batch_mu_;
   int inflight_batches_ = 0;  ///< guarded by batch_mu_
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::vector<Pending> queue_;
-  Offset queued_flop_ = 0;  ///< guarded by queue_mu_
-  bool stopping_ = false;
-  bool paused_ = false;
-  std::thread dispatcher_;  ///< last member: joins before the rest dies
+  bool stopping_ = false;  ///< guarded by queue_mu_
+  bool paused_ = false;    ///< guarded by queue_mu_
+  /// Last member: pool worker threads join (via stop()) before the rest
+  /// of the engine dies.
+  std::vector<std::unique_ptr<Pool>> pools_;
 };
 
 }  // namespace spgemm::engine

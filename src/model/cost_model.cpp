@@ -93,6 +93,22 @@ bool reuse_pays(double collision_factor, std::size_t reuse_budget_bytes) {
   return collision_factor >= 0.5;
 }
 
+int choose_lane_width(Offset flop, const TierParams& fast_tier,
+                      int pool_width, std::size_t bytes_per_slot) {
+  if (pool_width <= 1 || flop <= 0) return 1;
+  // One worker's equal share of the fast tier, expressed as the flop whose
+  // ~2-slots-per-flop capture stream fills it.
+  const double share_bytes =
+      fast_tier.capacity_gb * 1e9 / static_cast<double>(pool_width);
+  const double slot_bytes = 2.0 * static_cast<double>(bytes_per_slot);
+  const auto grain = static_cast<Offset>(
+      std::max(static_cast<double>(kLaneMinFlopPerWorker),
+               share_bytes / std::max(1.0, slot_bytes)));
+  const Offset lanes = (flop + grain - 1) / grain;
+  if (lanes >= static_cast<Offset>(pool_width)) return pool_width;
+  return static_cast<int>(std::max<Offset>(1, lanes));
+}
+
 std::size_t derive_cache_budget_bytes(const TierParams& tier) {
   const double capacity_bytes = tier.capacity_gb * 1e9;
   const double share = capacity_bytes / 8.0;

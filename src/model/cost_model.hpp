@@ -116,6 +116,26 @@ bool reuse_pays(double collision_factor, std::size_t reuse_budget_bytes);
 
 // ---- Serving-engine sizing (engine/plan_cache.hpp) ------------------------
 
+/// Worker-lane width for one engine product under the work-conserving
+/// scheduler (engine/spgemm_engine.hpp): the number of workers a large
+/// product's ExecutionSchedule fans out across while the remaining workers
+/// serve the small-product overlay.  One lane per `per-worker flop grain`,
+/// where the grain is the flop whose capture stream (~2 slots of
+/// `bytes_per_slot` per flop) fills one worker's equal share of the fast
+/// tier — floored at kLaneMinFlopPerWorker so tiny products never fan out.
+/// Deterministic and monotone non-decreasing in `flop`, clamped to
+/// [1, pool_width].  Determinism matters beyond reproducibility: the engine
+/// plans a large product with `threads = lane width`, and a cached plan
+/// only replays when the requested thread count matches, so the same
+/// structure must always map to the same width.
+int choose_lane_width(Offset flop, const TierParams& fast_tier,
+                      int pool_width, std::size_t bytes_per_slot = 8);
+
+/// Flop floor per extra lane worker in choose_lane_width.  Matches the
+/// engine's default small-product cutoff: a product one grain over the
+/// cutoff gets a second worker, not the whole pool.
+inline constexpr Offset kLaneMinFlopPerWorker = Offset{1} << 15;
+
 /// Byte budget for a fingerprint-keyed plan cache backed by the given
 /// memory tier: retained plans (capture streams, skeletons, pooled outputs)
 /// compete with the working sets of the products they serve, so the cache

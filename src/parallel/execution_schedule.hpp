@@ -141,6 +141,7 @@ class ExecutionSchedule {
     if (!shared_) return;
     shared_->next.store(0, std::memory_order_relaxed);
     shared_->steals.store(0, std::memory_order_relaxed);
+    reset_occupancy();
     if (policy_ == TileSchedule::kStealing) {
       for (std::size_t i = 0; i < tiles_.size(); ++i) {
         taken_[i].store(0, std::memory_order_relaxed);
@@ -152,6 +153,41 @@ class ExecutionSchedule {
   [[nodiscard]] std::uint64_t steals() const {
     return shared_ ? shared_->steals.load(std::memory_order_relaxed) : 0;
   }
+
+  // ---- Pass occupancy (engine execution lanes) ---------------------------
+  //
+  // The serving engine overlays small products onto the workers a large
+  // product's pass is NOT using right now.  Each worker announces the end of
+  // its share of a pass via worker_done(); the engine points exit_sink at a
+  // counter it polls so the overlay can widen as lane workers drain.  Both
+  // counters reset at begin_pass() — occupancy is per pass, not per plan.
+
+  /// Mark the calling worker's share of the current pass finished.  Called
+  /// once per worker per pass by the plan/execute drivers.  Const because
+  /// the numeric replay traverses a frozen (const) plan; the counters are
+  /// claim state, not schedule shape.
+  void worker_done() const {
+    if (shared_) shared_->exited.fetch_add(1, std::memory_order_relaxed);
+    if (exit_sink_) exit_sink_->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Zero the occupancy counters ahead of a pass that does not re-claim
+  /// tiles (the numeric replay walks frozen per-thread tile lists and never
+  /// calls begin_pass(), but still occupies its workers).
+  void reset_occupancy() const {
+    if (shared_) shared_->exited.store(0, std::memory_order_relaxed);
+    if (exit_sink_) exit_sink_->store(0, std::memory_order_relaxed);
+  }
+
+  /// Workers that have finished their share of the current pass.
+  [[nodiscard]] int workers_exited() const {
+    return shared_ ? shared_->exited.load(std::memory_order_relaxed) : 0;
+  }
+
+  /// Mirror worker exits into an engine-owned counter (nullptr detaches).
+  /// The sink must outlive every pass run while it is attached; begin_pass()
+  /// zeroes it alongside the internal counter.
+  void set_exit_sink(std::atomic<int>* sink) { exit_sink_ = sink; }
 
   /// Traverse thread `tid`'s share of the current pass.
   /// Visit: void(std::size_t tile_index, const TileRange&, bool stolen).
@@ -226,6 +262,9 @@ class ExecutionSchedule {
   struct Shared {
     std::atomic<std::size_t> next{0};      ///< dynamic-policy global cursor
     std::atomic<std::uint64_t> steals{0};  ///< stolen tiles this pass
+    /// Workers done with this pass; mutable so const traversals of a frozen
+    /// plan (numeric replay) can still report occupancy.
+    mutable std::atomic<int> exited{0};
   };
 
   bool claim(std::size_t i) {
@@ -244,6 +283,7 @@ class ExecutionSchedule {
   Offset global_max_row_flop_ = 0;
   Offset total_flop_ = 0;
   std::unique_ptr<Shared> shared_;
+  std::atomic<int>* exit_sink_ = nullptr;  ///< engine lane-occupancy mirror
   std::unique_ptr<std::atomic<std::uint8_t>[]> taken_;  ///< stealing only
   std::size_t taken_count_ = 0;  ///< grow-only claim-flag capacity
 };

@@ -18,6 +18,7 @@
 //     the engine (the io_matrix_market satellite's end-to-end leg).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <string>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "apps/amg_galerkin.hpp"
+#include "common/fault_injection.hpp"
 #include "apps/markov_cluster.hpp"
 #include "core/spgemm_handle.hpp"
 #include "core/spgemm_ref.hpp"
@@ -91,9 +93,10 @@ TEST(EngineCacheHit, BitIdenticalToFreshPlanAcrossKernels) {
     const Engine::Product hit = eng.multiply(a, a);
     EXPECT_TRUE(hit.cache_hit) << label;
 
-    // Fresh plan+execute with the exact options the engine resolved to.
+    // Fresh plan+execute with the exact options the engine resolved to
+    // (Product::threads_used is the engine's size-class/lane decision).
     SpGemmOptions opts = eo.plan;
-    opts.threads = first.packed_small ? 1 : eng.pool_threads();
+    opts.threads = first.threads_used;
     SpGemmHandle<I, double> fresh(a, a, opts);
     Matrix oracle;
     fresh.execute_into(a, a, oracle);
@@ -386,6 +389,320 @@ TEST(EngineSubmit, ConcurrentProducersRaceFree) {
   // with 4 structures and 64 requests the overwhelming majority must hit.
   EXPECT_GE(stats.hits, static_cast<std::uint64_t>(
                             kProducers * kPerProducer - 2 * 4));
+}
+
+// ---------------------------------------------------------------------------
+// Work-conserving lanes + shard-affine pools: concurrent mixed streams must
+// be bit-identical to the serial oracle in EVERY lane/pool configuration,
+// and the QoS machinery must behave exactly as it does drain-ordered.
+// ---------------------------------------------------------------------------
+
+TEST(EngineLanes, MixedStreamsBitIdenticalAcrossLaneAndPoolConfigs) {
+  // Two large structures (they fan out on a bounded lane) and three small
+  // ones (they run on the overlay while a lane is busy).  Results must be
+  // bitwise the serial reference no matter which lane width, overlay slot
+  // or pool served them — the whole point of deterministic lane sizing.
+  std::vector<Matrix> inputs;
+  inputs.push_back(unit_valued_rmat(9, 8, 600));  // large
+  inputs.push_back(dense_row_among_empties(600)); // large, skewed
+  inputs.push_back(unit_valued_rmat(6, 6, 601));
+  inputs.push_back(unit_valued_rmat(5, 4, 602));
+  inputs.push_back(csr_identity<I, double>(48));
+  std::vector<Matrix> oracles;
+  for (const Matrix& m : inputs) oracles.push_back(spgemm_reference(m, m));
+
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const int pools : {1, 2, 4}) {
+      engine::EngineOptions eo;
+      eo.plan.algorithm = Algorithm::kHash;
+      eo.threads = threads;
+      eo.pools = pools;
+      Engine eng(eo);
+      ASSERT_EQ(eng.pools(), std::min(pools, eng.pool_threads()));
+
+      // Burst from several producers so larges and smalls land in the same
+      // dispatch windows and the overlay actually overlaps the lanes.
+      constexpr int kProducers = 3;
+      constexpr int kPerProducer = 12;
+      std::vector<std::vector<std::future<Engine::Product>>> futures(
+          kProducers);
+      std::vector<std::thread> producers;
+      for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+          for (int i = 0; i < kPerProducer; ++i) {
+            const Matrix& m = inputs[(p + i) % inputs.size()];
+            futures[p].push_back(eng.submit(m, m));
+          }
+        });
+      }
+      for (std::thread& t : producers) t.join();
+      for (int p = 0; p < kProducers; ++p) {
+        for (int i = 0; i < kPerProducer; ++i) {
+          const Engine::Product prod = futures[p][i].get();
+          expect_bitwise_equal(
+              prod.c, oracles[(p + i) % oracles.size()],
+              "t" + std::to_string(threads) + " pools" +
+                  std::to_string(pools) + " producer " + std::to_string(p) +
+                  " req " + std::to_string(i));
+        }
+      }
+      // run_batch and multiply agree with the same oracles on the same
+      // engine (the synchronous paths share the lane machinery).
+      std::vector<Engine::Request> reqs;
+      for (const Matrix& m : inputs) reqs.push_back({&m, &m});
+      const auto batch = eng.run_batch(reqs);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        expect_bitwise_equal(batch[i].c, oracles[i],
+                             "run_batch t" + std::to_string(threads) +
+                                 " pools" + std::to_string(pools));
+      }
+    }
+  }
+}
+
+TEST(EngineLanes, LaneWidthIsDeterministicAndCacheStaysValid) {
+  // The lane width is a pure function of (flop, engine config), so a large
+  // structure served twice must hit its cached plan — a width that drifted
+  // with load would silently replan every repeat.
+  const Matrix big = unit_valued_rmat(9, 8, 610);
+  engine::EngineOptions eo;
+  eo.plan.algorithm = Algorithm::kHash;
+  eo.threads = 4;
+  eo.pools = 1;
+  Engine eng(eo);
+  const Engine::Product first = eng.multiply(big, big);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(first.packed_small);
+  const Engine::Product again = eng.multiply(big, big);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.threads_used, first.threads_used);
+  // Work conservation reserves overlay slots: the lane never takes the
+  // whole pool when there is more than one worker.
+  EXPECT_LT(first.threads_used, eng.pool_threads());
+  EXPECT_GE(first.threads_used, 1);
+  const auto es = eng.engine_stats();
+  EXPECT_EQ(es.lane_execs, 2u);
+  EXPECT_EQ(es.lane_width_sum,
+            2u * static_cast<std::uint64_t>(first.threads_used));
+}
+
+TEST(EngineLanes, OverlayRunsSmallsDuringLargeLane) {
+  // One large + a stream of smalls in one dispatch: with lanes on, the
+  // overlay must complete small products while the lane runs (observable
+  // as overlay_execs > 0 with a large enough stream), and every product
+  // still matches its oracle.
+  const Matrix big = unit_valued_rmat(10, 8, 620);
+  const Matrix small = unit_valued_rmat(5, 4, 621);
+  const Matrix oracle_big = spgemm_reference(big, big);
+  const Matrix oracle_small = spgemm_reference(small, small);
+
+  engine::EngineOptions eo;
+  eo.plan.algorithm = Algorithm::kHash;
+  eo.threads = 4;
+  eo.pools = 1;
+  Engine eng(eo);
+  eng.pause();
+  std::vector<std::future<Engine::Product>> futures;
+  futures.push_back(eng.submit(big, big));
+  for (int i = 0; i < 48; ++i) futures.push_back(eng.submit(small, small));
+  eng.resume();
+  expect_bitwise_equal(futures[0].get().c, oracle_big, "overlay large");
+  std::uint64_t overlays = 0;
+  for (std::size_t i = 1; i < futures.size(); ++i) {
+    const Engine::Product p = futures[i].get();
+    expect_bitwise_equal(p.c, oracle_small,
+                         "overlay small " + std::to_string(i));
+    EXPECT_TRUE(p.packed_small);
+    overlays += p.overlay ? 1 : 0;
+  }
+  const auto es = eng.engine_stats();
+  EXPECT_EQ(es.overlay_execs, overlays);
+  EXPECT_GE(es.lane_execs, 1u);
+}
+
+TEST(EngineLanes, EdfOrdersDeadlineSmallsFirst) {
+  // Packed smalls with deadlines run earliest-deadline-first, ahead of
+  // deadline-free ones.  Serial engine (1 thread, 1 pool) + one paused
+  // dispatch make completion order — and with near-identical enqueue
+  // times, delivered latency order — deterministic.
+  const Matrix m = unit_valued_rmat(5, 4, 630);
+  engine::EngineOptions eo;
+  eo.plan.algorithm = Algorithm::kHash;
+  eo.threads = 1;
+  eo.pools = 1;
+  Engine eng(eo);
+  eng.multiply(m, m);  // warm the plan so runs are uniform
+  eng.pause();
+
+  const auto now = Engine::Clock::now();
+  auto with_deadline = [&](int seconds) {
+    Engine::Request r;
+    r.a = &m;
+    r.b = &m;
+    if (seconds > 0) r.deadline = now + std::chrono::seconds(seconds);
+    return r;
+  };
+  // Submission order: no-deadline, latest, middle, earliest.
+  auto f_none = eng.submit(with_deadline(0));
+  auto f_late = eng.submit(with_deadline(300));
+  auto f_mid = eng.submit(with_deadline(200));
+  auto f_early = eng.submit(with_deadline(100));
+  eng.resume();
+
+  const double l_none = f_none.get().latency_ms;
+  const double l_late = f_late.get().latency_ms;
+  const double l_mid = f_mid.get().latency_ms;
+  const double l_early = f_early.get().latency_ms;
+  // EDF run order: early, mid, late, then the deadline-free request.
+  EXPECT_LT(l_early, l_mid);
+  EXPECT_LT(l_mid, l_late);
+  EXPECT_LT(l_late, l_none);
+  EXPECT_EQ(eng.engine_stats().deadline_misses, 0u);
+}
+
+TEST(EngineLanes, QosSurvivesLanesAndPools) {
+  // Shed/deadline/pause semantics must be untouched by the lane scheduler:
+  // same structure -> same pool, so per-pool admission behaves exactly
+  // like the old single-queue engine.
+  const Matrix m = unit_valued_rmat(5, 4, 640);
+  engine::EngineOptions eo;
+  eo.plan.algorithm = Algorithm::kHash;
+  eo.threads = 4;
+  eo.pools = 2;
+  eo.max_queue = 2;
+  Engine eng(eo);
+  eng.pause();
+
+  auto f1 = eng.submit(m, m);
+  auto f2 = eng.submit(m, m);
+  Engine::Request high;
+  high.a = &m;
+  high.b = &m;
+  high.priority = 5;
+  auto f3 = eng.submit(high);  // displaces a priority-0 entry
+  Engine::Request stale;
+  stale.a = &m;
+  stale.b = &m;
+  stale.priority = 9;
+  stale.deadline = Engine::Clock::now() - std::chrono::milliseconds(1);
+  auto f4 = eng.submit(stale);  // admitted (displaces), fails at run time
+
+  eng.resume();
+  int delivered = 0;
+  int shed = 0;
+  int missed = 0;
+  for (auto* f : {&f1, &f2, &f3, &f4}) {
+    try {
+      const Engine::Product p = f->get();
+      expect_bitwise_equal(p.c, spgemm_reference(m, m), "qos survivor");
+      ++delivered;
+    } catch (const SpGemmError& e) {
+      if (e.code() == ErrorCode::kShed) ++shed;
+      if (e.code() == ErrorCode::kDeadlineExceeded) ++missed;
+    }
+  }
+  // f1 and f2 were displaced (kShed); the expired entry was admitted but
+  // failed typed at run time; only the high-priority request delivered.
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(shed, 2);
+  EXPECT_EQ(missed, 1);
+  const auto es = eng.engine_stats();
+  EXPECT_EQ(es.shed, 2u);
+  EXPECT_GE(es.deadline_misses, 1u);
+}
+
+TEST(EngineLanes, PauseFreezesEveryPool) {
+  const Matrix m = unit_valued_rmat(5, 4, 650);
+  engine::EngineOptions eo;
+  eo.plan.algorithm = Algorithm::kHash;
+  eo.threads = 4;
+  eo.pools = 4;
+  Engine eng(eo);
+  eng.pause();
+  std::vector<std::future<Engine::Product>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(eng.submit(m, m));
+  // Nothing may be served while paused — across ALL pools.
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::milliseconds(30)),
+              std::future_status::timeout);
+  }
+  eng.resume();
+  for (auto& f : futures) {
+    expect_bitwise_equal(f.get().c, spgemm_reference(m, m), "post-resume");
+  }
+}
+
+TEST(EngineLanes, FaultSweepSurvivableUnderLanesAndPools) {
+  // The resilience sweep's contract, rerun inside the lane scheduler: an
+  // armed fault during a mixed large+small stream yields bit-identical
+  // success or a typed error, never a hang, crash or pin leak.
+  const Matrix big = unit_valued_rmat(9, 8, 660);
+  const Matrix small = unit_valued_rmat(5, 4, 661);
+  const Matrix oracle_big = spgemm_reference(big, big);
+  const Matrix oracle_small = spgemm_reference(small, small);
+  for (std::size_t i = 0; i < fault::kNumPoints; ++i) {
+    const std::string point = fault::kPoints[i];
+    SCOPED_TRACE(point);
+    fault::disarm_all();
+    engine::EngineOptions eo;
+    eo.plan.algorithm = Algorithm::kHash;
+    eo.threads = 4;
+    eo.pools = 2;
+    Engine eng(eo);
+    {
+      fault::ScopedFault f(point, 1);
+      eng.pause();
+      std::vector<std::future<Engine::Product>> futures;
+      futures.push_back(eng.submit(big, big));
+      for (int s = 0; s < 6; ++s) futures.push_back(eng.submit(small, small));
+      eng.resume();
+      for (std::size_t k = 0; k < futures.size(); ++k) {
+        try {
+          const Engine::Product p = futures[k].get();
+          expect_bitwise_equal(p.c, k == 0 ? oracle_big : oracle_small,
+                               point + " (survived)");
+        } catch (const SpGemmError& e) {
+          EXPECT_TRUE(e.code() == ErrorCode::kInternal ||
+                      e.code() == ErrorCode::kOutOfMemory)
+              << point << " failed with " << error_code_name(e.code());
+        }
+      }
+    }
+    EXPECT_EQ(eng.cache().total_pins(), 0) << point;
+    // Disarmed, the same engine serves both structures perfectly.
+    expect_bitwise_equal(eng.multiply(big, big).c, oracle_big,
+                         point + " (after disarm)");
+    expect_bitwise_equal(eng.multiply(small, small).c, oracle_small,
+                         point + " (after disarm)");
+  }
+  fault::disarm_all();
+}
+
+TEST(EnginePools, DrainModeMatchesOracleToo) {
+  // The legacy drain-ordered scheduler stays available (the bench
+  // baseline) and must be just as correct.
+  std::vector<Matrix> inputs;
+  inputs.push_back(unit_valued_rmat(9, 8, 670));
+  inputs.push_back(unit_valued_rmat(5, 4, 671));
+  std::vector<Matrix> oracles;
+  for (const Matrix& m : inputs) oracles.push_back(spgemm_reference(m, m));
+
+  engine::EngineOptions eo;
+  eo.plan.algorithm = Algorithm::kHash;
+  eo.threads = 4;
+  eo.work_conserving = false;
+  Engine eng(eo);
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::future<Engine::Product>> futures;
+    for (const Matrix& m : inputs) futures.push_back(eng.submit(m, m));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const Engine::Product p = futures[i].get();
+      expect_bitwise_equal(p.c, oracles[i], "drain mode");
+      EXPECT_FALSE(p.overlay);
+    }
+  }
+  // Drain mode runs larges at the full pool width.
+  EXPECT_EQ(eng.engine_stats().lane_execs, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 // two-tier memory model that substitutes for MCDRAM hardware.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/multiply.hpp"
@@ -173,6 +174,56 @@ TEST(MemoryModel, HeapDegradesWhenWorkingSetExceedsCapacity) {
   const double exceeds = mcdram_speedup(AccessPattern::kHeap, 1e9, 1e8, 64.0,
                                         true, 48.0);
   EXPECT_LT(exceeds, fits);
+}
+
+// --- Engine scheduler heuristics (lane widths, pool counts) ------------------
+
+TEST(EngineSizing, LaneWidthMonotoneInFlopAndClamped) {
+  const TierParams tier = host_fast_tier();
+  const int pool = 8;
+  EXPECT_EQ(choose_lane_width(0, tier, pool), 1);
+  EXPECT_EQ(choose_lane_width(kLaneMinFlopPerWorker, tier, pool), 1);
+  int prev = 1;
+  for (Offset flop = Offset{1} << 10; flop <= Offset{1} << 34; flop <<= 2) {
+    const int w = choose_lane_width(flop, tier, pool);
+    EXPECT_GE(w, prev) << "lane width must be monotone in flop";
+    EXPECT_GE(w, 1);
+    EXPECT_LE(w, pool);
+    prev = w;
+  }
+  // Saturates at the pool width for huge products.
+  EXPECT_EQ(choose_lane_width(Offset{1} << 40, tier, pool), pool);
+  // Degenerate pools always yield one worker.
+  EXPECT_EQ(choose_lane_width(Offset{1} << 40, tier, 1), 1);
+  EXPECT_EQ(choose_lane_width(Offset{1} << 40, tier, 0), 1);
+}
+
+TEST(EngineSizing, LaneWidthDependsOnlyOnInputs) {
+  // The serving engine caches plans keyed by structure and replays them at
+  // the planned thread count: the width decision must be a pure function
+  // of (flop, tier, pool width) — same inputs, same answer, every call.
+  const TierParams tier = host_fast_tier();
+  for (const Offset flop : {Offset{1} << 12, Offset{1} << 22, Offset{1} << 30}) {
+    const int first = choose_lane_width(flop, tier, 8);
+    for (int rep = 0; rep < 3; ++rep) {
+      EXPECT_EQ(choose_lane_width(flop, tier, 8), first);
+    }
+  }
+}
+
+TEST(EngineSizing, PoolCountClampedAndOverridable) {
+  EXPECT_GE(detect_numa_nodes(), 1);
+  // An explicit request wins over detection but never exceeds the workers.
+  EXPECT_EQ(choose_engine_pools(4, 16), 4);
+  EXPECT_EQ(choose_engine_pools(4, 2), 2);
+  EXPECT_EQ(choose_engine_pools(1, 16), 1);
+  // Auto mode (requested <= 0) follows the detected topology, clamped.
+  const int detected = detect_numa_nodes();
+  EXPECT_EQ(choose_engine_pools(0, 64), std::min(detected, 64));
+  EXPECT_EQ(choose_engine_pools(0, 1), 1);
+  EXPECT_EQ(choose_engine_pools(-3, 1), 1);
+  // Degenerate worker counts still yield a serviceable pool.
+  EXPECT_EQ(choose_engine_pools(0, 0), 1);
 }
 
 TEST(MemoryModel, SpgemmMixHasThreeComponents) {

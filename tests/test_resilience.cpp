@@ -479,6 +479,11 @@ TEST(Resilience, BackpressureShedsLowestPriorityTyped) {
 TEST(Resilience, FlopBudgetShedsButAdmitsOversizeWhenIdle) {
   engine::EngineOptions opts;
   opts.queue_flop_budget = 1;  // nothing fits — except into an empty queue
+  // One pool: big and small are different structures, and the budget
+  // arithmetic below assumes they contend for the SAME queue (with
+  // fingerprint routing they would land on different pools and both be
+  // admitted into empty queues).
+  opts.pools = 1;
   Engine eng(std::move(opts));
   eng.pause();
 
