@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <future>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "common/error.hpp"
 #include "engine/spgemm_engine.hpp"
 #include "matrix/rmat.hpp"
+#include "telemetry/registry.hpp"
 
 namespace {
 
@@ -122,7 +124,8 @@ struct StreamResult {
 };
 
 StreamResult serve_stream(const engine::EngineOptions& opts, Matrix& big,
-                          std::vector<Matrix>& small, int smalls_per_round) {
+                          std::vector<Matrix>& small, int smalls_per_round,
+                          const char* trace_path = nullptr) {
   Engine eng(opts);
   StreamResult out;
   double steady_ms = 0.0;
@@ -160,6 +163,14 @@ StreamResult serve_stream(const engine::EngineOptions& opts, Matrix& big,
   const auto es = eng.engine_stats();
   out.overlay_occupancy =
       es.lane_busy_ms > 0.0 ? es.overlay_busy_ms / es.lane_busy_ms : 0.0;
+  if (trace_path != nullptr) {
+    std::ofstream tf(trace_path, std::ios::trunc);
+    if (tf) {
+      eng.dump_trace(tf);
+      std::printf("wrote %s (Chrome trace of the last round's window)\n",
+                  trace_path);
+    }
+  }
   return out;
 }
 
@@ -228,6 +239,35 @@ void run_mixed_stream(JsonReporter& json, const std::string& mix_name,
     std::printf("%-18s %12.2f %12.2f %12.2f %12.2f %10.3f\n", v.name,
                 rec.products_per_sec, rec.p50_ms, rec.p99_ms, rec.p999_ms,
                 rec.overlay_occupancy);
+  }
+
+  // Telemetry-on rerun of the lanes row: the overhead comparator the CI
+  // bench-smoke asserts against (products/sec within a few percent of
+  // mixed-lanes) and the source of the Chrome trace artifact — lane spans
+  // on track 0 and overlay spans on the worker tracks of pool 0.
+  {
+    engine::EngineOptions opts = base;
+    opts.pools = 1;
+    opts.threads = mix_threads;
+    opts.work_conserving = true;
+    opts.cache_enabled = true;
+    const bool was = telemetry::set_enabled(true);
+    const StreamResult r = serve_stream(opts, big, small, smalls_per_round,
+                                        "TRACE_engine_mixed_stream.json");
+    telemetry::set_enabled(was);
+    BenchRecord rec;
+    rec.kernel = "mixed-lanes-telem";
+    rec.matrix = mix_name;
+    rec.threads = mix_threads;
+    rec.products_per_sec = r.steady_products_per_sec;
+    rec.p50_ms = latency_percentile(r.small_latencies_ms, 0.50);
+    rec.p99_ms = latency_percentile(r.small_latencies_ms, 0.99);
+    rec.p999_ms = latency_percentile(r.small_latencies_ms, 0.999);
+    rec.overlay_occupancy = r.overlay_occupancy;
+    json.add(rec);
+    std::printf("%-18s %12.2f %12.2f %12.2f %12.2f %10.3f\n",
+                "mixed-lanes-telem", rec.products_per_sec, rec.p50_ms,
+                rec.p99_ms, rec.p999_ms, rec.overlay_occupancy);
   }
 }
 

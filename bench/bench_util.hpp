@@ -19,6 +19,7 @@
 #include "common/timer.hpp"
 #include "core/multiply.hpp"
 #include "matrix/csr.hpp"
+#include "telemetry/exporters.hpp"
 
 namespace spgemm::bench {
 
@@ -88,9 +89,13 @@ inline double latency_percentile(std::vector<double> samples, double q) {
   return samples[std::min(rank, samples.size() - 1)];
 }
 
-/// Collects BenchRecords and writes `BENCH_<name>.json` (a JSON array) in
-/// the working directory when flushed or destroyed — the start of the
-/// machine-readable perf trajectory next to the human-readable tables.
+/// Collects BenchRecords and writes `BENCH_<name>.json` in the working
+/// directory when flushed or destroyed — the machine-readable perf
+/// trajectory next to the human-readable tables.  The file is an object
+/// `{"records": [...], "telemetry": {...}}`: the measurement rows plus a
+/// registry snapshot taken at flush, so every bench artifact carries the
+/// process-wide counters (plan-cache traffic, phase histograms, ...) that
+/// contextualise its numbers.
 class JsonReporter {
  public:
   explicit JsonReporter(std::string bench_name)
@@ -138,7 +143,7 @@ class JsonReporter {
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
-    std::fprintf(f, "[\n");
+    std::fprintf(f, "{\"records\": [\n");
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const BenchRecord& r = records_[i];
       std::fprintf(
@@ -166,7 +171,8 @@ class JsonReporter {
           r.in_core_rate, r.cache_hit_share,
           i + 1 < records_.size() ? "," : "");
     }
-    std::fprintf(f, "]\n");
+    std::fprintf(f, "],\n\"telemetry\": %s}\n",
+                 telemetry::export_json_string().c_str());
     std::fclose(f);
     std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
     flushed_ = true;

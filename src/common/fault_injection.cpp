@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/env.hpp"
+#include "telemetry/registry.hpp"
 
 namespace spgemm::fault {
 namespace {
@@ -17,6 +18,9 @@ struct PointState {
   // writes; reads on the trigger path are atomic snapshots.
   std::atomic<std::uint64_t> nth{0};
   std::atomic<std::uint64_t> count{0};
+  // Labeled telemetry counter, registered at arm() time so the noexcept
+  // trigger path never touches the registry (which allocates).
+  std::atomic<telemetry::Counter*> telem_triggered{nullptr};
 };
 
 PointState g_state[kNumPoints];
@@ -50,6 +54,10 @@ bool should_trigger(const char* point) noexcept {
   const std::uint64_t count = st.count.load(std::memory_order_relaxed);
   if (pass >= nth && pass < nth + count) {
     st.triggered.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::Counter* c =
+            st.telem_triggered.load(std::memory_order_acquire)) {
+      c->add(1);
+    }
     return true;
   }
   return false;
@@ -67,6 +75,18 @@ bool arm(const std::string& point, std::uint64_t nth, std::uint64_t count) {
   st.nth.store(nth, std::memory_order_relaxed);
   st.count.store(count, std::memory_order_relaxed);
   if (!was_armed) detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+  // Mirror into telemetry so chaos runs show up in the same snapshot as the
+  // serving metrics they perturb.
+  telemetry::registry()
+      .counter("spgemm_fault_armed_total",
+               "Times each fault point was armed.", "point", kPoints[idx])
+      .add(1);
+  st.telem_triggered.store(
+      &telemetry::registry().counter(
+          "spgemm_fault_triggered_total",
+          "Injected faults thrown at each fault point.", "point",
+          kPoints[idx]),
+      std::memory_order_release);
   return true;
 }
 

@@ -1,9 +1,40 @@
-// Minimal wall-clock timer used by benches and the microbenchmark substrate.
+// Minimal wall-clock timer used by benches and the microbenchmark substrate,
+// plus the monotonic nanosecond helpers shared by telemetry spans and the
+// engine's latency accounting.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace spgemm {
+
+/// Monotonic steady-clock nanoseconds since an unspecified (but fixed per
+/// process) epoch.  All telemetry timestamps use this clock so span starts,
+/// trace events, and queue-delay math are directly comparable.
+[[nodiscard]] inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Nanoseconds for an arbitrary steady_clock time point, on the same epoch as
+/// monotonic_ns().  Lets code that stores time_points (e.g. enqueue stamps)
+/// emit trace events without re-deriving durations by hand.
+[[nodiscard]] inline std::uint64_t to_monotonic_ns(
+    std::chrono::steady_clock::time_point tp) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+/// Fractional milliseconds between two steady_clock time points.
+[[nodiscard]] inline double ms_between(
+    std::chrono::steady_clock::time_point from,
+    std::chrono::steady_clock::time_point to) noexcept {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
 
 /// Steady-clock stopwatch.  Construction starts the clock.
 class Timer {

@@ -70,8 +70,52 @@
 #include "parallel/omp_utils.hpp"
 #include "parallel/prefix_sum.hpp"
 #include "parallel/rows_to_threads.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 
 namespace spgemm {
+
+namespace detail {
+/// Telemetry mirrors of the SpGemmStats counters, accumulated process-wide
+/// across every handle.  The per-plan/-execute struct stays authoritative;
+/// these give the scrapeable running totals.
+struct HandleTelemetry {
+  telemetry::Counter& plans;
+  telemetry::Counter& executes;
+  telemetry::Counter& symbolic_probes;
+  telemetry::Counter& symbolic_keys;
+  telemetry::Counter& numeric_probes;
+  telemetry::Counter& numeric_keys;
+  telemetry::Counter& flop;
+  telemetry::Counter& tile_steals;
+  telemetry::Counter& pages_retouched;
+  static HandleTelemetry& get() {
+    auto& reg = telemetry::registry();
+    static HandleTelemetry t{
+        reg.counter("spgemm_handle_plans_total",
+                    "SpGemmHandle::plan calls (symbolic phase builds)."),
+        reg.counter("spgemm_handle_executes_total",
+                    "SpGemmHandle numeric executes."),
+        reg.counter("spgemm_probe_rounds_total",
+                    "Accumulator probe rounds by phase.", "phase", "symbolic"),
+        reg.counter("spgemm_keys_resolved_total",
+                    "Accumulator keys resolved by phase.", "phase",
+                    "symbolic"),
+        reg.counter("spgemm_probe_rounds_total",
+                    "Accumulator probe rounds by phase.", "phase", "numeric"),
+        reg.counter("spgemm_keys_resolved_total",
+                    "Accumulator keys resolved by phase.", "phase", "numeric"),
+        reg.counter("spgemm_flop_total",
+                    "Scalar multiplications planned (per plan, not per "
+                    "execute)."),
+        reg.counter("spgemm_tile_steals_total",
+                    "Tiles run by a thread other than their owner."),
+        reg.counter("spgemm_pages_retouched_total",
+                    "Pooled-output pages rewritten by their owning thread.")};
+    return t;
+  }
+};
+}  // namespace detail
 
 /// True for kernels that run the two-phase (symbolic + numeric) pipeline
 /// and can therefore be planned and re-executed through SpGemmHandle.
@@ -458,6 +502,7 @@ class SpGemmHandle {
       throw SpGemmError(ErrorCode::kBadInput,
                         "SpGemmHandle::plan: inner dimensions disagree");
     }
+    TELEM_SPAN("handle.plan");
     Timer plan_timer;
     requested_opts_ = opts;  // pre-resolution, for ensure_planned()
     stats_ = SpGemmStats{};
@@ -523,16 +568,19 @@ class SpGemmHandle {
     detail::build_schedule(core_.schedule, core_.part, opts, cfg);
 
     timer.reset();
-    SPGEMM_FAULT_RAISE("handle.plan.symbolic");
-    emplace_kernel(b.ncols);
-    std::visit(
-        [&](auto& kernel) {
-          if constexpr (!std::is_same_v<std::decay_t<decltype(kernel)>,
-                                        std::monostate>) {
-            kernel.build(core_, a, b);
-          }
-        },
-        kernel_);
+    {
+      TELEM_SPAN("handle.symbolic");
+      SPGEMM_FAULT_RAISE("handle.plan.symbolic");
+      emplace_kernel(b.ncols);
+      std::visit(
+          [&](auto& kernel) {
+            if constexpr (!std::is_same_v<std::decay_t<decltype(kernel)>,
+                                          std::monostate>) {
+              kernel.build(core_, a, b);
+            }
+          },
+          kernel_);
+    }
     stats_.symbolic_ms = timer.millis();
 
     planned_ = true;
@@ -546,6 +594,14 @@ class SpGemmHandle {
     stats_.reuse_rows_captured = core_.rows_captured;
     stats_.reuse_rows_total = nrows;
     stats_.plan_ms = plan_timer.millis();
+    if (telemetry::enabled()) {
+      auto& t = detail::HandleTelemetry::get();
+      t.plans.add(1);
+      t.symbolic_probes.add(stats_.symbolic_probes);
+      t.symbolic_keys.add(stats_.symbolic_keys);
+      t.flop.add(static_cast<std::uint64_t>(stats_.flop));
+      t.tile_steals.add(stats_.tile_steals);
+    }
     if (stats != nullptr) *stats = stats_;
   }
 
@@ -820,6 +876,7 @@ class SpGemmHandle {
                         "SpGemmHandle::execute: no plan — call plan()");
     }
     check_structure(a, b);
+    TELEM_SPAN("handle.execute");
     SPGEMM_FAULT_RAISE("handle.execute.numeric");
     Timer exec_timer;
     parallel::ScopedNumThreads scoped(core_.opts.threads);
@@ -828,6 +885,7 @@ class SpGemmHandle {
     c.nrows = core_.nrows;
     c.ncols = core_.ncols;
     if (fill_skeleton) {
+      TELEM_SPAN("handle.placement");
       c.rpts = core_.rpts;
       std::visit(
           [&](auto& kernel) {
@@ -844,16 +902,19 @@ class SpGemmHandle {
 
     std::uint64_t num_probes = 0;
     std::uint64_t num_keys = 0;
-    std::visit(
-        [&](auto& kernel) {
-          if constexpr (!std::is_same_v<std::decay_t<decltype(kernel)>,
-                                        std::monostate>) {
-            const auto work = kernel.template numeric<SR>(core_, a, b, c);
-            num_probes = work.probes;
-            num_keys = work.keys;
-          }
-        },
-        kernel_);
+    {
+      TELEM_SPAN("handle.numeric");
+      std::visit(
+          [&](auto& kernel) {
+            if constexpr (!std::is_same_v<std::decay_t<decltype(kernel)>,
+                                          std::monostate>) {
+              const auto work = kernel.template numeric<SR>(core_, a, b, c);
+              num_probes = work.probes;
+              num_keys = work.keys;
+            }
+          },
+          kernel_);
+    }
 
     c.sortedness = core_.opts.sort_output == SortOutput::kYes
                        ? Sortedness::kSorted
@@ -864,9 +925,11 @@ class SpGemmHandle {
     // populated — fill_skeleton on the pooled path means THIS was the first
     // pooled execute, regardless of any execute_into() calls before it —
     // and only when the build pass actually migrated work off its owners.
+    std::uint64_t retouched_now = 0;
     if (into_pooled && fill_skeleton && core_.opts.retouch_output_pages &&
         stats_.tile_steals > 0) {
-      stats_.pages_retouched += retouch_pooled_pages();
+      retouched_now = retouch_pooled_pages();
+      stats_.pages_retouched += retouched_now;
     }
     stats_.execute_ms = exec_timer.millis();
     stats_.numeric_ms = stats_.execute_ms;
@@ -874,6 +937,13 @@ class SpGemmHandle {
     stats_.numeric_keys = num_keys;
     stats_.probes = stats_.symbolic_probes + num_probes;
     stats_.executions = executions_;
+    if (telemetry::enabled()) {
+      auto& t = detail::HandleTelemetry::get();
+      t.executes.add(1);
+      t.numeric_probes.add(num_probes);
+      t.numeric_keys.add(num_keys);
+      t.pages_retouched.add(retouched_now);
+    }
     if (stats != nullptr) *stats = stats_;
   }
 

@@ -48,8 +48,40 @@
 #include "common/fault_injection.hpp"
 #include "common/types.hpp"
 #include "core/spgemm_handle.hpp"
+#include "telemetry/registry.hpp"
 
 namespace spgemm::engine {
+
+namespace detail {
+/// Process-wide telemetry mirrors of PlanCacheStats (summed across caches).
+/// References are resolved once; add() is a relaxed fetch_add gated on the
+/// telemetry enable flag.
+struct PlanCacheTelemetry {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+  telemetry::Counter& evictions;
+  telemetry::Counter& inserts;
+  telemetry::Counter& quarantined;
+  static PlanCacheTelemetry& get() {
+    static PlanCacheTelemetry t{
+        telemetry::registry().counter("spgemm_plan_cache_hits_total",
+                                      "Plan cache releases that reused an "
+                                      "existing plan."),
+        telemetry::registry().counter("spgemm_plan_cache_misses_total",
+                                      "Plan cache releases that had to "
+                                      "(re)plan."),
+        telemetry::registry().counter("spgemm_plan_cache_evictions_total",
+                                      "Plan cache entries destroyed by the "
+                                      "byte budget."),
+        telemetry::registry().counter("spgemm_plan_cache_inserts_total",
+                                      "Plan cache entries created."),
+        telemetry::registry().counter("spgemm_plan_cache_quarantined_total",
+                                      "Plan cache entries quarantined by the "
+                                      "poisoned-plan protocol.")};
+    return t;
+  }
+};
+}  // namespace detail
 
 /// Counters of one PlanCache, readable at any time (stats() snapshots
 /// under the cache lock).
@@ -143,6 +175,7 @@ class PlanCache {
       e->lru_pos = lru_.begin();
       map_.emplace(key, std::move(entry));
       ++stats_.inserts;
+      detail::PlanCacheTelemetry::get().inserts.add(1);
     } else {
       e = it->second.get();
     }
@@ -162,8 +195,10 @@ class PlanCache {
     std::lock_guard<std::mutex> lk(mu_);
     if (was_hit) {
       ++stats_.hits;
+      detail::PlanCacheTelemetry::get().hits.add(1);
     } else {
       ++stats_.misses;
+      detail::PlanCacheTelemetry::get().misses.add(1);
     }
     --e->pins;
     --pins_total_;
@@ -209,6 +244,7 @@ class PlanCache {
       e->lru_pos = lru_.begin();
       map_.emplace(key, std::move(entry));
       ++stats_.inserts;
+      detail::PlanCacheTelemetry::get().inserts.add(1);
     }
     e->handle = std::move(handle);
     e->bytes = e->handle.retained_bytes();
@@ -286,6 +322,7 @@ class PlanCache {
     --e->pins;
     --pins_total_;
     ++stats_.quarantined;
+    detail::PlanCacheTelemetry::get().quarantined.add(1);
     doom_entry(e);
   }
 
@@ -321,6 +358,7 @@ class PlanCache {
     SPGEMM_FAULT_RAISE("cache.evict");
     stats_.retained_bytes -= victim->bytes;
     ++stats_.evictions;
+    detail::PlanCacheTelemetry::get().evictions.add(1);
     lru_.erase(victim->lru_pos);
     map_.erase(victim->key);
   }

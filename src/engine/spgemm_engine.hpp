@@ -114,6 +114,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <fstream>
 #include <functional>
 #include <future>
 #include <limits>
@@ -121,6 +122,7 @@
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <ostream>
 #include <span>
 #include <thread>
 #include <utility>
@@ -128,6 +130,7 @@
 
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "core/semiring.hpp"
@@ -139,8 +142,62 @@
 #include "model/cost_model.hpp"
 #include "model/memory_model.hpp"
 #include "parallel/omp_utils.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace spgemm::engine {
+
+namespace detail {
+/// Telemetry mirrors of the EngineStats counters, accumulated process-wide
+/// across every engine.  The per-engine atomics stay authoritative; these
+/// are the scrapeable running totals.
+struct EngineTelemetry {
+  telemetry::Counter& shed;
+  telemetry::Counter& deadline_misses;
+  telemetry::Counter& retries;
+  telemetry::Counter& degraded_execs;
+  telemetry::Counter& lane_execs;
+  telemetry::Counter& lane_width_sum;
+  telemetry::Counter& lane_busy_us;
+  telemetry::Counter& overlay_execs;
+  telemetry::Counter& overlay_busy_us;
+  telemetry::Counter& pool_steals;
+  telemetry::Counter& products;
+  telemetry::Histogram& service_seconds;
+  static EngineTelemetry& get() {
+    auto& reg = telemetry::registry();
+    static EngineTelemetry t{
+        reg.counter("spgemm_engine_shed_total",
+                    "Requests dropped by admission control."),
+        reg.counter("spgemm_engine_deadline_misses_total",
+                    "Requests failed before running plus late deliveries."),
+        reg.counter("spgemm_engine_retries_total",
+                    "Memory-pressure ladder retry attempts."),
+        reg.counter("spgemm_engine_degraded_execs_total",
+                    "Products served by a degraded configuration."),
+        reg.counter("spgemm_engine_lane_execs_total",
+                    "Large products run on an execution lane."),
+        reg.counter("spgemm_engine_lane_width_sum_total",
+                    "Sum of chosen lane widths (avg = sum / lane_execs)."),
+        reg.counter("spgemm_engine_lane_busy_us_total",
+                    "Microseconds the large lanes spent executing."),
+        reg.counter("spgemm_engine_overlay_execs_total",
+                    "Small products completed while a lane was running."),
+        reg.counter("spgemm_engine_overlay_busy_us_total",
+                    "Worker-microseconds consumed by overlay products."),
+        reg.counter("spgemm_engine_pool_steals_total",
+                    "Requests taken from another pool's queue."),
+        reg.counter("spgemm_engine_products_total",
+                    "Products delivered successfully."),
+        reg.histogram("spgemm_engine_service_seconds",
+                      "Per-product service time (plan-or-replay + execute + "
+                      "copy-out; queue wait excluded).",
+                      telemetry::default_seconds_bounds())};
+    return t;
+  }
+};
+}  // namespace detail
 
 struct EngineOptions {
   /// Base plan/execute options for every product the engine serves.
@@ -185,6 +242,10 @@ struct EngineOptions {
   /// whole budget is still admitted when that queue is empty — it could
   /// never run otherwise.
   Offset queue_flop_budget = 0;
+  /// Trace-span events retained per pool ring (bounded overwrite; one extra
+  /// ring serves the synchronous multiply/run_batch paths).  Recording only
+  /// happens while telemetry::enabled(); the rings themselves are cheap.
+  std::size_t trace_events = 4096;
 };
 
 /// Per-tenant attribution: requests carrying a non-negative Request::tenant
@@ -288,9 +349,18 @@ class SpGemmEngine {
         cache_(opts_.cache_budget_bytes > 0
                    ? opts_.cache_budget_bytes
                    : model::derive_cache_budget_bytes(opts_.cache_tier)) {
+    // One trace ring per pool dispatcher plus one (index npools_) for the
+    // synchronous multiply/run_batch callers.
+    trace_.reserve(static_cast<std::size_t>(npools_) + 1);
+    for (int p = 0; p <= npools_; ++p) {
+      trace_.push_back(
+          std::make_unique<telemetry::TraceRing>(opts_.trace_events));
+    }
+    telemetry::ensure_periodic_exporter();
     pools_.reserve(static_cast<std::size_t>(npools_));
     for (int p = 0; p < npools_; ++p) {
       auto pool = std::make_unique<Pool>();
+      pool->index = p;
       // Equal worker split; the first (pool_threads_ % npools_) pools take
       // the remainder so no worker is stranded.
       pool->width = pool_threads_ / npools_ + (p < pool_threads_ % npools_);
@@ -323,6 +393,33 @@ class SpGemmEngine {
     for (auto& pool : pools_) {
       if (pool->worker.joinable()) pool->worker.join();
     }
+    // Flush-on-stop contract of SPGEMM_TELEMETRY_DIR: leave a final metrics
+    // snapshot and this engine's trace window behind, even for short-lived
+    // processes that never saw a periodic flush.
+    if (!telemetry_flushed_.exchange(true, std::memory_order_acq_rel) &&
+        !telemetry::export_dir().empty()) {
+      telemetry::flush_export_now();  // also creates the directory
+      std::ofstream tf(telemetry::export_dir() + "/trace.json",
+                       std::ios::trunc);
+      if (tf) dump_trace(tf);
+    }
+  }
+
+  /// Dump this engine's retained trace window (all pool rings plus the
+  /// synchronous-caller ring) as Chrome trace_event JSON; load the result in
+  /// chrome://tracing or Perfetto.  Thread-safe; typically called after the
+  /// workload (or after stop()) so the window is quiescent.
+  void dump_trace(std::ostream& os) const {
+    std::vector<const telemetry::TraceRing*> rings;
+    rings.reserve(trace_.size());
+    for (const auto& r : trace_) rings.push_back(r.get());
+    telemetry::write_chrome_trace(os, rings);
+  }
+
+  /// The trace ring synchronous callers (multiply/run_batch) record into;
+  /// the out-of-core shard layer hooks its spill/load events here.
+  [[nodiscard]] telemetry::TraceRing* sync_trace_ring() {
+    return trace_.back().get();
   }
 
   /// Hold every pool's dispatcher: submitted requests accumulate — and
@@ -373,7 +470,15 @@ class SpGemmEngine {
     }
     std::future<Product> fut = pending.promise.get_future();
 
-    Pool& pool = *pools_[route_pool(req)];
+    const std::size_t pidx = route_pool(req);
+    Pool& pool = *pools_[pidx];
+    telemetry::TraceRing* ring = trace_[pidx].get();
+    if (telemetry::enabled()) {
+      pending.trace_id = telemetry::next_trace_id();
+      trace_instant(TraceCtx{ring, pending.trace_id,
+                             static_cast<std::uint32_t>(pidx), 0},
+                    "admit");
+    }
     std::vector<Pending> victims;  // fail their promises outside the lock
     bool shed_incoming = false;
     {
@@ -401,9 +506,12 @@ class SpGemmEngine {
       }
     }
     const auto now = Clock::now();
-    for (Pending& v : victims) shed_one(std::move(v), now);
+    for (Pending& v : victims) {
+      shed_one(std::move(v), now, ring, static_cast<std::uint32_t>(pidx));
+    }
     if (shed_incoming) {
-      shed_one(std::move(pending), now);
+      shed_one(std::move(pending), now, ring,
+               static_cast<std::uint32_t>(pidx));
       return fut;
     }
     // Wake every dispatcher: the routed pool to serve, idle pools so they
@@ -422,7 +530,8 @@ class SpGemmEngine {
     std::vector<Product> products(n);
     std::vector<std::exception_ptr> errors(n);
     process_batch(reqs.data(), n, products.data(), errors.data(),
-                  pool_threads_, nullptr);
+                  pool_threads_, nullptr, sync_trace_ring(),
+                  static_cast<std::uint32_t>(npools_), nullptr);
     for (const std::exception_ptr& err : errors) {
       if (err) std::rethrow_exception(err);
     }
@@ -435,7 +544,9 @@ class SpGemmEngine {
     const Request req{&a, &b};
     Product product;
     std::exception_ptr error;
-    process_batch(&req, 1, &product, &error, pool_threads_, nullptr);
+    process_batch(&req, 1, &product, &error, pool_threads_, nullptr,
+                  sync_trace_ring(), static_cast<std::uint32_t>(npools_),
+                  nullptr);
     if (error) std::rethrow_exception(error);
     return product;
   }
@@ -447,7 +558,9 @@ class SpGemmEngine {
     const Request req{&a, &b, fp_a, fp_b, /*has_fingerprints=*/true};
     Product product;
     std::exception_ptr error;
-    process_batch(&req, 1, &product, &error, pool_threads_, nullptr);
+    process_batch(&req, 1, &product, &error, pool_threads_, nullptr,
+                  sync_trace_ring(), static_cast<std::uint32_t>(npools_),
+                  nullptr);
     if (error) std::rethrow_exception(error);
     return product;
   }
@@ -492,8 +605,17 @@ class SpGemmEngine {
             overlay_busy_us_.load(std::memory_order_relaxed)) /
         1000.0;
     s.pool_steals = pool_steals_.load(std::memory_order_relaxed);
+    // Point-in-time-consistent tenant fold: hold ALL shard locks (acquired
+    // in fixed index order — note_tenant only ever takes one, so this
+    // cannot deadlock) while folding.  Locking one shard at a time could
+    // tear a tenant's (products, flop) pair across two attribution sites
+    // running mid-fold; with every shard held, the snapshot is a single
+    // consistent cut of the attribution state.
+    std::array<std::unique_lock<std::mutex>, kTenantShards> locks;
+    for (std::size_t i = 0; i < kTenantShards; ++i) {
+      locks[i] = std::unique_lock<std::mutex>(tenant_shards_[i].mu);
+    }
     for (const TenantShard& shard : tenant_shards_) {
-      std::lock_guard<std::mutex> lk(shard.mu);
       for (const auto& [id, t] : shard.stats) {
         TenantEngineStats& agg = s.tenants[id];
         agg.shed += t.shed;
@@ -511,13 +633,66 @@ class SpGemmEngine {
     std::promise<Product> promise;
     std::chrono::steady_clock::time_point enqueued;
     Offset flop_est = 0;  ///< admission weight under queue_flop_budget
+    /// Per-request trace id (0 while telemetry is disabled): ties the admit
+    /// instant, queue span, execution spans and settle event together.
+    std::uint64_t trace_id = 0;
   };
+
+  /// Trace destination for one request's execution: which ring, which
+  /// (pid, tid) track, which request id.  pid is the pool index (npools_ =
+  /// the synchronous-caller ring); tid 0 is the lane/dispatcher track and
+  /// 1 + w is overlay/packed worker w — lane and overlay spans land on
+  /// distinct tracks by construction.
+  struct TraceCtx {
+    telemetry::TraceRing* ring = nullptr;
+    std::uint64_t id = 0;
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+  };
+
+  /// Span start stamp: 0 (skip) unless the ring exists and telemetry is on
+  /// — the disabled path costs one relaxed load, no clock read.
+  [[nodiscard]] static std::uint64_t trace_now(const TraceCtx& t) noexcept {
+    return (t.ring != nullptr && telemetry::enabled()) ? monotonic_ns() : 0;
+  }
+
+  static void trace_span(const TraceCtx& t, const char* name,
+                         std::uint64_t t0_ns, const char* arg_name = nullptr,
+                         std::uint64_t arg = 0) noexcept {
+    if (t0_ns == 0 || t.ring == nullptr) return;
+    telemetry::TraceEvent e;
+    e.name = name;
+    e.ph = 'X';
+    e.ts_ns = t0_ns;
+    e.dur_ns = monotonic_ns() - t0_ns;
+    e.pid = t.pid;
+    e.tid = t.tid;
+    e.trace_id = t.id;
+    e.arg_name = arg_name;
+    e.arg = arg;
+    t.ring->record(e);
+  }
+
+  static void trace_instant(const TraceCtx& t, const char* name,
+                            const char* cat = "engine") noexcept {
+    if (t.ring == nullptr || !telemetry::enabled()) return;
+    telemetry::TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'i';
+    e.ts_ns = monotonic_ns();
+    e.pid = t.pid;
+    e.tid = t.tid;
+    e.trace_id = t.id;
+    t.ring->record(e);
+  }
 
   /// One dispatcher pool.  Queue state (queue, queued_flop, busy) is
   /// guarded by the engine-wide queue_mu_ — queue operations are tiny and
   /// rare next to the products they admit, and one mutex keeps
   /// pause/stop/shed and cross-pool stealing free of lock-order hazards.
   struct Pool {
+    int index = 0;               ///< pool id; also the trace ring / pid
     int width = 1;               ///< worker threads of this pool's lanes
     std::vector<Pending> queue;  ///< guarded by queue_mu_
     Offset queued_flop = 0;      ///< guarded by queue_mu_
@@ -642,17 +817,23 @@ class SpGemmEngine {
 
   /// Fail one shed request's future: kDeadlineExceeded when its deadline
   /// had already passed (also a deadline miss), kShed otherwise.
-  void shed_one(Pending&& p, Clock::time_point now) {
+  void shed_one(Pending&& p, Clock::time_point now,
+                telemetry::TraceRing* ring = nullptr, std::uint32_t pid = 0) {
     shed_.fetch_add(1, std::memory_order_relaxed);
+    detail::EngineTelemetry::get().shed.add(1);
     note_tenant(p.req.tenant, [](TenantEngineStats& t) { ++t.shed; });
     if (has_deadline(p.req) && now > p.req.deadline) {
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      detail::EngineTelemetry::get().deadline_misses.add(1);
+      trace_instant(TraceCtx{ring, p.trace_id, pid, 0}, "deadline-shed",
+                    "shed");
       note_tenant(p.req.tenant,
                   [](TenantEngineStats& t) { ++t.deadline_misses; });
       p.promise.set_exception(std::make_exception_ptr(SpGemmError(
           ErrorCode::kDeadlineExceeded,
           "SpGemmEngine: shed under backpressure past its deadline")));
     } else {
+      trace_instant(TraceCtx{ring, p.trace_id, pid, 0}, "shed", "shed");
       p.promise.set_exception(std::make_exception_ptr(SpGemmError(
           ErrorCode::kShed,
           "SpGemmEngine: shed under backpressure (queue bound or flop "
@@ -691,11 +872,24 @@ class SpGemmEngine {
   /// overlay products resolve their futures while a lane is still running.
   void process_batch(const Request* reqs, std::size_t n, Product* products,
                      std::exception_ptr* errors, int width,
-                     const std::function<void(std::size_t)>& on_done) {
+                     const std::function<void(std::size_t)>& on_done,
+                     telemetry::TraceRing* ring, std::uint32_t pid,
+                     const std::uint64_t* trace_ids) {
     if (n == 0) return;
     {
       std::lock_guard<std::mutex> lk(batch_mu_);
       ++inflight_batches_;
+    }
+    // Per-request trace ids: reuse the ids minted at submit() (so the admit
+    // instant and queue span correlate) or mint fresh ones for synchronous
+    // batches.  All zeros — and no clock reads downstream — when disabled.
+    std::vector<std::uint64_t> tids(n, 0);
+    if (ring != nullptr && telemetry::enabled()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        tids[i] = trace_ids != nullptr && trace_ids[i] != 0
+                      ? trace_ids[i]
+                      : telemetry::next_trace_id();
+      }
     }
     std::vector<std::uint64_t> fp_a(n, 0);
     std::vector<std::uint64_t> fp_b(n, 0);
@@ -765,15 +959,23 @@ class SpGemmEngine {
                      });
 
     const auto settle = [&](std::size_t i) {
+      trace_instant(TraceCtx{ring, tids[i], pid, 0}, "settle");
       if (on_done) on_done(i);
     };
 
-    const auto run_small_one = [&](std::size_t i) {
-      if (admit_deadline(reqs[i], errors[i])) {
+    // `track` is the trace tid: 1 + worker index for packed smalls, so
+    // overlay/packed spans land on per-worker tracks distinct from the
+    // lane's track 0.
+    const auto run_small_one = [&](std::size_t i, std::uint32_t track) {
+      const TraceCtx tc{ring, tids[i], pid, track};
+      if (admit_deadline(reqs[i], errors[i], tc)) {
+        const std::uint64_t t0 = trace_now(tc);
         run_one(reqs[i], fp_a[i], fp_b[i], /*threads=*/1, products[i],
-                errors[i], nullptr);
+                errors[i], nullptr, tc);
+        trace_span(tc, "small", t0, "flop",
+                   static_cast<std::uint64_t>(products[i].flop));
         products[i].packed_small = true;
-        finish_deadline(reqs[i], errors[i]);
+        finish_deadline(reqs[i], errors[i], tc);
         finish_tenant(reqs[i], products[i], errors[i]);
       }
       settle(i);
@@ -783,18 +985,26 @@ class SpGemmEngine {
     // through its handle's ExecutionSchedule on `lane_width_for(flop)`
     // workers (the full width in drain mode — lane_width_for collapses).
     const auto run_large_one = [&](std::size_t i, const LaneHooks* hooks) {
-      if (admit_deadline(reqs[i], errors[i])) {
+      const TraceCtx tc{ring, tids[i], pid, 0};
+      if (admit_deadline(reqs[i], errors[i], tc)) {
         const int lw = lane_width_for(products[i].flop, width);
+        const std::uint64_t t0 = trace_now(tc);
         run_one(reqs[i], fp_a[i], fp_b[i], lw, products[i], errors[i],
-                hooks);
+                hooks, tc);
+        trace_span(tc, hooks != nullptr ? "lane" : "large", t0, "flop",
+                   static_cast<std::uint64_t>(products[i].flop));
         if (!errors[i] && hooks != nullptr) {
           lane_execs_.fetch_add(1, std::memory_order_relaxed);
           lane_width_sum_.fetch_add(static_cast<std::uint64_t>(lw),
                                     std::memory_order_relaxed);
           lane_busy_us_.fetch_add(to_us(products[i].latency_ms),
                                   std::memory_order_relaxed);
+          auto& telem = detail::EngineTelemetry::get();
+          telem.lane_execs.add(1);
+          telem.lane_width_sum.add(static_cast<std::uint64_t>(lw));
+          telem.lane_busy_us.add(to_us(products[i].latency_ms));
         }
-        finish_deadline(reqs[i], errors[i]);
+        finish_deadline(reqs[i], errors[i], tc);
         finish_tenant(reqs[i], products[i], errors[i]);
       }
       settle(i);
@@ -831,17 +1041,25 @@ class SpGemmEngine {
           if (j >= small.size()) break;
           const std::size_t i = small[j];
           const bool overlapped = held > 0;
-          if (admit_deadline(reqs[i], errors[i])) {
+          const TraceCtx tc{ring, tids[i], pid,
+                            static_cast<std::uint32_t>(1 + w)};
+          if (admit_deadline(reqs[i], errors[i], tc)) {
+            const std::uint64_t t0 = trace_now(tc);
             run_one(reqs[i], fp_a[i], fp_b[i], /*threads=*/1, products[i],
-                    errors[i], nullptr);
+                    errors[i], nullptr, tc);
+            trace_span(tc, overlapped ? "overlay" : "small", t0, "flop",
+                       static_cast<std::uint64_t>(products[i].flop));
             products[i].packed_small = true;
             if (!errors[i] && overlapped) {
               products[i].overlay = true;
               overlay_execs_.fetch_add(1, std::memory_order_relaxed);
               overlay_busy_us_.fetch_add(to_us(products[i].latency_ms),
                                          std::memory_order_relaxed);
+              auto& telem = detail::EngineTelemetry::get();
+              telem.overlay_execs.add(1);
+              telem.overlay_busy_us.add(to_us(products[i].latency_ms));
             }
-            finish_deadline(reqs[i], errors[i]);
+            finish_deadline(reqs[i], errors[i], tc);
             finish_tenant(reqs[i], products[i], errors[i]);
           }
           settle(i);
@@ -882,7 +1100,8 @@ class SpGemmEngine {
         if (small.empty()) return;
 #pragma omp parallel for schedule(dynamic, 1) num_threads(width)
         for (std::size_t j = 0; j < small.size(); ++j) {
-          run_small_one(small[j]);
+          run_small_one(small[j],
+                        static_cast<std::uint32_t>(1 + omp_get_thread_num()));
         }
       };
       if (any_deadline) {
@@ -916,10 +1135,13 @@ class SpGemmEngine {
 
   /// Deadline gate before running: a request already past its deadline
   /// fails kDeadlineExceeded without burning pool time.
-  bool admit_deadline(const Request& r, std::exception_ptr& error) {
+  bool admit_deadline(const Request& r, std::exception_ptr& error,
+                      const TraceCtx& tc) {
     if (error) return false;
     if (has_deadline(r) && Clock::now() > r.deadline) {
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      detail::EngineTelemetry::get().deadline_misses.add(1);
+      trace_instant(tc, "deadline", "deadline");
       note_tenant(r.tenant,
                   [](TenantEngineStats& t) { ++t.deadline_misses; });
       error = std::make_exception_ptr(SpGemmError(
@@ -931,9 +1153,12 @@ class SpGemmEngine {
   }
 
   /// Late completion: the product still delivers, the miss is counted.
-  void finish_deadline(const Request& r, const std::exception_ptr& error) {
+  void finish_deadline(const Request& r, const std::exception_ptr& error,
+                       const TraceCtx& tc) {
     if (!error && has_deadline(r) && Clock::now() > r.deadline) {
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      detail::EngineTelemetry::get().deadline_misses.add(1);
+      trace_instant(tc, "deadline-late", "deadline");
       note_tenant(r.tenant,
                   [](TenantEngineStats& t) { ++t.deadline_misses; });
     }
@@ -954,13 +1179,13 @@ class SpGemmEngine {
   /// land in `error` as SpGemmErrors — never escape into an OpenMP region.
   void run_one(const Request& r, std::uint64_t fp_a, std::uint64_t fp_b,
                int threads, Product& out, std::exception_ptr& error,
-               const LaneHooks* hooks) noexcept {
+               const LaneHooks* hooks, const TraceCtx& tc) noexcept {
     try {
       Timer timer;
       int attempt = 0;
       for (;;) {
         try {
-          execute_attempt(r, fp_a, fp_b, threads, attempt, out, hooks);
+          execute_attempt(r, fp_a, fp_b, threads, attempt, out, hooks, tc);
           break;
         } catch (const std::bad_alloc&) {
           if (attempt >= kMaxAttempts) {
@@ -971,15 +1196,28 @@ class SpGemmEngine {
           }
           ++attempt;
           retries_.fetch_add(1, std::memory_order_relaxed);
+          detail::EngineTelemetry::get().retries.add(1);
+          trace_instant(tc, "retry", "degrade");
           if (attempt == 1) cache_.shrink(0);
         }
       }
       if (attempt >= 2) {
         out.degraded = true;
         degraded_execs_.fetch_add(1, std::memory_order_relaxed);
+        detail::EngineTelemetry::get().degraded_execs.add(1);
+        trace_instant(tc, "degrade", "degrade");
       }
       out.latency_ms = timer.millis();
+      if (telemetry::enabled()) {
+        auto& telem = detail::EngineTelemetry::get();
+        telem.products.add(1);
+        telem.service_seconds.observe(out.latency_ms * 1e-3);
+      }
+    } catch (const fault::InjectedFault&) {
+      trace_instant(tc, "fault", "error");
+      error = classify(std::current_exception());
     } catch (...) {
+      trace_instant(tc, "error", "error");
       error = classify(std::current_exception());
     }
   }
@@ -992,7 +1230,8 @@ class SpGemmEngine {
   /// key would keep being re-served long after the pressure passed.
   void execute_attempt(const Request& r, std::uint64_t fp_a,
                        std::uint64_t fp_b, int threads, int attempt,
-                       Product& out, const LaneHooks* hooks) {
+                       Product& out, const LaneHooks* hooks,
+                       const TraceCtx& tc) {
     SpGemmOptions opts = opts_.plan;
     opts.threads = threads;
     const bool degraded = attempt >= 2;
@@ -1015,8 +1254,16 @@ class SpGemmEngine {
       const std::uint64_t pair = pair_structure_hash(fp_a, fp_b);
       SpGemmHandle<IT, VT> handle;
       handle.set_pass_exit_sink(sink);
-      handle.plan(*r.a, *r.b, opts, nullptr, &pair);
-      handle.execute_into(*r.a, *r.b, out.c, PlusTimes{}, &out.stats);
+      {
+        const std::uint64_t t0 = trace_now(tc);
+        handle.plan(*r.a, *r.b, opts, nullptr, &pair);
+        trace_span(tc, "plan", t0);
+      }
+      {
+        const std::uint64_t t0 = trace_now(tc);
+        handle.execute_into(*r.a, *r.b, out.c, PlusTimes{}, &out.stats);
+        trace_span(tc, "numeric", t0);
+      }
     } else {
       // Lease RAII: an exception from here on unwinds into a quarantine —
       // the possibly half-built plan leaves the cache and is never served
@@ -1031,10 +1278,22 @@ class SpGemmEngine {
         // batch's counter from its previous serving.  Detach again after —
         // the sink's atomics die with this batch, the handle does not.
         lease.handle().set_pass_exit_sink(sink);
-        out.cache_hit = !lease.handle().ensure_planned_hashed(
-            *r.a, *r.b, fp_a, fp_b, opts);
-        lease.handle().execute_into(*r.a, *r.b, out.c, PlusTimes{},
-                                    &out.stats);
+        {
+          const std::uint64_t t0 = trace_now(tc);
+          out.cache_hit = !lease.handle().ensure_planned_hashed(
+              *r.a, *r.b, fp_a, fp_b, opts);
+          if (out.cache_hit) {
+            trace_instant(tc, "cache-hit", "cache");
+          } else {
+            trace_span(tc, "plan", t0);
+          }
+        }
+        {
+          const std::uint64_t t0 = trace_now(tc);
+          lease.handle().execute_into(*r.a, *r.b, out.c, PlusTimes{},
+                                      &out.stats);
+          trace_span(tc, "numeric", t0);
+        }
         lease.handle().set_pass_exit_sink(nullptr);
         bytes = lease.handle().retained_bytes();
       }
@@ -1075,6 +1334,8 @@ class SpGemmEngine {
     victim->queue.resize(keep);
     pool_steals_.fetch_add(static_cast<std::uint64_t>(take),
                            std::memory_order_relaxed);
+    detail::EngineTelemetry::get().pool_steals.add(
+        static_cast<std::uint64_t>(take));
   }
 
   /// One pool's dispatcher: drain whatever has accumulated on this pool
@@ -1104,10 +1365,35 @@ class SpGemmEngine {
       lk.unlock();
 
       const std::size_t n = batch.size();
+      telemetry::TraceRing* ring =
+          trace_[static_cast<std::size_t>(self.index)].get();
+      const std::uint32_t pid = static_cast<std::uint32_t>(self.index);
       std::vector<Request> reqs(n);
       std::vector<Product> products(n);
       std::vector<std::exception_ptr> errors(n);
-      for (std::size_t i = 0; i < n; ++i) reqs[i] = batch[i].req;
+      std::vector<std::uint64_t> ids(n, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        reqs[i] = batch[i].req;
+        ids[i] = batch[i].trace_id;
+      }
+      if (telemetry::enabled()) {
+        // Queue-wait spans: enqueue (submit time) to dispatch, on the
+        // pool's lane track so waits sit under the spans they precede.
+        const std::uint64_t now_ns = monotonic_ns();
+        for (std::size_t i = 0; i < n; ++i) {
+          if (ids[i] == 0) continue;
+          telemetry::TraceEvent e;
+          e.name = "queue";
+          e.cat = "queue";
+          e.ph = 'X';
+          e.ts_ns = to_monotonic_ns(batch[i].enqueued);
+          e.dur_ns = now_ns > e.ts_ns ? now_ns - e.ts_ns : 0;
+          e.pid = pid;
+          e.tid = 0;
+          e.trace_id = ids[i];
+          ring->record(e);
+        }
+      }
       process_batch(
           reqs.data(), n, products.data(), errors.data(), self.width,
           [&](std::size_t i) {
@@ -1115,12 +1401,11 @@ class SpGemmEngine {
               batch[i].promise.set_exception(errors[i]);
             } else {
               products[i].latency_ms =
-                  std::chrono::duration<double, std::milli>(
-                      Clock::now() - batch[i].enqueued)
-                      .count();
+                  ms_between(batch[i].enqueued, Clock::now());
               batch[i].promise.set_value(std::move(products[i]));
             }
-          });
+          },
+          ring, pid, ids.data());
 
       lk.lock();
       self.busy = false;
@@ -1163,6 +1448,14 @@ class SpGemmEngine {
   std::condition_variable queue_cv_;
   bool stopping_ = false;  ///< guarded by queue_mu_
   bool paused_ = false;    ///< guarded by queue_mu_
+
+  /// Bounded trace windows: one ring per pool dispatcher plus a trailing
+  /// ring (index npools_) for the synchronous callers.  Declared before
+  /// pools_ so the rings outlive the worker threads recording into them.
+  std::vector<std::unique_ptr<telemetry::TraceRing>> trace_;
+  /// stop() flushes SPGEMM_TELEMETRY_DIR exactly once (idempotent stop).
+  std::atomic<bool> telemetry_flushed_{false};
+
   /// Last member: pool worker threads join (via stop()) before the rest
   /// of the engine dies.
   std::vector<std::unique_ptr<Pool>> pools_;

@@ -53,10 +53,30 @@
 #include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
+#include "common/timer.hpp"
 #include "common/types.hpp"
 #include "matrix/csr.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace spgemm::shard {
+
+namespace detail {
+/// Process-wide telemetry mirrors of the ShardStore I/O counters.
+struct ShardStoreTelemetry {
+  telemetry::Counter& spills;
+  telemetry::Counter& loads;
+  static ShardStoreTelemetry& get() {
+    auto& reg = telemetry::registry();
+    static ShardStoreTelemetry t{
+        reg.counter("spgemm_shard_spills_total",
+                    "Shards written out to spill files."),
+        reg.counter("spgemm_shard_loads_total",
+                    "Shards re-materialised from spill files.")};
+    return t;
+  }
+};
+}  // namespace detail
 
 struct ShardStoreOptions {
   /// Resident-set budget in bytes; 0 means unbounded (never spill).
@@ -68,6 +88,12 @@ struct ShardStoreOptions {
   /// system temp directory.  The store creates (and on destruction removes)
   /// a process-unique subdirectory underneath.
   std::string spill_dir;
+  /// Optional trace destination: spill/load instants are recorded here on
+  /// track (trace_pid, 0).  The sharded driver points this at its engine's
+  /// synchronous-caller ring so shard I/O shows up beside the block
+  /// products it serves.  Null = no tracing.
+  telemetry::TraceRing* trace = nullptr;
+  int trace_pid = 0;
 };
 
 struct ShardStoreStats {
@@ -243,10 +269,28 @@ class ShardStore {
     }
   }
 
+  /// Spill/load instant on the configured trace ring (self-gated: costs a
+  /// relaxed load when telemetry is off or no ring is attached).
+  void trace_io(const char* name, std::size_t bytes) {
+    if (opts_.trace == nullptr || !telemetry::enabled()) return;
+    telemetry::TraceEvent e;
+    e.name = name;
+    e.cat = "shard";
+    e.ph = 'i';
+    e.ts_ns = monotonic_ns();
+    e.pid = static_cast<std::uint32_t>(opts_.trace_pid);
+    e.tid = 0;
+    e.arg_name = "bytes";
+    e.arg = static_cast<std::uint64_t>(bytes);
+    opts_.trace->record(e);
+  }
+
   void evict(Entry& e) {
     if (e.file.empty()) {
       spill(e);
       ++stats_.spills;
+      detail::ShardStoreTelemetry::get().spills.add(1);
+      trace_io("shard.spill", e.bytes);
     }
     e.mat = Matrix();  // drop the DRAM copy (spill file stays valid)
     e.resident = false;
@@ -321,6 +365,8 @@ class ShardStore {
       e.mat = std::move(m);
       e.resident = true;
       ++stats_.loads;
+      detail::ShardStoreTelemetry::get().loads.add(1);
+      trace_io("shard.load", e.bytes);
       stats_.resident_bytes += e.bytes;
       stats_.spilled_bytes -= e.bytes;
       stats_.peak_resident_bytes =

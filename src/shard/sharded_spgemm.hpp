@@ -236,6 +236,10 @@ class ShardedSpGemm {
     store_opts.memory_budget_bytes = budget;
     store_opts.use_mmap = opts_.use_mmap;
     store_opts.spill_dir = opts_.spill_dir;
+    // Shard I/O instants land on the engine's synchronous-caller trace
+    // track, beside the block products this walk submits.
+    store_opts.trace = engine_.sync_trace_ring();
+    store_opts.trace_pid = engine_.pools();
     Store store(store_opts);
 
     // Cut the operands into the store.  A: grid_rows x grid_inner,
@@ -295,6 +299,19 @@ class ShardedSpGemm {
     stats_.peak_resident_bytes = store.stats().peak_resident_bytes;
     stats_.spilled = store.stats().spills > 0;
     stats_.engine_cache_hits = engine_.cache_stats().hits - hits_before;
+    // Mirror this walk's deltas into the process-wide registry (spills and
+    // loads were already mirrored at the store's I/O sites).
+    if (telemetry::enabled()) {
+      auto& reg = telemetry::registry();
+      static telemetry::Counter& c_products = reg.counter(
+          "spgemm_sharded_block_products_total",
+          "Engine requests issued by the out-of-core sharded driver.");
+      static telemetry::Counter& c_accesses =
+          reg.counter("spgemm_sharded_shard_accesses_total",
+                      "Shard pins taken by the sharded driver.");
+      c_products.add(stats_.block_products);
+      c_accesses.add(stats_.shard_accesses);
+    }
     return c;
   }
 
