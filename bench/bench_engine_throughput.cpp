@@ -27,6 +27,7 @@
 #include "bench_util.hpp"
 #include "common/error.hpp"
 #include "engine/spgemm_engine.hpp"
+#include "model/cost_model.hpp"
 #include "matrix/rmat.hpp"
 #include "telemetry/registry.hpp"
 
@@ -296,34 +297,43 @@ void run_qos_mix(JsonReporter& json, const std::string& mix_name, int threads,
       Engine::Clock::now() +
       std::chrono::milliseconds(
           env::get_int("SPGEMM_BENCH_DEADLINE_MS", 30000));
-  std::vector<std::future<Engine::Product>> futures;
+  // Request construction pass: every matrix is reused across many requests,
+  // so its O(nnz) flop estimate is computed once here and rides along as
+  // Request::flop_hint — the submit loop below stays free of per-request
+  // estimate_flop passes.
+  std::vector<Engine::Request> reqs;
   for (const Matrix& m : large) {
     Engine::Request r;
     r.a = &m;
     r.b = &m;
     r.priority = 0;  // bulk: first to go under pressure
-    futures.push_back(eng.submit(r));
+    r.flop_hint = model::estimate_flop(m, m);
+    reqs.push_back(r);
   }
   for (const Matrix& m : small) {
-    for (int i = 0; i < kSmallPerRound; ++i) {
-      Engine::Request r;
-      r.a = &m;
-      r.b = &m;
-      r.priority = 1;
-      r.deadline = deadline;
-      futures.push_back(eng.submit(r));
-    }
+    Engine::Request r;
+    r.a = &m;
+    r.b = &m;
+    r.priority = 1;
+    r.deadline = deadline;
+    r.flop_hint = model::estimate_flop(m, m);
+    for (int i = 0; i < kSmallPerRound; ++i) reqs.push_back(r);
   }
   // Two probes whose deadline has already passed: admitted (high priority),
   // then failed typed at run time — deterministic deadline accounting.
-  for (int i = 0; i < 2; ++i) {
+  {
     Engine::Request r;
     r.a = &small.front();
     r.b = &small.front();
     r.priority = 2;
     r.deadline = Engine::Clock::now() - std::chrono::milliseconds(1);
-    futures.push_back(eng.submit(r));
+    r.flop_hint = model::estimate_flop(small.front(), small.front());
+    reqs.push_back(r);
+    reqs.push_back(r);
   }
+  std::vector<std::future<Engine::Product>> futures;
+  futures.reserve(reqs.size());
+  for (const Engine::Request& r : reqs) futures.push_back(eng.submit(r));
 
   Timer timer;
   eng.resume();

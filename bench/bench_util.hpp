@@ -76,6 +76,11 @@ struct BenchRecord {
   long long spills = 0;
   double in_core_rate = 0.0;
   double cache_hit_share = 0.0;
+  /// Peak-RSS growth attributed to this row (peak_rss_bytes() delta around
+  /// the measured region).  The OS counter is process-monotonic, so only
+  /// the first row to reach a high-water mark sees a non-zero delta —
+  /// benches that compare footprints run the smaller variant first.
+  long long peak_rss_bytes = 0;
 };
 
 /// Percentile of a latency sample by nearest-rank (q in [0, 1]); the shared
@@ -159,7 +164,8 @@ class JsonReporter {
           "\"keys_per_round\": %.4f, \"shed\": %lld, "
           "\"deadline_misses\": %lld, \"retries\": %lld, "
           "\"degraded_execs\": %lld, \"spills\": %lld, "
-          "\"in_core_rate\": %.4f, \"cache_hit_share\": %.4f}%s\n",
+          "\"in_core_rate\": %.4f, \"cache_hit_share\": %.4f, "
+          "\"peak_rss_bytes\": %lld}%s\n",
           json_escape(r.kernel).c_str(), json_escape(r.matrix).c_str(),
           r.threads, r.total_ms, r.symbolic_ms, r.numeric_ms, r.mflops,
           r.reuse_hit_rate, static_cast<long long>(r.flop),
@@ -168,7 +174,7 @@ class JsonReporter {
           r.p99_ms, r.p999_ms, r.overlay_occupancy, r.probe_rounds,
           r.keys_per_round, r.shed,
           r.deadline_misses, r.retries, r.degraded_execs, r.spills,
-          r.in_core_rate, r.cache_hit_share,
+          r.in_core_rate, r.cache_hit_share, r.peak_rss_bytes,
           i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "],\n\"telemetry\": %s}\n",

@@ -13,6 +13,7 @@
 
 #include "core/multiply.hpp"
 #include "core/spgemm_handle.hpp"
+#include "core/spgemm_rap.hpp"
 #include "core/structure_hash.hpp"
 #include "engine/spgemm_engine.hpp"
 #include "matrix/ops.hpp"
@@ -92,6 +93,23 @@ GalerkinResult<IT, VT> galerkin_product(const CsrMatrix<IT, VT>& a,
   return out;
 }
 
+/// Fused triple product: A_c = R * (A * P) through multiply_rap()
+/// (core/spgemm_rap.hpp) — each A*P row is expanded on demand inside the
+/// R* pass and folded straight into the coarse row, so the intermediate AP
+/// CSR is never assembled.  With an aggregation prolongator every fine row
+/// feeds exactly one coarse row, so nothing is recomputed either.
+/// Bit-identical to galerkin_product() with sorted output for visit-order
+/// kernels; ap_stats stays zero (there is no separate A*P pass).
+template <IndexType IT, ValueType VT>
+GalerkinResult<IT, VT> galerkin_product_fused(const CsrMatrix<IT, VT>& a,
+                                              const CsrMatrix<IT, VT>& p,
+                                              SpGemmOptions opts = {}) {
+  GalerkinResult<IT, VT> out;
+  const CsrMatrix<IT, VT> r = transpose(p);
+  out.coarse = multiply_rap(r, a, p, opts, &out.rap_stats);
+  return out;
+}
+
 /// Handle-based Galerkin re-assembly for time stepping: R = P^T and the
 /// sparsity of A are fixed across steps while A's values change, so both
 /// SpGEMMs (A*P and R*(AP)) are planned once and every later step runs
@@ -126,14 +144,23 @@ GalerkinResult<IT, VT> galerkin_product(const CsrMatrix<IT, VT>& a,
 template <IndexType IT, ValueType VT>
 class GalerkinReassembler {
  public:
+  /// `fuse_rap` routes every reassemble() through multiply_rap(): no AP
+  /// handle, no retained intermediate — the per-step cost is one fused
+  /// triple-product pass.  Trades the numeric-only replay of the planned
+  /// pipeline for the smaller working set; best when memory, not replay
+  /// latency, is the binding constraint.
   GalerkinReassembler(const CsrMatrix<IT, VT>& a, CsrMatrix<IT, VT> p,
-                      SpGemmOptions opts = {})
-      : p_(std::move(p)), r_(transpose(p_)) {
+                      SpGemmOptions opts = {}, bool fuse_rap = false)
+      : p_(std::move(p)), r_(transpose(p_)), fuse_rap_(fuse_rap) {
     // kAuto flows through to plan()'s recipe resolution; only genuinely
     // non-plannable one-phase kernels are mapped to Hash.
     if (opts.algorithm != Algorithm::kAuto &&
         !is_two_phase(opts.algorithm)) {
       opts.algorithm = Algorithm::kHash;
+    }
+    if (fuse_rap_) {
+      fused_opts_ = opts;
+      return;  // nothing to plan: each step is a one-shot fused pass
     }
     ap_handle_.plan(a, p_, opts);
     const CsrMatrix<IT, VT>& ap = ap_handle_.execute(a, p_);
@@ -179,6 +206,12 @@ class GalerkinReassembler {
       ++engine_reassemblies_;
       return coarse_product_.c;
     }
+    if (fuse_rap_) {
+      if (ap_stats != nullptr) *ap_stats = SpGemmStats{};
+      fused_coarse_ = multiply_rap(r_, a, p_, fused_opts_, rap_stats);
+      ++fused_reassemblies_;
+      return fused_coarse_;
+    }
     const CsrMatrix<IT, VT>& ap =
         ap_handle_.execute(a, p_, PlusTimes{}, ap_stats);
     return rap_handle_.execute(r_, ap, PlusTimes{}, rap_stats);
@@ -188,9 +221,10 @@ class GalerkinReassembler {
   [[nodiscard]] const CsrMatrix<IT, VT>& restriction() const { return r_; }
   /// Coarse-operator products served so far (excludes the plan-time one).
   [[nodiscard]] std::uint64_t reassemblies() const {
-    return engine_ != nullptr
-               ? (engine_reassemblies_ > 0 ? engine_reassemblies_ - 1 : 0)
-               : rap_handle_.executions();
+    if (engine_ != nullptr) {
+      return engine_reassemblies_ > 0 ? engine_reassemblies_ - 1 : 0;
+    }
+    return fuse_rap_ ? fused_reassemblies_ : rap_handle_.executions();
   }
   /// Whether the last reassemble()'s products both replayed cached plans.
   [[nodiscard]] bool last_step_cached() const {
@@ -203,6 +237,12 @@ class GalerkinReassembler {
   CsrMatrix<IT, VT> r_;
   SpGemmHandle<IT, VT> ap_handle_;
   SpGemmHandle<IT, VT> rap_handle_;
+
+  // Fused-RAP mode only.
+  bool fuse_rap_ = false;
+  SpGemmOptions fused_opts_;
+  CsrMatrix<IT, VT> fused_coarse_;
+  std::uint64_t fused_reassemblies_ = 0;
 
   // Engine mode only.
   engine::SpGemmEngine<IT, VT>* engine_ = nullptr;

@@ -23,6 +23,13 @@ struct MclParams {
   double prune_below = 1e-4; ///< drop entries smaller than this
   int max_iterations = 64;
   double convergence_eps = 1e-8;  ///< max |M - M_prev| entry change
+  /// Fuse inflation+pruning into the expansion's numeric pass as a
+  /// kPruneScale epilogue: each M^2 row is powered and thresholded while
+  /// cache-hot and only kept entries are staged, so the unpruned M^2 never
+  /// materializes.  pow/threshold run per element in the same order either
+  /// way, so the clustering is bit-identical; column re-normalization stays
+  /// an exact post-pass over the (much smaller) pruned matrix.
+  bool fuse_epilogue = true;
 };
 
 template <IndexType IT>
@@ -171,8 +178,17 @@ MclResult<IT> run_mcl(CsrMatrix<IT, VT> m, const MclParams& params,
       ++out.plan_builds;
     }
     std::uint64_t next_hash = 0;
-    CsrMatrix<IT, VT> next = inflate_and_prune(
-        expanded, params.inflation, params.prune_below, &next_hash);
+    CsrMatrix<IT, VT> next;
+    if (params.fuse_epilogue) {
+      // The expansion already inflated and pruned each row in its numeric
+      // pass (kPruneScale epilogue); copy out of the serving plan and
+      // fingerprint the small kept structure.
+      next = expanded;
+      next_hash = structure_fingerprint(next);
+    } else {
+      next = inflate_and_prune(expanded, params.inflation,
+                               params.prune_below, &next_hash);
+    }
     normalize_columns(next);
     ++out.iterations;
     const bool converged =
@@ -237,6 +253,11 @@ MclResult<IT> markov_cluster(const CsrMatrix<IT, VT>& graph,
       !is_two_phase(opts.algorithm)) {
     opts.algorithm = Algorithm::kHash;
   }
+  if (params.fuse_epilogue) {
+    opts.epilogue.kind = EpilogueKind::kPruneScale;
+    opts.epilogue.inflation = params.inflation;
+    opts.epilogue.prune_below = params.prune_below;
+  }
   SpGemmHandle<IT, VT> expansion;
   return detail::run_mcl<IT, VT>(
       detail::mcl_initial_matrix(graph), params,
@@ -259,12 +280,25 @@ template <IndexType IT, ValueType VT>
 MclResult<IT> markov_cluster(const CsrMatrix<IT, VT>& graph,
                              engine::SpGemmEngine<IT, VT>& eng,
                              const MclParams& params = {}) {
+  EpilogueSpec epilogue;
+  if (params.fuse_epilogue) {
+    epilogue.kind = EpilogueKind::kPruneScale;
+    epilogue.inflation = params.inflation;
+    epilogue.prune_below = params.prune_below;
+  }
   typename engine::SpGemmEngine<IT, VT>::Product product;
   return detail::run_mcl<IT, VT>(
       detail::mcl_initial_matrix(graph), params,
       [&](const CsrMatrix<IT, VT>& m, std::uint64_t m_hash,
           bool& reused) -> const CsrMatrix<IT, VT>& {
-        product = eng.submit_hashed(m, m, m_hash, m_hash).get();
+        typename engine::SpGemmEngine<IT, VT>::Request req;
+        req.a = &m;
+        req.b = &m;
+        req.fp_a = m_hash;
+        req.fp_b = m_hash;
+        req.has_fingerprints = true;
+        req.epilogue = epilogue;
+        product = eng.submit(req).get();
         reused = product.cache_hit;
         return product.c;
       });

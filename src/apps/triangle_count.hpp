@@ -46,6 +46,36 @@ TriangleCountResult<IT, VT> count_triangles_masked(
   return out;
 }
 
+/// Fused-epilogue variant: the wedge matrix W = L*U is never materialized.
+/// A kMaskReduce epilogue intersects each W row with L's row and folds the
+/// surviving wedge counts into a scalar while the row is still in the
+/// accumulator's staging buffer — zero entries are kept, so the pipeline's
+/// peak memory is the inputs plus thread scratch.  Counts are integer-valued
+/// doubles, so the per-thread fold is exact and the result matches
+/// count_triangles() bit-for-bit.  out.wedges stays empty.
+template <IndexType IT, ValueType VT>
+TriangleCountResult<IT, VT> count_triangles_fused(
+    const CsrMatrix<IT, VT>& a, SpGemmOptions opts = {}) {
+  CsrMatrix<IT, VT> pattern = a;
+  for (auto& v : pattern.vals) v = VT{1};
+  TriangularSplit<IT, VT> split = prepare_triangle_split(pattern);
+
+  if (opts.algorithm == Algorithm::kAuto) {
+    opts.algorithm = recipe::select_for(
+        split.lower, split.upper, recipe::Operation::kTriangular,
+        opts.sort_output, recipe::DataOrigin::kReal);
+    if (!is_two_phase(opts.algorithm)) opts.algorithm = Algorithm::kHash;
+  }
+  opts.epilogue.kind = EpilogueKind::kMaskReduce;
+
+  TriangleCountResult<IT, VT> out;
+  EpilogueResult closed;
+  multiply_with_epilogue(split.lower, split.upper, opts, &closed,
+                         &split.lower, &out.spgemm_stats);
+  out.triangles = static_cast<std::int64_t>(closed.reduce + 0.5);
+  return out;
+}
+
 /// Count triangles of the undirected graph whose adjacency matrix is `a`
 /// (must be structurally symmetric; values are ignored — structure only).
 template <IndexType IT, ValueType VT>

@@ -4,7 +4,12 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace spgemm {
 
@@ -34,6 +39,26 @@ namespace spgemm {
     std::chrono::steady_clock::time_point from,
     std::chrono::steady_clock::time_point to) noexcept {
   return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Process-lifetime peak resident set in bytes, via getrusage(RUSAGE_SELF).
+/// ru_maxrss is KiB on Linux, bytes on macOS; 0 where unavailable.  The
+/// counter is monotone for the life of the process, so footprint deltas
+/// (before/after a phase) only attribute correctly to the FIRST phase that
+/// reaches a given high-water mark — benches comparing variants must run
+/// the expected-smaller one first.
+[[nodiscard]] inline std::size_t peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
 }
 
 /// Steady-clock stopwatch.  Construction starts the clock.

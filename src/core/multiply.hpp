@@ -14,6 +14,7 @@
 #pragma once
 
 #include <stdexcept>
+#include <type_traits>
 
 #include "core/recipe.hpp"
 #include "core/spgemm_adaptive.hpp"
@@ -93,6 +94,46 @@ CsrMatrix<IT, VT> multiply_over(const CsrMatrix<IT, VT>& a,
   }
   throw std::invalid_argument(
       "multiply_over: kernel does not support custom semirings");
+}
+
+/// One-shot SpGEMM with a fused per-row epilogue (opts.epilogue): the
+/// epilogue runs on each output row inside the tile loop, while the row is
+/// cache-hot, and only the kept entries are ever staged — the full
+/// intermediate never materializes.  Two-phase kernels only (kAuto resolves
+/// to one, falling back to kHash).  `mask` is the kMaskReduce operand;
+/// `result` receives the scalar outputs (reduction, column sums).  kRap
+/// products go through multiply_rap() (core/spgemm_rap.hpp) instead.
+template <IndexType IT, ValueType VT>
+CsrMatrix<IT, VT> multiply_with_epilogue(
+    const CsrMatrix<IT, VT>& a, const CsrMatrix<IT, VT>& b,
+    SpGemmOptions opts, EpilogueResult* result = nullptr,
+    const CsrMatrix<std::type_identity_t<IT>, std::type_identity_t<VT>>*
+        mask = nullptr,
+    SpGemmStats* stats = nullptr) {
+  if (a.ncols != b.nrows) {
+    throw std::invalid_argument(
+        "multiply_with_epilogue: inner dimensions disagree");
+  }
+  if (opts.epilogue.kind == EpilogueKind::kRap) {
+    throw std::invalid_argument(
+        "multiply_with_epilogue: kRap runs through multiply_rap()");
+  }
+  if (opts.algorithm == Algorithm::kAuto) {
+    opts.algorithm = recipe::select_for(
+        a, b, recipe::Operation::kSquare, opts.sort_output,
+        recipe::DataOrigin::kReal);
+    if (!is_two_phase(opts.algorithm)) opts.algorithm = Algorithm::kHash;
+  }
+  if (!is_two_phase(opts.algorithm)) {
+    throw std::invalid_argument(
+        "multiply_with_epilogue: fused epilogues need a two-phase kernel");
+  }
+  const detail::EpilogueContext<IT, VT> ectx{mask, result};
+  return detail::with_plan_policy<IT, VT>(
+      opts.algorithm, opts.probe, b.ncols, [&](auto policy) {
+        return detail::spgemm_two_phase<IT, VT>(
+            a, b, opts, std::move(policy), stats, PlusTimes{}, &ectx);
+      });
 }
 
 template <IndexType IT, ValueType VT>

@@ -168,6 +168,17 @@ struct ThreadPlan {
   std::vector<PlannedTile> tiles;
   std::vector<PlannedRow<IT>> rows;  ///< tile processing order
   mem::Buffer<IT> staged_cols;       ///< skeleton cols, processing order
+  // ---- Fused-epilogue executes (numeric_fused) -------------------------
+  // The kept (post-epilogue) entries of this thread's tiles, appended in
+  // processing order, plus one record per tile for the placement copy.
+  // Grow-only across executes, like every other workspace here; a row's
+  // full intermediate lives only in row_vals/row_cols while cache-hot.
+  mem::Buffer<IT> kept_cols;
+  mem::Buffer<VT> kept_vals;
+  std::vector<PlannedTile> kept_tiles;
+  mem::Buffer<VT> row_vals;  ///< one row's values (captured + fallback)
+  mem::Buffer<IT> row_cols;  ///< one fallback row's columns
+  EpilogueState epi;
 };
 
 /// O(1) identity of a CSR structure: array addresses and dimensions prove
@@ -468,6 +479,121 @@ struct KernelPlan {
     return {total_probes.load(std::memory_order_relaxed),
             total_keys.load(std::memory_order_relaxed)};
   }
+
+  /// Fused-epilogue numeric pass: each row is computed into per-thread row
+  /// scratch (captured rows replay + gather, fallback rows re-probe), the
+  /// epilogue runs on it while cache-hot, and only the KEPT entries are
+  /// appended to the thread's kept buffers.  The plan's full-intermediate
+  /// skeleton (core.rpts / staged_cols) stays untouched plan state; the
+  /// output CSR is sized to the kept nnz only — the intermediate product is
+  /// never materialized.  `c.rpts` doubles as the kept-count scratch before
+  /// its exclusive scan.
+  template <typename SR>
+  NumericWork numeric_fused(const PlanCore<IT, VT>& core,
+                            const CsrMatrix<IT, VT>& a,
+                            const CsrMatrix<IT, VT>& b,
+                            const EpilogueContext<IT, VT>& ectx,
+                            CsrMatrix<IT, VT>& c) {
+    const EpilogueSpec& spec = core.opts.epilogue;
+    const auto nrows = static_cast<std::size_t>(core.nrows);
+    c.rpts.resize(nrows + 1);
+    std::atomic<std::uint64_t> total_probes{0};
+    std::atomic<std::uint64_t> total_keys{0};
+    core.schedule.reset_occupancy();
+#pragma omp parallel num_threads(core.nthreads)
+    {
+      const int tid = omp_get_thread_num();
+      if (tid < core.part.threads()) {
+        ThreadPlan<IT, VT, Acc>& tp = threads[static_cast<std::size_t>(tid)];
+        Acc& acc = tp.acc;
+        const IT* cap = tp.capture.data();
+        const std::uint64_t probes_before = acc.probes();
+        const std::uint64_t keys_before = keys_resolved_of(acc);
+        tp.epi.begin_pass(spec, static_cast<std::size_t>(b.ncols));
+        tp.kept_tiles.clear();
+        tp.kept_cols.clear();
+        tp.kept_vals.clear();
+        std::size_t cursor = 0;
+        std::size_t kept_sz = 0;
+        for (const PlannedTile& tile : tp.tiles) {
+          tp.kept_tiles.push_back({tile.row_begin, tile.row_end, kept_sz});
+          std::size_t stage_off = tile.stage_begin;
+          for (std::size_t i = tile.row_begin; i < tile.row_end; ++i) {
+            const PlannedRow<IT>& row = tp.rows[cursor++];
+            const Offset row_flop =
+                core.part.flop_prefix[i + 1] - core.part.flop_prefix[i];
+            policy.begin_row(acc, row_flop);
+            const auto nnz = static_cast<std::size_t>(row.nnz);
+            if (tp.row_vals.size() < nnz) tp.row_vals.resize(nnz);
+            VT* vals = tp.row_vals.data();
+            const IT* cols;
+            if (row.captured) {
+              const IT* slot_stream = cap + row.cap_off;
+              const std::size_t ns =
+                  replay_row<SR>(acc, a, b, i, slot_stream, core.replay_kind);
+              gather_values(static_cast<const VT*>(acc.slot_values()),
+                            slot_stream + ns, nnz, vals);
+              cols = tp.staged_cols.data() + stage_off;
+            } else {
+              probe_row<SR>(acc, a, b, i);
+              if (tp.row_cols.size() < nnz) tp.row_cols.resize(nnz);
+              if (row.sorted) {
+                acc.extract_sorted(tp.row_cols.data(), vals);
+              } else {
+                acc.extract_unsorted(tp.row_cols.data(), vals);
+              }
+              acc.reset();
+              cols = tp.row_cols.data();
+            }
+            const std::uint64_t t0 = monotonic_ns();
+            tp.kept_cols.resize(kept_sz + nnz);
+            tp.kept_vals.resize(kept_sz + nnz);
+            const std::size_t kept = apply_row_epilogue(
+                spec, ectx, tp.epi, i, cols, vals, nnz,
+                tp.kept_cols.data() + kept_sz, tp.kept_vals.data() + kept_sz);
+            tp.kept_cols.resize(kept_sz + kept);
+            tp.kept_vals.resize(kept_sz + kept);
+            tp.epi.seconds +=
+                static_cast<double>(monotonic_ns() - t0) * 1e-9;
+            c.rpts[i] = static_cast<Offset>(kept);
+            kept_sz += kept;
+            stage_off += nnz;
+          }
+        }
+        total_probes.fetch_add(acc.probes() - probes_before,
+                               std::memory_order_relaxed);
+        total_keys.fetch_add(keys_resolved_of(acc) - keys_before,
+                             std::memory_order_relaxed);
+      }
+      core.schedule.worker_done();
+    }
+
+    // ---- Size the kept output and place every thread's kept tiles. -------
+    c.rpts[nrows] = 0;
+    parallel::exclusive_scan_inplace(c.rpts.data(), nrows + 1);
+    const auto kept_nnz = static_cast<std::size_t>(c.rpts[nrows]);
+    c.cols.resize(kept_nnz);
+    c.vals.resize(kept_nnz);
+#pragma omp parallel num_threads(core.nthreads)
+    {
+      const int tid = omp_get_thread_num();
+      if (tid < core.part.threads()) {
+        const ThreadPlan<IT, VT, Acc>& tp =
+            threads[static_cast<std::size_t>(tid)];
+        for (const PlannedTile& tile : tp.kept_tiles) {
+          const auto dst = static_cast<std::size_t>(c.rpts[tile.row_begin]);
+          const auto len =
+              static_cast<std::size_t>(c.rpts[tile.row_end]) - dst;
+          std::copy_n(tp.kept_cols.data() + tile.stage_begin, len,
+                      c.cols.data() + dst);
+          std::copy_n(tp.kept_vals.data() + tile.stage_begin, len,
+                      c.vals.data() + dst);
+        }
+      }
+    }
+    return {total_probes.load(std::memory_order_relaxed),
+            total_keys.load(std::memory_order_relaxed)};
+  }
 };
 
 }  // namespace detail
@@ -712,6 +838,11 @@ class SpGemmHandle {
               bytes += tp.staged_cols.capacity() * sizeof(IT);
               bytes += tp.rows.capacity() * sizeof(detail::PlannedRow<IT>);
               bytes += tp.tiles.capacity() * sizeof(detail::PlannedTile);
+              bytes += tp.kept_cols.capacity() * sizeof(IT) +
+                       tp.kept_vals.capacity() * sizeof(VT) +
+                       tp.kept_tiles.capacity() * sizeof(detail::PlannedTile);
+              bytes += tp.row_cols.capacity() * sizeof(IT) +
+                       tp.row_vals.capacity() * sizeof(VT);
             }
           }
         },
@@ -751,6 +882,23 @@ class SpGemmHandle {
   /// (the engine holds the plan-cache exec mutex), so this needs no lock.
   void set_pass_exit_sink(std::atomic<int>* sink) {
     core_.schedule.set_exit_sink(sink);
+  }
+
+  // ---- Fused epilogues ----------------------------------------------------
+
+  /// Mask operand for kMaskReduce executes (the spec itself rides in
+  /// SpGemmOptions::epilogue).  The pointed-to matrix must outlive every
+  /// execute() run while attached and must match the mask_fp the spec was
+  /// keyed with; detach with nullptr.
+  void set_epilogue_mask(const CsrMatrix<IT, VT>* mask) {
+    epilogue_mask_ = mask;
+  }
+
+  /// Scalar outputs of the last fused execute (kMaskReduce's reduction,
+  /// kPruneScale's optional column sums).  Overwritten by every fused
+  /// execute on this handle.
+  [[nodiscard]] const EpilogueResult& epilogue_result() const {
+    return epilogue_result_;
   }
 
   /// Fraction of rows whose slot stream was captured (replayable).
@@ -881,10 +1029,18 @@ class SpGemmHandle {
     Timer exec_timer;
     parallel::ScopedNumThreads scoped(core_.opts.threads);
 
-    const auto nnz = static_cast<std::size_t>(core_.rpts.back());
+    // Structural epilogues bypass the skeleton fill entirely: the kept
+    // structure depends on this execute's VALUES (pruning), and the full
+    // intermediate must never be allocated — numeric_fused sizes c to the
+    // kept nnz only.
+    const bool fused = detail::epilogue_fuses_rows(core_.opts.epilogue);
+    const detail::EpilogueContext<IT, VT> ectx{epilogue_mask_,
+                                               &epilogue_result_};
+    if (fused) detail::validate_epilogue(core_.opts.epilogue, ectx, a, b);
+
     c.nrows = core_.nrows;
     c.ncols = core_.ncols;
-    if (fill_skeleton) {
+    if (fill_skeleton && !fused) {
       TELEM_SPAN("handle.placement");
       c.rpts = core_.rpts;
       std::visit(
@@ -897,20 +1053,37 @@ class SpGemmHandle {
           kernel_);
       // Default-init resize: vals pages are first touched by the numeric
       // pass below, inside the thread that owns each row range.
-      c.vals.resize(nnz);
+      c.vals.resize(static_cast<std::size_t>(core_.rpts.back()));
     }
 
     std::uint64_t num_probes = 0;
     std::uint64_t num_keys = 0;
+    std::uint64_t epi_rows = 0;
+    double epi_s = 0.0;
     {
       TELEM_SPAN("handle.numeric");
       std::visit(
           [&](auto& kernel) {
             if constexpr (!std::is_same_v<std::decay_t<decltype(kernel)>,
                                           std::monostate>) {
-              const auto work = kernel.template numeric<SR>(core_, a, b, c);
-              num_probes = work.probes;
-              num_keys = work.keys;
+              if (fused) {
+                const auto work = kernel.template numeric_fused<SR>(
+                    core_, a, b, ectx, c);
+                num_probes = work.probes;
+                num_keys = work.keys;
+                detail::fold_epilogue_partials(
+                    core_.opts.epilogue, core_.nthreads,
+                    static_cast<std::size_t>(core_.ncols),
+                    [&](int t) -> const detail::EpilogueState& {
+                      return kernel.threads[static_cast<std::size_t>(t)].epi;
+                    },
+                    &epilogue_result_, epi_rows, epi_s);
+              } else {
+                const auto work =
+                    kernel.template numeric<SR>(core_, a, b, c);
+                num_probes = work.probes;
+                num_keys = work.keys;
+              }
             }
           },
           kernel_);
@@ -926,8 +1099,8 @@ class SpGemmHandle {
     // pooled execute, regardless of any execute_into() calls before it —
     // and only when the build pass actually migrated work off its owners.
     std::uint64_t retouched_now = 0;
-    if (into_pooled && fill_skeleton && core_.opts.retouch_output_pages &&
-        stats_.tile_steals > 0) {
+    if (into_pooled && fill_skeleton && !fused &&
+        core_.opts.retouch_output_pages && stats_.tile_steals > 0) {
       retouched_now = retouch_pooled_pages();
       stats_.pages_retouched += retouched_now;
     }
@@ -937,12 +1110,23 @@ class SpGemmHandle {
     stats_.numeric_keys = num_keys;
     stats_.probes = stats_.symbolic_probes + num_probes;
     stats_.executions = executions_;
+    if (fused) {
+      stats_.nnz_out = c.rpts.empty() ? 0 : c.rpts.back();
+      stats_.epilogue_rows = epi_rows;
+      stats_.epilogue_ms = epi_s * 1e3;
+    }
     if (telemetry::enabled()) {
       auto& t = detail::HandleTelemetry::get();
       t.executes.add(1);
       t.numeric_probes.add(num_probes);
       t.numeric_keys.add(num_keys);
       t.pages_retouched.add(retouched_now);
+      if (fused) {
+        detail::EpilogueTelemetry::get()
+            .for_kind(core_.opts.epilogue.kind)
+            .add(epi_rows);
+        telemetry::phase_observe("epilogue", epi_s);
+      }
     }
     if (stats != nullptr) *stats = stats_;
   }
@@ -951,6 +1135,8 @@ class SpGemmHandle {
   AnyKernel kernel_;
   CsrMatrix<IT, VT> pooled_;
   SpGemmOptions requested_opts_;  ///< as passed to plan(), pre-resolution
+  const CsrMatrix<IT, VT>* epilogue_mask_ = nullptr;
+  EpilogueResult epilogue_result_;
   bool pooled_cols_ready_ = false;
   bool planned_ = false;
   std::uint64_t executions_ = 0;

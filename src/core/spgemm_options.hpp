@@ -5,6 +5,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <vector>
 
 #include "accumulator/hash_vec.hpp"
 #include "common/types.hpp"
@@ -93,6 +95,99 @@ inline const char* budget_source_name(BudgetSource s) {
   return s == BudgetSource::kFixed ? "fixed" : "memory-model";
 }
 
+// ---- Fused epilogues --------------------------------------------------------
+
+/// What runs over each output row while it is still cache-hot, before (or
+/// instead of) materializing it into the output CSR.  GraphBLAS-style
+/// fusion: the full intermediate's nnz never hits DRAM.
+enum class EpilogueKind : std::uint8_t {
+  kNone,        ///< plain SpGEMM, rows emitted verbatim
+  kPruneScale,  ///< elementwise pow(v, inflation), drop below prune_below
+                ///< (MCL's inflate+prune fused into the expansion product)
+  kMaskReduce,  ///< keep nothing; sum entries whose column is in the mask
+                ///< row (tricount's masked reduction, empty output C)
+  kRap,         ///< triple-product R*(A*P) identity for plan keying/stats;
+                ///< executed by multiply_rap(), not the per-row hook
+};
+
+inline const char* epilogue_kind_name(EpilogueKind k) {
+  switch (k) {
+    case EpilogueKind::kPruneScale:
+      return "prune_scale";
+    case EpilogueKind::kMaskReduce:
+      return "mask_reduce";
+    case EpilogueKind::kRap:
+      return "rap";
+    default:
+      return "none";
+  }
+}
+
+/// Value-typed description of a fused epilogue.  Deliberately untemplated so
+/// it can ride in SpGemmOptions and engine Requests; typed operands (the
+/// mask matrix) travel beside it (detail::EpilogueContext /
+/// SpGemmHandle::set_epilogue_mask).  The defaulted operator== keeps
+/// ensure_planned()'s options-equality check honest: changing any epilogue
+/// field forces a replan.
+struct EpilogueSpec {
+  EpilogueKind kind = EpilogueKind::kNone;
+  /// kPruneScale: elementwise exponent (MCL inflation).
+  double inflation = 1.0;
+  /// kPruneScale: entries with pow(v, inflation) < prune_below are dropped.
+  double prune_below = 0.0;
+  /// kPruneScale: also accumulate per-column sums of the kept entries into
+  /// EpilogueResult::col_sums.  Per-thread partials are folded in thread
+  /// order, which is NOT bitwise-identical to a sequential column scan
+  /// under floating point — see README "Fused epilogues" for the caveat.
+  bool collect_column_sums = false;
+  /// kMaskReduce: structure fingerprint of the mask matrix, folded into the
+  /// plan identity so cached plans never mix masks.  0 = unset.
+  std::uint64_t mask_fp = 0;
+
+  bool operator==(const EpilogueSpec&) const = default;
+
+  [[nodiscard]] bool enabled() const { return kind != EpilogueKind::kNone; }
+
+  /// FNV-1a over the spec's identity; 0 for kNone so unfused plan keys are
+  /// unchanged.  Folded into PlanCache keys and plan fingerprints so a
+  /// fused plan is never served to an unfused caller (and vice versa).
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    if (!enabled()) return 0;
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(static_cast<std::uint64_t>(kind));
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(inflation));
+    std::memcpy(&bits, &inflation, sizeof(bits));
+    mix(bits);
+    std::memcpy(&bits, &prune_below, sizeof(bits));
+    mix(bits);
+    mix(collect_column_sums ? 1u : 0u);
+    mix(mask_fp);
+    return h == 0 ? 1 : h;
+  }
+};
+
+/// Scalar outputs of a fused epilogue, filled by the driver/handle that ran
+/// it.  Untemplated (doubles) so it can live in engine Products.
+struct EpilogueResult {
+  /// kMaskReduce: sum of intermediate entries landing on mask positions.
+  double reduce = 0.0;
+  /// kPruneScale with collect_column_sums: per-column sums of kept entries.
+  std::vector<double> col_sums;
+  /// Rows that ran the epilogue (mirrors spgemm_epilogue_rows_total).
+  std::uint64_t rows = 0;
+
+  void reset(std::size_t ncols_hint = 0) {
+    reduce = 0.0;
+    rows = 0;
+    col_sums.assign(ncols_hint, 0.0);
+  }
+};
+
 struct SpGemmOptions {
   Algorithm algorithm = Algorithm::kAuto;
   SortOutput sort_output = SortOutput::kYes;
@@ -149,6 +244,11 @@ struct SpGemmOptions {
   /// (ignored under kFixed).  Defaults to the host LLC model; pass
   /// model::knl_mcdram_cache() to size tiles for MCDRAM.
   model::TierParams fast_tier = model::host_fast_tier();
+  /// Fused per-row epilogue applied while each output row is cache-hot (see
+  /// EpilogueSpec).  Part of plan identity: the defaulted == below means
+  /// ensure_planned() replans when the epilogue changes, and the engine
+  /// folds EpilogueSpec::fingerprint() into its PlanCache key.
+  EpilogueSpec epilogue;
 
   bool operator==(const SpGemmOptions&) const = default;
 };
@@ -195,6 +295,10 @@ struct SpGemmStats {
   /// Pooled-output pages rewritten by their owning thread after a
   /// steal-heavy build pass (SpGemmOptions::retouch_output_pages).
   std::uint64_t pages_retouched = 0;
+  /// Fused-epilogue observability: rows the epilogue hook processed and the
+  /// wall time spent inside it (max across threads, like the phase spans).
+  std::uint64_t epilogue_rows = 0;
+  double epilogue_ms = 0.0;
 
   [[nodiscard]] std::uint64_t keys_resolved() const {
     return symbolic_keys + numeric_keys;

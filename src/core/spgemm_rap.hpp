@@ -1,0 +1,251 @@
+// Fused triple product R*(A*P) — the EpilogueKind::kRap pipeline.
+//
+// AMG's Galerkin coarsening pays for A*P twice: once to materialize it, once
+// to stream it back through the R* product.  multiply_rap() computes each
+// A*P row on demand INSIDE the R* pass instead: for coarse row i, every
+// fine row k named by R_i is expanded through an inner accumulator (the
+// classic Gustavson probe of core/spgemm_twophase.hpp), extracted sorted
+// while cache-hot, and folded straight into the outer accumulator scaled by
+// r_ik.  The intermediate A*P CSR is never assembled — its nnz(AP) entries
+// exist one row at a time in thread-local scratch.
+//
+// Bit-identity contract: the inner probe folds A_k x P contributions in
+// exactly the traversal order of the two-step product's numeric pass, and
+// the sorted extraction matches the two-step intermediate's storage order
+// (sort_output = kYes), so for visit-order kernels the fused RAP is
+// bit-identical to multiply(r, multiply(a, p)) with a sorted intermediate.
+//
+// Cost shape: rows of A*P shared by several coarse rows are re-expanded per
+// consumer.  With an aggregation prolongator every fine row feeds exactly
+// one coarse row (R's columns partition the fine rows), so nothing is
+// recomputed and the fused pass does strictly less memory traffic.
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "core/semiring.hpp"
+#include "core/spgemm_handle.hpp"  // is_two_phase
+#include "core/spgemm_options.hpp"
+#include "core/spgemm_policies.hpp"
+#include "core/spgemm_twophase.hpp"
+#include "matrix/csr.hpp"
+#include "mem/workspace.hpp"
+#include "parallel/omp_utils.hpp"
+#include "parallel/prefix_sum.hpp"
+#include "telemetry/span.hpp"
+
+namespace spgemm {
+
+namespace detail {
+
+/// Balanced contiguous row ranges over a monotone flop prefix: thread t
+/// gets rows [cuts[t], cuts[t+1]) with roughly total/nthreads flop each.
+inline std::vector<std::size_t> balanced_row_cuts(
+    const std::vector<Offset>& prefix, int nthreads) {
+  const std::size_t nrows = prefix.size() - 1;
+  const Offset total = prefix.back();
+  std::vector<std::size_t> cuts(static_cast<std::size_t>(nthreads) + 1, 0);
+  cuts.back() = nrows;
+  for (int t = 1; t < nthreads; ++t) {
+    const Offset target =
+        static_cast<Offset>((static_cast<double>(total) * t) / nthreads);
+    const auto it =
+        std::lower_bound(prefix.begin(), prefix.end() - 1, target);
+    cuts[static_cast<std::size_t>(t)] =
+        static_cast<std::size_t>(it - prefix.begin());
+  }
+  for (int t = 1; t <= nthreads; ++t) {
+    cuts[static_cast<std::size_t>(t)] = std::max(
+        cuts[static_cast<std::size_t>(t)], cuts[static_cast<std::size_t>(t) - 1]);
+  }
+  return cuts;
+}
+
+}  // namespace detail
+
+/// Fused Galerkin triple product C = R * (A * P) without materializing the
+/// intermediate.  Two-phase kernels only (kAuto resolves to kHash); the
+/// output honours opts.sort_output, the per-row A*P expansions are always
+/// extracted sorted (matching the two-step pipeline's sorted intermediate).
+template <IndexType IT, ValueType VT, typename SR = PlusTimes>
+  requires SemiringFor<SR, VT>
+CsrMatrix<IT, VT> multiply_rap(const CsrMatrix<IT, VT>& r,
+                               const CsrMatrix<IT, VT>& a,
+                               const CsrMatrix<IT, VT>& p,
+                               SpGemmOptions opts = {},
+                               SpGemmStats* stats = nullptr, SR /*sr*/ = {}) {
+  if (r.ncols != a.nrows || a.ncols != p.nrows) {
+    throw std::invalid_argument("multiply_rap: dimensions disagree");
+  }
+  TELEM_SPAN("rap.multiply");
+  if (opts.algorithm == Algorithm::kAuto) opts.algorithm = Algorithm::kHash;
+  if (!is_two_phase(opts.algorithm)) {
+    throw std::invalid_argument(
+        "multiply_rap: two-phase kernels only (hash/hashvec/spa/kkhash/"
+        "adaptive)");
+  }
+  const int nthreads = parallel::resolve_threads(opts.threads);
+  parallel::ScopedNumThreads scoped(opts.threads);
+
+  Timer timer;
+  const auto nf = static_cast<std::size_t>(a.nrows);   // fine rows
+  const auto nc = static_cast<std::size_t>(r.nrows);   // coarse rows
+
+  // flop of each on-demand A*P row, then the per-coarse-row totals that
+  // drive accumulator sizing and the balanced thread split.
+  std::vector<Offset> flop_ap(nf, 0);
+#pragma omp parallel for schedule(static) num_threads(nthreads)
+  for (std::size_t k = 0; k < nf; ++k) {
+    Offset f = 0;
+    for (Offset j = a.rpts[k]; j < a.rpts[k + 1]; ++j) {
+      const auto col =
+          static_cast<std::size_t>(a.cols[static_cast<std::size_t>(j)]);
+      f += p.rpts[col + 1] - p.rpts[col];
+    }
+    flop_ap[k] = f;
+  }
+  std::vector<Offset> prefix(nc + 1, 0);
+#pragma omp parallel for schedule(static) num_threads(nthreads)
+  for (std::size_t i = 0; i < nc; ++i) {
+    Offset f = 0;
+    for (Offset j = r.rpts[i]; j < r.rpts[i + 1]; ++j) {
+      f += flop_ap[static_cast<std::size_t>(
+          r.cols[static_cast<std::size_t>(j)])];
+    }
+    prefix[i + 1] = f;
+  }
+  for (std::size_t i = 0; i < nc; ++i) prefix[i + 1] += prefix[i];
+  const Offset total_flop = prefix[nc];
+  Offset max_flop_ap = 0;
+  for (std::size_t k = 0; k < nf; ++k) {
+    max_flop_ap = std::max(max_flop_ap, flop_ap[k]);
+  }
+  const std::vector<std::size_t> cuts =
+      detail::balanced_row_cuts(prefix, nthreads);
+  if (stats != nullptr) {
+    *stats = SpGemmStats{};
+    stats->setup_ms = timer.millis();
+    stats->flop = total_flop;
+  }
+
+  CsrMatrix<IT, VT> c(r.nrows, p.ncols);
+  std::vector<mem::Buffer<IT>> staged_cols(
+      static_cast<std::size_t>(nthreads));
+  std::vector<mem::Buffer<VT>> staged_vals(
+      static_cast<std::size_t>(nthreads));
+
+  timer.reset();
+  detail::with_plan_policy<IT, VT>(
+      opts.algorithm, opts.probe, p.ncols, [&](auto policy) {
+#pragma omp parallel num_threads(nthreads)
+        {
+          const int tid = omp_get_thread_num();
+          if (tid < nthreads) {
+            const auto utid = static_cast<std::size_t>(tid);
+            const std::size_t r0 = cuts[utid];
+            const std::size_t r1 = cuts[utid + 1];
+            Offset max_rap_flop = 0;
+            for (std::size_t i = r0; i < r1; ++i) {
+              max_rap_flop = std::max(max_rap_flop, prefix[i + 1] - prefix[i]);
+            }
+            auto inner = policy.make();
+            auto outer = policy.make();
+            policy.prepare(inner, max_flop_ap, p.ncols);
+            policy.prepare(outer, max_rap_flop, p.ncols);
+            mem::ThreadScratch<IT> ap_cols;
+            mem::ThreadScratch<VT> ap_vals;
+            IT* apc = ap_cols.ensure(
+                static_cast<std::size_t>(max_flop_ap) + 1);
+            VT* apv = ap_vals.ensure(
+                static_cast<std::size_t>(max_flop_ap) + 1);
+            auto& scols = staged_cols[utid];
+            auto& svals = staged_vals[utid];
+            std::size_t stage_off = 0;
+
+            for (std::size_t i = r0; i < r1; ++i) {
+              const bool force_sorted =
+                  policy.begin_row(outer, prefix[i + 1] - prefix[i]);
+              const bool sorted =
+                  opts.sort_output == SortOutput::kYes || force_sorted;
+              for (Offset j = r.rpts[i]; j < r.rpts[i + 1]; ++j) {
+                const auto k = static_cast<std::size_t>(
+                    r.cols[static_cast<std::size_t>(j)]);
+                const VT rv = r.vals[static_cast<std::size_t>(j)];
+                if (flop_ap[k] == 0) continue;
+                // Expand A*P row k while R's row is hot, sorted extraction
+                // to match the two-step intermediate's storage order.
+                policy.begin_row(inner, flop_ap[k]);
+                detail::probe_row<SR>(inner, a, p, k);
+                const std::size_t apn = inner.count();
+                inner.extract_sorted(apc, apv);
+                inner.reset();
+                for (std::size_t t = 0; t < apn; ++t) {
+                  outer.accumulate(apc[t], SR::mul(rv, apv[t]),
+                                   [](VT& fold_acc, VT v) {
+                                     SR::add_into(fold_acc, v);
+                                   });
+                }
+              }
+              const std::size_t nnz = outer.count();
+              scols.resize(stage_off + nnz);
+              svals.resize(stage_off + nnz);
+              if (sorted) {
+                outer.extract_sorted(scols.data() + stage_off,
+                                     svals.data() + stage_off);
+              } else {
+                outer.extract_unsorted(scols.data() + stage_off,
+                                       svals.data() + stage_off);
+              }
+              outer.reset();
+              c.rpts[i] = static_cast<Offset>(nnz);
+              stage_off += nnz;
+            }
+          }
+        }
+      });
+
+  c.rpts[nc] = 0;
+  parallel::exclusive_scan_inplace(c.rpts.data(), nc + 1);
+  if (nthreads == 1) {
+    c.cols = std::move(staged_cols[0]);
+    c.vals = std::move(staged_vals[0]);
+  } else {
+    const auto nnz_c = static_cast<std::size_t>(c.rpts[nc]);
+    c.cols.resize(nnz_c);
+    c.vals.resize(nnz_c);
+#pragma omp parallel num_threads(nthreads)
+    {
+      const int tid = omp_get_thread_num();
+      if (tid < nthreads) {
+        const auto utid = static_cast<std::size_t>(tid);
+        const auto dst = static_cast<std::size_t>(c.rpts[cuts[utid]]);
+        const auto len =
+            static_cast<std::size_t>(c.rpts[cuts[utid + 1]]) - dst;
+        std::copy_n(staged_cols[utid].data(), len, c.cols.data() + dst);
+        std::copy_n(staged_vals[utid].data(), len, c.vals.data() + dst);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->numeric_ms = timer.millis();
+    stats->nnz_out = c.rpts[nc];
+    stats->epilogue_rows = nc;
+  }
+  if (telemetry::enabled()) {
+    detail::EpilogueTelemetry::get().rap_rows.add(nc);
+  }
+  c.sortedness = opts.sort_output == SortOutput::kYes ? Sortedness::kSorted
+                                                      : Sortedness::kUnsorted;
+  return c;
+}
+
+}  // namespace spgemm

@@ -66,7 +66,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -86,6 +89,7 @@
 #include "parallel/omp_utils.hpp"
 #include "parallel/prefix_sum.hpp"
 #include "parallel/rows_to_threads.hpp"
+#include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
 
 namespace spgemm::detail {
@@ -367,6 +371,206 @@ inline void probe_row(Acc& acc, const CsrMatrix<IT, VT>& a,
   }
 }
 
+// ---- Fused row epilogues ----------------------------------------------------
+//
+// The epilogue hook runs over each output row right after its numeric pass,
+// while the row (and the A/B rows that produced it) are still cache-hot.
+// Structural epilogues (kPruneScale, kMaskReduce) compact or consume the row
+// in place, so the full intermediate product is never materialized — its
+// allocation vanishes from peak RSS.  The spec (EpilogueSpec) rides in
+// SpGemmOptions; the typed operands ride here.
+
+/// Typed companions of the untemplated EpilogueSpec: the mask operand of
+/// kMaskReduce and the caller's result sink.
+template <IndexType IT, ValueType VT>
+struct EpilogueContext {
+  const CsrMatrix<IT, VT>* mask = nullptr;  ///< kMaskReduce: mask matrix
+  EpilogueResult* result = nullptr;         ///< optional scalar-output sink
+};
+
+/// Per-thread epilogue scratch and partial results.  mask_dense mirrors
+/// matrix/ops.hpp masked_sum's dense scatter row (restored to zero after
+/// every row); reduce/col_sums are partials folded in thread order after the
+/// parallel region.
+struct EpilogueState {
+  std::vector<double> mask_dense;
+  std::vector<double> col_sums;
+  double reduce = 0.0;
+  std::uint64_t rows = 0;
+  double seconds = 0.0;
+
+  void begin_pass(const EpilogueSpec& spec, std::size_t ncols) {
+    reduce = 0.0;
+    rows = 0;
+    seconds = 0.0;
+    if (spec.kind == EpilogueKind::kMaskReduce) {
+      if (mask_dense.size() < ncols) mask_dense.assign(ncols, 0.0);
+    } else if (spec.kind == EpilogueKind::kPruneScale &&
+               spec.collect_column_sums) {
+      col_sums.assign(ncols, 0.0);
+    }
+  }
+};
+
+/// Process-wide mirror of SpGemmStats::epilogue_rows, by epilogue kind.
+struct EpilogueTelemetry {
+  telemetry::Counter& prune_scale_rows;
+  telemetry::Counter& mask_reduce_rows;
+  telemetry::Counter& rap_rows;
+  static EpilogueTelemetry& get() {
+    auto& reg = telemetry::registry();
+    static EpilogueTelemetry t{
+        reg.counter("spgemm_epilogue_rows_total",
+                    "Rows processed by a fused epilogue, by kind.", "kind",
+                    "prune_scale"),
+        reg.counter("spgemm_epilogue_rows_total",
+                    "Rows processed by a fused epilogue, by kind.", "kind",
+                    "mask_reduce"),
+        reg.counter("spgemm_epilogue_rows_total",
+                    "Rows processed by a fused epilogue, by kind.", "kind",
+                    "rap")};
+    return t;
+  }
+  telemetry::Counter& for_kind(EpilogueKind k) {
+    switch (k) {
+      case EpilogueKind::kMaskReduce:
+        return mask_reduce_rows;
+      case EpilogueKind::kRap:
+        return rap_rows;
+      default:
+        return prune_scale_rows;
+    }
+  }
+};
+
+/// Apply the fused epilogue to one computed row i.  Reads `nnz` entries from
+/// (cols_src, vals_src) and writes the kept entries to (cols_dst, vals_dst);
+/// dst may alias src at a LOWER offset (forward compaction: the t-th source
+/// entry is read before the kept-th destination entry is written, and
+/// kept <= t always).  Returns the kept count.
+///
+/// kPruneScale transforms each value by pow(v, inflation) and keeps it iff
+/// the transformed value is >= prune_below — the same per-element transform,
+/// threshold, and emission order as apps inflate_and_prune, so the fused
+/// output is bit-identical to unfused-then-postprocessed.  kMaskReduce
+/// scatters the row into a dense scratch, sums the entries at the mask row's
+/// positions into the thread partial (exactly masked_sum's per-row walk) and
+/// keeps nothing.
+template <IndexType IT, ValueType VT>
+inline std::size_t apply_row_epilogue(const EpilogueSpec& spec,
+                                      const EpilogueContext<IT, VT>& ctx,
+                                      EpilogueState& state, std::size_t i,
+                                      const IT* cols_src, const VT* vals_src,
+                                      std::size_t nnz, IT* cols_dst,
+                                      VT* vals_dst) {
+  ++state.rows;
+  switch (spec.kind) {
+    case EpilogueKind::kPruneScale: {
+      std::size_t kept = 0;
+      const bool collect = spec.collect_column_sums;
+      for (std::size_t t = 0; t < nnz; ++t) {
+        const auto v = static_cast<VT>(
+            std::pow(static_cast<double>(vals_src[t]), spec.inflation));
+        if (static_cast<double>(v) >= spec.prune_below) {
+          const IT col = cols_src[t];
+          cols_dst[kept] = col;
+          vals_dst[kept] = v;
+          if (collect) {
+            state.col_sums[static_cast<std::size_t>(col)] +=
+                static_cast<double>(v);
+          }
+          ++kept;
+        }
+      }
+      return kept;
+    }
+    case EpilogueKind::kMaskReduce: {
+      const CsrMatrix<IT, VT>& mask = *ctx.mask;
+      double* dense = state.mask_dense.data();
+      for (std::size_t t = 0; t < nnz; ++t) {
+        dense[static_cast<std::size_t>(cols_src[t])] =
+            static_cast<double>(vals_src[t]);
+      }
+      for (Offset j = mask.row_begin(static_cast<IT>(i));
+           j < mask.row_end(static_cast<IT>(i)); ++j) {
+        state.reduce +=
+            dense[static_cast<std::size_t>(mask.cols[static_cast<std::size_t>(j)])];
+      }
+      for (std::size_t t = 0; t < nnz; ++t) {
+        dense[static_cast<std::size_t>(cols_src[t])] = 0.0;
+      }
+      return 0;
+    }
+    default: {
+      if (cols_dst != cols_src) {
+        std::copy_n(cols_src, nnz, cols_dst);
+        std::copy_n(vals_src, nnz, vals_dst);
+      }
+      return nnz;
+    }
+  }
+}
+
+/// Fold per-thread epilogue partials in ascending thread order — under the
+/// static partition that is ascending row-range order, so the fold is
+/// deterministic for a fixed thread count.  It is NOT bitwise equal to a
+/// sequential scan of the output (floating-point addition is not
+/// associative); see README "Fused epilogues" for the caveat.  `state_of(t)`
+/// returns thread t's EpilogueState.
+template <typename GetState>
+inline void fold_epilogue_partials(const EpilogueSpec& spec, int nthreads,
+                                   std::size_t ncols, GetState&& state_of,
+                                   EpilogueResult* result,
+                                   std::uint64_t& rows_out,
+                                   double& max_seconds_out) {
+  rows_out = 0;
+  max_seconds_out = 0.0;
+  for (int t = 0; t < nthreads; ++t) {
+    const EpilogueState& st = state_of(t);
+    rows_out += st.rows;
+    max_seconds_out = std::max(max_seconds_out, st.seconds);
+  }
+  if (result == nullptr) return;
+  result->reset(spec.kind == EpilogueKind::kPruneScale &&
+                        spec.collect_column_sums
+                    ? ncols
+                    : 0);
+  result->rows = rows_out;
+  for (int t = 0; t < nthreads; ++t) {
+    const EpilogueState& st = state_of(t);
+    result->reduce += st.reduce;
+    if (!result->col_sums.empty() && !st.col_sums.empty()) {
+      for (std::size_t cidx = 0; cidx < result->col_sums.size(); ++cidx) {
+        result->col_sums[cidx] += st.col_sums[cidx];
+      }
+    }
+  }
+}
+
+/// True when the spec's kind runs through the per-row hook of the two-phase
+/// paths (kRap is executed by multiply_rap(), not the hook).
+inline bool epilogue_fuses_rows(const EpilogueSpec& spec) {
+  return spec.kind == EpilogueKind::kPruneScale ||
+         spec.kind == EpilogueKind::kMaskReduce;
+}
+
+/// Shared argument validation of the two fused paths.
+template <IndexType IT, ValueType VT>
+inline void validate_epilogue(const EpilogueSpec& spec,
+                              const EpilogueContext<IT, VT>& ctx,
+                              const CsrMatrix<IT, VT>& a,
+                              const CsrMatrix<IT, VT>& b) {
+  if (spec.kind != EpilogueKind::kMaskReduce) return;
+  if (ctx.mask == nullptr) {
+    throw std::invalid_argument(
+        "epilogue: kMaskReduce requires a mask matrix (EpilogueContext::mask "
+        "/ SpGemmHandle::set_epilogue_mask)");
+  }
+  if (ctx.mask->nrows != a.nrows || ctx.mask->ncols != b.ncols) {
+    throw std::invalid_argument("epilogue: mask dimensions mismatch product");
+  }
+}
+
 // ---- Shared tiling/capture configuration ----------------------------------
 
 /// Resolved tiling and capture-budget configuration.  One resolution serves
@@ -469,7 +673,9 @@ template <IndexType IT, ValueType VT, typename Policy,
 CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
                                    const CsrMatrix<IT, VT>& b,
                                    const SpGemmOptions& opts, Policy policy,
-                                   SpGemmStats* stats, SR /*semiring*/ = {}) {
+                                   SpGemmStats* stats, SR /*semiring*/ = {},
+                                   const EpilogueContext<IT, VT>* epi =
+                                       nullptr) {
   TELEM_SPAN("oneshot.multiply");
   const int nthreads = parallel::resolve_threads(opts.threads);
   parallel::ScopedNumThreads scoped(opts.threads);
@@ -498,6 +704,15 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
   build_schedule(schedule, part, opts, cfg);
   const bool static_tiles =
       opts.tile_schedule == parallel::TileSchedule::kStatic;
+
+  // ---- Fused epilogue wiring (see "Fused row epilogues" above). ----------
+  const EpilogueSpec& espec = opts.epilogue;
+  const bool fused = epilogue_fuses_rows(espec);
+  const EpilogueContext<IT, VT> no_epi_ctx{};
+  const EpilogueContext<IT, VT>& ectx = epi != nullptr ? *epi : no_epi_ctx;
+  if (fused) validate_epilogue(espec, ectx, a, b);
+  std::vector<EpilogueState> epi_states(
+      fused ? static_cast<std::size_t>(nthreads) : 0);
 
   const double setup_s = timer.seconds();
   if (stats != nullptr) {
@@ -539,6 +754,10 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
       auto& scols = staged_cols[utid];
       auto& svals = staged_vals[utid];
       auto& recs = records[utid];
+      EpilogueState* est = fused ? &epi_states[utid] : nullptr;
+      if (est != nullptr) {
+        est->begin_pass(espec, static_cast<std::size_t>(b.ncols));
+      }
       if (static_tiles) {
         // Reserve at an optimistic compression ratio to limit regrowth.
         const std::size_t thread_flop = static_cast<std::size_t>(
@@ -645,6 +864,10 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
         // ---- Numeric over the tile (A/B rows still cache-hot). -------
         tile_timer.reset();
         svals.resize(scols.size());
+        // Fused epilogues compact each finished row forward to `compact`,
+        // so only the kept entries survive the tile (the full row lives
+        // exactly as long as it is cache-hot).
+        std::size_t compact = stage_begin;
         for (std::size_t i = r0; i < r1; ++i) {
           const RowCapture<IT>& row = meta[i - r0];
           const Offset row_flop =
@@ -669,6 +892,22 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
             }
             acc.reset();
           }
+          if (est != nullptr) {
+            const std::uint64_t t0 = monotonic_ns();
+            const std::size_t kept = apply_row_epilogue(
+                espec, ectx, *est, i, scols.data() + row.stage_off,
+                svals.data() + row.stage_off,
+                static_cast<std::size_t>(row.nnz), scols.data() + compact,
+                svals.data() + compact);
+            est->seconds +=
+                static_cast<double>(monotonic_ns() - t0) * 1e-9;
+            c.rpts[i] = static_cast<Offset>(kept);
+            compact += kept;
+          }
+        }
+        if (est != nullptr) {
+          scols.resize(compact);
+          svals.resize(compact);
         }
         num_seconds[utid] += tile_timer.seconds();
         {
@@ -746,6 +985,24 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
     sym_s = std::max(sym_s, sym_seconds[static_cast<std::size_t>(t)]);
     num_s = std::max(num_s, num_seconds[static_cast<std::size_t>(t)]);
   }
+
+  // ---- Fold per-thread epilogue partials (ascending thread order, which
+  // is ascending row-range order under the static partition). ------------
+  double epi_s = 0.0;
+  std::uint64_t epi_rows = 0;
+  if (fused) {
+    fold_epilogue_partials(
+        espec, nthreads, static_cast<std::size_t>(b.ncols),
+        [&](int t) -> const EpilogueState& {
+          return epi_states[static_cast<std::size_t>(t)];
+        },
+        ectx.result, epi_rows, epi_s);
+    if (telemetry::enabled()) {
+      EpilogueTelemetry::get().for_kind(espec.kind).add(epi_rows);
+      telemetry::phase_observe("epilogue", epi_s);
+    }
+  }
+
   if (telemetry::enabled()) {
     // The symbolic/numeric phases were already timed per tile above — feed
     // the measured spans rather than re-timing (capture shows up as the
@@ -773,6 +1030,8 @@ CsrMatrix<IT, VT> spgemm_two_phase(const CsrMatrix<IT, VT>& a,
     stats->reuse_rows_captured =
         total_rows_captured.load(std::memory_order_relaxed);
     stats->reuse_rows_total = nrows;
+    stats->epilogue_rows = epi_rows;
+    stats->epilogue_ms = epi_s * 1e3;
   }
 
   c.sortedness = opts.sort_output == SortOutput::kYes

@@ -313,6 +313,20 @@ class SpGemmEngine {
     /// caller-assigned).  Negative (the default) = unattributed: the
     /// request only moves the aggregate counters.
     int tenant = -1;
+    /// Fused per-row epilogue applied while each output row is cache-hot
+    /// (kPruneScale / kMaskReduce; kRap is rejected — it is a triple
+    /// product, use multiply_rap()).  The epilogue id is folded into the
+    /// plan-cache key, so fused and unfused requests over the same
+    /// structure never share a plan.
+    EpilogueSpec epilogue;
+    /// kMaskReduce operand; must outlive delivery like `a`/`b`.  When the
+    /// spec's mask_fp is 0 the engine fingerprints the mask per attempt —
+    /// steady-state callers should precompute it.
+    const CsrMatrix<IT, VT>* epilogue_mask = nullptr;
+    /// Precomputed model::estimate_flop(a, b); 0 = unknown (the engine
+    /// derives it).  Lets producers that reuse matrices across many
+    /// requests skip the O(nnz(A)) pass on every submit.
+    Offset flop_hint = 0;
   };
 
   /// One delivered product.  `c` is owned by the Product (copied out of
@@ -336,6 +350,9 @@ class SpGemmEngine {
     /// Service time for batch products; enqueue-to-delivery (queue wait
     /// included) for submitted ones.
     double latency_ms = 0.0;
+    /// Scalar outputs of the request's fused epilogue (reduction, column
+    /// sums); default-empty when the request carried none.
+    EpilogueResult epilogue;
   };
 
   explicit SpGemmEngine(EngineOptions opts = {})
@@ -466,7 +483,9 @@ class SpGemmEngine {
     // here and fail with kBadInput at admission into the batch.
     if (opts_.queue_flop_budget > 0 && req.a != nullptr && req.b != nullptr &&
         req.a->ncols == req.b->nrows) {
-      pending.flop_est = model::estimate_flop(*req.a, *req.b);
+      pending.flop_est = req.flop_hint > 0
+                             ? req.flop_hint
+                             : model::estimate_flop(*req.a, *req.b);
     }
     std::future<Product> fut = pending.promise.get_future();
 
@@ -908,7 +927,20 @@ class SpGemmEngine {
           throw SpGemmError(ErrorCode::kBadInput,
                             "SpGemmEngine: inner dimensions disagree");
         }
-        products[i].flop = model::estimate_flop(*r.a, *r.b);
+        if (r.epilogue.kind == EpilogueKind::kRap) {
+          throw SpGemmError(ErrorCode::kBadInput,
+                            "SpGemmEngine: kRap is a triple product — use "
+                            "multiply_rap()");
+        }
+        if (r.epilogue.kind == EpilogueKind::kMaskReduce &&
+            r.epilogue_mask == nullptr) {
+          throw SpGemmError(ErrorCode::kBadInput,
+                            "SpGemmEngine: kMaskReduce request without a "
+                            "mask");
+        }
+        products[i].flop = r.flop_hint > 0
+                               ? r.flop_hint
+                               : model::estimate_flop(*r.a, *r.b);
         if (r.has_fingerprints) {
           fp_a[i] = r.fp_a;
           fp_b[i] = r.fp_b;
@@ -1234,6 +1266,19 @@ class SpGemmEngine {
                        const TraceCtx& tc) {
     SpGemmOptions opts = opts_.plan;
     opts.threads = threads;
+    opts.epilogue = r.epilogue;
+    if (opts.epilogue.kind == EpilogueKind::kMaskReduce &&
+        opts.epilogue.mask_fp == 0 && r.epilogue_mask != nullptr) {
+      opts.epilogue.mask_fp = structure_fingerprint(*r.epilogue_mask);
+    }
+    // Fused plans never share a cache entry with unfused ones over the same
+    // structure: the epilogue fingerprint perturbs the pair key.
+    const auto epilogue_key = [&](std::uint64_t pair) {
+      if (opts.epilogue.enabled()) {
+        pair ^= opts.epilogue.fingerprint() * 0x9e3779b97f4a7c15ULL;
+      }
+      return pair;
+    };
     const bool degraded = attempt >= 2;
     if (degraded) {
       opts.reuse = StructureReuse::kOff;
@@ -1251,9 +1296,11 @@ class SpGemmEngine {
     out.cache_hit = false;
     out.threads_used = opts.threads;
     if (!opts_.cache_enabled || degraded) {
-      const std::uint64_t pair = pair_structure_hash(fp_a, fp_b);
+      const std::uint64_t pair =
+          epilogue_key(pair_structure_hash(fp_a, fp_b));
       SpGemmHandle<IT, VT> handle;
       handle.set_pass_exit_sink(sink);
+      handle.set_epilogue_mask(r.epilogue_mask);
       {
         const std::uint64_t t0 = trace_now(tc);
         handle.plan(*r.a, *r.b, opts, nullptr, &pair);
@@ -1264,12 +1311,13 @@ class SpGemmEngine {
         handle.execute_into(*r.a, *r.b, out.c, PlusTimes{}, &out.stats);
         trace_span(tc, "numeric", t0);
       }
+      if (opts.epilogue.enabled()) out.epilogue = handle.epilogue_result();
     } else {
       // Lease RAII: an exception from here on unwinds into a quarantine —
       // the possibly half-built plan leaves the cache and is never served
       // again; only the release() below puts the entry back on the LRU.
       typename PlanCache<IT, VT>::Lease lease =
-          cache_.acquire(pair_structure_hash(fp_a, fp_b));
+          cache_.acquire(epilogue_key(pair_structure_hash(fp_a, fp_b)));
       std::size_t bytes = 0;
       {
         std::lock_guard<std::mutex> lk(lease.exec_mutex());
@@ -1277,7 +1325,10 @@ class SpGemmEngine {
         // sink BEFORE any pass: a cached handle may still point at a dead
         // batch's counter from its previous serving.  Detach again after —
         // the sink's atomics die with this batch, the handle does not.
+        // Same discipline for the epilogue mask: it belongs to this
+        // request, not to the retained plan.
         lease.handle().set_pass_exit_sink(sink);
+        lease.handle().set_epilogue_mask(r.epilogue_mask);
         {
           const std::uint64_t t0 = trace_now(tc);
           out.cache_hit = !lease.handle().ensure_planned_hashed(
@@ -1294,7 +1345,11 @@ class SpGemmEngine {
                                       &out.stats);
           trace_span(tc, "numeric", t0);
         }
+        if (opts.epilogue.enabled()) {
+          out.epilogue = lease.handle().epilogue_result();
+        }
         lease.handle().set_pass_exit_sink(nullptr);
+        lease.handle().set_epilogue_mask(nullptr);
         bytes = lease.handle().retained_bytes();
       }
       cache_.release(std::move(lease), out.cache_hit, bytes);

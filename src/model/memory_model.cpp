@@ -135,6 +135,14 @@ std::size_t monolithic_bytes_estimate(Offset flop, std::size_t nrows,
   return out + out / 8;
 }
 
+std::size_t fused_epilogue_savings_estimate(Offset nnz_intermediate,
+                                            std::size_t nrows,
+                                            std::size_t bytes_per_entry) {
+  const auto nnz =
+      static_cast<std::size_t>(std::max<Offset>(nnz_intermediate, 0));
+  return csr_bytes_estimate(nnz, nrows, bytes_per_entry);
+}
+
 BlockGrid choose_block_grid(Offset nnz_a, Offset nnz_b, Offset flop,
                             std::size_t nrows, std::size_t ncols,
                             std::size_t inner_dim,

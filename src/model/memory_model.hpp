@@ -131,6 +131,19 @@ std::size_t csr_bytes_estimate(std::size_t nnz, std::size_t nrows,
 std::size_t monolithic_bytes_estimate(Offset flop, std::size_t nrows,
                                       std::size_t bytes_per_entry);
 
+/// Conservative floor on the peak-RSS a fused epilogue pipeline
+/// (core/spgemm_twophase.hpp epilogues, core/spgemm_rap.hpp) saves over
+/// unfused multiply-then-postprocess: the intermediate CSR's VALUES array
+/// plus its row pointers.  The intermediate's 4-byte column indices are
+/// deliberately left out as headroom — the fused path stages its kept
+/// entries (and a copy of the kept output) at peak, which cancels part of
+/// the full intermediate, so asserting the full csr_bytes_estimate would
+/// overclaim.  The epilogue ablation bench and the CI peak-RSS gate use
+/// this as the minimum saving fusion must demonstrate.
+std::size_t fused_epilogue_savings_estimate(Offset nnz_intermediate,
+                                            std::size_t nrows,
+                                            std::size_t bytes_per_entry = 8);
+
 /// Choose the block grid for one sharded product under a memory budget:
 /// the per-C-block working set (one A row panel + one B column panel + the
 /// C block's flop-bound output estimate) must fit inside half the budget
